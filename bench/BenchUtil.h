@@ -1,0 +1,39 @@
+//===- BenchUtil.h - Shared benchmark harness helpers ------------*- C++ -*-===//
+
+#ifndef MESH_BENCH_BENCHUTIL_H
+#define MESH_BENCH_BENCHUTIL_H
+
+#include "core/Options.h"
+
+#include <cstdio>
+
+namespace mesh {
+
+inline double toMiB(double Bytes) { return Bytes / (1024.0 * 1024.0); }
+
+/// Mesh configured for benchmarking: the paper's default 100 ms mesh
+/// rate limit (Section 4.5).
+inline MeshOptions benchMeshOptions(bool Meshing = true, bool Rand = true,
+                                    uint64_t Seed = 20190622) {
+  MeshOptions Opts;
+  Opts.ArenaBytes = size_t{8} << 30;
+  Opts.MeshingEnabled = Meshing;
+  Opts.Randomized = Rand;
+  Opts.MeshPeriodMs = kDefaultMeshPeriodMs;
+  // The paper's 64 MB dirty-page budget is sized for Firefox/Redis
+  // scale heaps (hundreds of MB); our stand-ins run at tens of MB, so
+  // scale the cache proportionally to keep RSS comparisons meaningful.
+  Opts.MaxDirtyBytes = 8 * 1024 * 1024;
+  Opts.Seed = Seed;
+  return Opts;
+}
+
+inline void printHeader(const char *Figure, const char *Title) {
+  printf("==============================================================\n");
+  printf("%s: %s\n", Figure, Title);
+  printf("==============================================================\n");
+}
+
+} // namespace mesh
+
+#endif // MESH_BENCH_BENCHUTIL_H

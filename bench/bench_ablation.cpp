@@ -1,0 +1,124 @@
+//===- bench_ablation.cpp - Design-choice ablations ----------------------------===//
+///
+/// Sweeps the design knobs DESIGN.md calls out, on a fixed fragmented
+/// heap image (64-span, 1/8-occupancy):
+///  - SplitMesher probe budget t (Section 3.3's space/time trade-off;
+///    the paper ships t=64);
+///  - write barrier on/off (cost of mprotect + epoch bookkeeping per
+///    mesh);
+///  - randomization on/off under a *regular* allocation pattern (the
+///    Section 6.3 mechanism, at the allocator level).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Runtime.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace mesh;
+
+namespace {
+
+MeshOptions ablationOptions() {
+  MeshOptions Opts = benchMeshOptions();
+  Opts.ArenaBytes = size_t{2} << 30;
+  Opts.MeshPeriodMs = ~uint64_t{0}; // only explicit meshNow
+  Opts.MaxDirtyBytes = 0;
+  return Opts;
+}
+
+/// Builds the standard fragmented image: 64 spans of 16-byte objects,
+/// 1-in-8 survivors, spans rotated to the global heap.
+std::vector<void *> buildFragmentedHeap(Runtime &R) {
+  std::vector<void *> Kept;
+  std::vector<void *> Toss;
+  for (int I = 0; I < 64 * 256; ++I) {
+    void *P = R.malloc(16);
+    (I % 8 == 0 ? Kept : Toss).push_back(P);
+  }
+  for (void *P : Toss)
+    R.free(P);
+  R.localHeap().releaseAll();
+  return Kept;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Ablations", "probe budget t, write barrier, randomization");
+
+  // --- t sweep: pages released and pass time per budget. ---
+  printf("t-sweep on the 64-span 1/8-occupancy image (5 runs each):\n");
+  printf("%6s %12s %12s %12s\n", "t", "freed_KiB", "probes", "pass_us");
+  for (uint32_t T : {1u, 4u, 16u, 64u, 256u}) {
+    size_t Freed = 0;
+    uint64_t Probes = 0, Ns = 0;
+    for (int Run = 0; Run < 5; ++Run) {
+      MeshOptions Opts = ablationOptions();
+      Opts.MeshProbes = T;
+      Opts.Seed = 100 + Run;
+      Runtime R(Opts);
+      auto Kept = buildFragmentedHeap(R);
+      Freed += R.meshNow();
+      Probes += R.global().stats().MeshProbeCount.load();
+      Ns += R.global().stats().TotalMeshNs.load();
+      for (void *P : Kept)
+        R.free(P);
+    }
+    printf("%6u %12.1f %12llu %12.1f\n", T, Freed / 5.0 / 1024.0,
+           static_cast<unsigned long long>(Probes / 5), Ns / 5 / 1000.0);
+  }
+
+  // --- Write barrier cost per mesh pass. ---
+  for (bool Barrier : {true, false}) {
+    uint64_t Ns = 0;
+    size_t Freed = 0;
+    for (int Run = 0; Run < 5; ++Run) {
+      MeshOptions Opts = ablationOptions();
+      Opts.BarrierEnabled = Barrier;
+      Opts.Seed = 200 + Run;
+      Runtime R(Opts);
+      auto Kept = buildFragmentedHeap(R);
+      Freed += R.meshNow();
+      Ns += R.global().stats().TotalMeshNs.load();
+      for (void *P : Kept)
+        R.free(P);
+    }
+    printf("RESULT mesh_pass_us_barrier_%s %.1f (freed %.0f KiB avg)\n",
+           Barrier ? "on" : "off", Ns / 5 / 1000.0, Freed / 5.0 / 1024.0);
+  }
+
+  // --- Randomization under a REGULAR allocation pattern. ---
+  // Allocate spans fully, then free a *prefix-structured* subset
+  // (every slot except slot k of each 32-slot stride). Without
+  // randomization all survivors land at identical offsets across spans
+  // and nothing meshes; with randomization survivors scatter.
+  for (bool Rand : {true, false}) {
+    MeshOptions Opts = ablationOptions();
+    Opts.Randomized = Rand;
+    Runtime R(Opts);
+    std::vector<void *> All;
+    for (int I = 0; I < 64 * 256; ++I)
+      All.push_back(R.malloc(16));
+    std::vector<void *> Kept;
+    for (size_t I = 0; I < All.size(); ++I) {
+      if (I % 32 == 7)
+        Kept.push_back(All[I]);
+      else
+        R.free(All[I]);
+    }
+    R.localHeap().releaseAll();
+    size_t Freed = 0;
+    for (int Pass = 0; Pass < 8; ++Pass)
+      Freed += R.meshNow();
+    printf("RESULT regular_pattern_freed_KiB_rand_%s %.1f\n",
+           Rand ? "on" : "off", Freed / 1024.0);
+    for (void *P : Kept)
+      R.free(P);
+  }
+  printf("(paper Section 6.3: randomization is what makes meshing\n"
+         " effective under regular allocation patterns)\n");
+  return 0;
+}

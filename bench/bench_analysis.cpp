@@ -1,0 +1,69 @@
+//===- bench_analysis.cpp - Sections 2.2 & 5.2 number regenerator -------------===//
+///
+/// Reproduces the paper's analytical quantities and validates them by
+/// Monte Carlo:
+///  - Section 2.2: the probability that randomized allocation leaves n
+///    single-object spans pairwise unmeshable is (1/b)^(n-1) — about
+///    1e-152 for 64 spans of 256 slots ("10^82 particles" comparison);
+///  - Section 5.2: for b=32, r=10, n=1000, expected triangles in the
+///    meshing graph are below 2, vs 167 if edges were independent (the
+///    flaw in DRM's analysis discussed in Section 7);
+///  - Section 1: the Robson bound factor log2(max/min) = 13 for
+///    16 B..128 KB.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "analysis/MeshingGraph.h"
+#include "analysis/Probability.h"
+
+#include <cstdio>
+
+using namespace mesh;
+using namespace mesh::analysis;
+
+int main() {
+  printHeader("Sections 2.2 / 5.2", "analytic quantities + Monte Carlo");
+
+  // --- Section 1: Robson bound. ---
+  printf("RESULT robson_factor_16B_128KB %.1f (paper: 13x blowup)\n",
+         robsonFactor(16, 128 * 1024));
+
+  // --- Section 2.2: worst-case non-meshable probability. ---
+  printf("RESULT log10_p_all_same_offset_b256_n64 %.1f (paper: ~-152)\n",
+         log10AllSameOffsetProbability(256, 64));
+
+  // --- Section 5.2: triangle scarcity, closed form. ---
+  const double Dependent = expectedTriangles(1000, 32, 10);
+  const double Independent = expectedTrianglesIndependent(1000, 32, 10);
+  printf("RESULT expected_triangles_dependent %.2f (paper: < 2)\n",
+         Dependent);
+  printf("RESULT expected_triangles_independent %.1f (paper: 167)\n",
+         Independent);
+
+  // --- Monte Carlo validation of the dependent model. ---
+  Rng Random(424242);
+  const unsigned N = 1000, B = 32, R = 10;
+  const int Trials = 5;
+  double TotalTriangles = 0, TotalEdges = 0;
+  for (int T = 0; T < Trials; ++T) {
+    auto Spans = randomSpans(N, B, R, Random);
+    MeshingGraph G(Spans);
+    TotalTriangles += static_cast<double>(G.triangleCount());
+    TotalEdges += static_cast<double>(G.edgeCount());
+  }
+  printf("RESULT montecarlo_triangles %.2f (closed form: %.2f)\n",
+         TotalTriangles / Trials, Dependent);
+  const double Q = pairMeshProbability(B, R, R);
+  printf("RESULT montecarlo_edges %.0f (expected n(n-1)/2*q = %.0f)\n",
+         TotalEdges / Trials, N * (N - 1) / 2.0 * Q);
+
+  // --- Mesh probability table across occupancy (context for t=64). ---
+  printf("\noccupancy sweep for b=256 (probability two spans mesh):\n");
+  printf("%8s %12s %14s\n", "live", "occupancy", "q");
+  for (unsigned Live : {4u, 8u, 16u, 32u, 64u, 96u, 128u}) {
+    printf("%8u %11.1f%% %14.3e\n", Live, 100.0 * Live / 256,
+           pairMeshProbability(256, Live, Live));
+  }
+  return 0;
+}

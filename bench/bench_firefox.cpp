@@ -1,0 +1,68 @@
+//===- bench_firefox.cpp - Figure 6 regenerator -------------------------------===//
+///
+/// Paper Figure 6 + Section 6.2.1: Firefox running Speedometer 2.0.
+/// The stand-in browser workload runs under the bundled-jemalloc
+/// baseline and under Mesh; the paper reports a 16% mean-heap
+/// reduction (632 MB -> 530 MB) with under 1% score change, with both
+/// configs peaking similarly but Mesh holding the heap consistently
+/// lower.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "baseline/SizeClassAllocator.h"
+#include "workloads/BrowserWorkload.h"
+
+#include <cstdio>
+
+using namespace mesh;
+
+namespace {
+
+struct RunOutput {
+  BrowserWorkloadResult Result;
+  double MeanMiB;
+  double PeakMiB;
+};
+
+RunOutput runOne(HeapBackend &Backend, const char *Label) {
+  BrowserWorkloadConfig Config;
+  MemoryMeter Meter(Backend, Config.OpsPerSample);
+  const BrowserWorkloadResult Result =
+      runBrowserWorkload(Backend, Meter, Config);
+  Meter.printSeries(Label);
+  return RunOutput{Result, toMiB(Meter.meanCommittedBytes()),
+                   toMiB(static_cast<double>(Meter.peakCommittedBytes()))};
+}
+
+} // namespace
+
+int main() {
+  printHeader("Figure 6",
+              "Firefox/Speedometer stand-in: RSS over time, two configs");
+
+  SizeClassAllocator Jemalloc(size_t{4} << 30);
+  const RunOutput Base = runOne(Jemalloc, "mozjemalloc");
+
+  MeshBackend Full(benchMeshOptions(), "Mesh");
+  const RunOutput Mesh = runOne(Full, "Mesh");
+
+  printf("\nconfig        seconds     score  mean_MiB  peak_MiB\n");
+  printf("mozjemalloc   %7.2f  %8.0f  %8.1f  %8.1f\n", Base.Result.Seconds,
+         Base.Result.Score, Base.MeanMiB, Base.PeakMiB);
+  printf("Mesh          %7.2f  %8.0f  %8.1f  %8.1f\n", Mesh.Result.Seconds,
+         Mesh.Result.Score, Mesh.MeanMiB, Mesh.PeakMiB);
+
+  printf("\nRESULT firefox_final_footprint_reduction_pct %.1f "
+         "(after the cooldown tail)\n",
+         100.0 * (1.0 - static_cast<double>(
+                            Mesh.Result.FinalCommittedBytes) /
+                            Base.Result.FinalCommittedBytes));
+  printf("RESULT firefox_mean_heap_reduction_pct %.1f (paper: 16)\n",
+         100.0 * (1.0 - Mesh.MeanMiB / Base.MeanMiB));
+  printf("RESULT firefox_score_change_pct %.2f (paper: < 1)\n",
+         100.0 * (Mesh.Result.Score / Base.Result.Score - 1.0));
+  printf("RESULT firefox_peak_ratio %.2f (paper: ~1, peaks similar)\n",
+         Mesh.PeakMiB / Base.PeakMiB);
+  return 0;
+}

@@ -1,0 +1,151 @@
+//===- bench_shufflevector.cpp - Section 4.2 microbenchmarks -------------------===//
+///
+/// google-benchmark suite for the data-structure claims of Section 4.2:
+/// shuffle vectors give O(1) malloc and free with no overprovisioning,
+/// vs random probing into a bitmap (O(1) expected only while the span
+/// is underfull — it degrades sharply as occupancy rises) — plus
+/// end-to-end malloc/free costs for Mesh and the baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/FreeListAllocator.h"
+#include "baseline/SizeClassAllocator.h"
+#include "core/MiniHeap.h"
+#include "core/Runtime.h"
+#include "core/ShuffleVector.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+namespace {
+
+using namespace mesh;
+
+// --- Shuffle vector pop/push cycle (the malloc/free fast path). ---
+void BM_ShuffleVectorMallocFree(benchmark::State &State) {
+  std::vector<char> Buffer(kPageSize);
+  Rng Random(1);
+  MiniHeap MH(0, 1, 16, 256, 0, true);
+  ShuffleVector V;
+  V.init(&Random, true);
+  V.attach(&MH, Buffer.data());
+  // Run at the occupancy given by the benchmark argument (percent).
+  const size_t Target = 256 - 256 * State.range(0) / 100;
+  std::vector<void *> Live;
+  while (V.length() > Target)
+    Live.push_back(V.malloc());
+  for (auto _ : State) {
+    void *P = V.malloc();
+    benchmark::DoNotOptimize(P);
+    V.free(P);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ShuffleVectorMallocFree)->Arg(10)->Arg(50)->Arg(90)->Arg(99);
+
+// --- Random probing into a bitmap (DieHard-style allocation). ---
+void BM_RandomProbingMallocFree(benchmark::State &State) {
+  Rng Random(2);
+  Bitmap Bits(256);
+  const uint32_t Target = 256 * State.range(0) / 100;
+  uint32_t Placed = 0;
+  while (Placed < Target)
+    Placed += Bits.tryToSet(Random.inRange(0, 255));
+  for (auto _ : State) {
+    // Probe until a free slot is found (the paper's point: expected
+    // O(1) only with heavy overprovisioning; degrades with occupancy).
+    uint32_t Off;
+    do {
+      Off = Random.inRange(0, 255);
+    } while (!Bits.tryToSet(Off));
+    benchmark::DoNotOptimize(Off);
+    Bits.unset(Off);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RandomProbingMallocFree)->Arg(10)->Arg(50)->Arg(90)->Arg(99);
+
+// --- End-to-end allocator malloc/free cycles, 64-byte objects. ---
+void BM_MeshMallocFree(benchmark::State &State) {
+  MeshOptions Opts;
+  Opts.ArenaBytes = size_t{1} << 30;
+  Runtime R(Opts);
+  for (auto _ : State) {
+    void *P = R.malloc(64);
+    benchmark::DoNotOptimize(P);
+    R.free(P);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MeshMallocFree);
+
+void BM_SizeClassBaselineMallocFree(benchmark::State &State) {
+  SizeClassAllocator A(size_t{1} << 30);
+  for (auto _ : State) {
+    void *P = A.malloc(64);
+    benchmark::DoNotOptimize(P);
+    A.free(P);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SizeClassBaselineMallocFree);
+
+void BM_FreeListBaselineMallocFree(benchmark::State &State) {
+  FreeListAllocator A;
+  for (auto _ : State) {
+    void *P = A.malloc(64);
+    benchmark::DoNotOptimize(P);
+    A.free(P);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_FreeListBaselineMallocFree);
+
+void BM_SystemMallocFree(benchmark::State &State) {
+  for (auto _ : State) {
+    void *P = ::malloc(64);
+    benchmark::DoNotOptimize(P);
+    ::free(P);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SystemMallocFree);
+
+// --- Varied sizes through the whole Mesh stack. ---
+void BM_MeshMallocFreeSized(benchmark::State &State) {
+  MeshOptions Opts;
+  Opts.ArenaBytes = size_t{1} << 30;
+  Runtime R(Opts);
+  const size_t Size = State.range(0);
+  for (auto _ : State) {
+    void *P = R.malloc(Size);
+    benchmark::DoNotOptimize(P);
+    R.free(P);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MeshMallocFreeSized)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(65536);
+
+// --- Attach cost (span adoption + Fisher-Yates shuffle). ---
+void BM_ShuffleVectorAttach(benchmark::State &State) {
+  std::vector<char> Buffer(kPageSize);
+  Rng Random(3);
+  for (auto _ : State) {
+    MiniHeap MH(0, 1, 16, 256, 0, true);
+    ShuffleVector V;
+    V.init(&Random, true);
+    benchmark::DoNotOptimize(V.attach(&MH, Buffer.data()));
+    V.detach();
+  }
+  State.SetItemsProcessed(State.iterations() * 256);
+}
+BENCHMARK(BM_ShuffleVectorAttach);
+
+} // namespace

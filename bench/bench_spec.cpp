@@ -1,0 +1,69 @@
+//===- bench_spec.cpp - Section 6.2.3 table regenerator -----------------------===//
+///
+/// Paper Section 6.2.3: across SPECint 2006, Mesh vs glibc is roughly
+/// neutral (geomean -2.4% memory, +0.7% time) because most programs
+/// barely exercise the allocator; the allocation-intensive
+/// 400.perlbench is the exception, where Mesh cuts peak RSS 15%
+/// (664 MB -> 564 MB) for 3.9% runtime overhead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "baseline/FreeListAllocator.h"
+#include "workloads/SpecWorkload.h"
+
+#include "support/MathUtils.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace mesh;
+
+int main() {
+  printHeader("Section 6.2.3 table",
+              "SPECint-style suite: glibc-like baseline vs Mesh");
+
+  printf("%-22s %9s %9s %9s | %9s %9s %9s\n", "benchmark", "glibc_s",
+         "mesh_s", "time_d%", "glibc_MiB", "mesh_MiB", "mem_d%");
+
+  std::vector<double> TimeRatios, MemRatios;
+  double PerlTime = 0, PerlMem = 0;
+  for (size_t I = 0; I < specBenchmarkNames().size(); ++I) {
+    FreeListAllocator Glibc;
+    const SpecBenchResult Base = runSpecBenchmark(I, Glibc, /*Scale=*/0.5);
+
+    // Scale adjustment: real SPEC runs take minutes, so the 100 ms
+    // mesh period amounts to continuous background compaction; our
+    // stand-ins finish whole phases in ~10 ms, so shrink the period
+    // proportionally to preserve meshing opportunities per phase.
+    MeshOptions Opts = benchMeshOptions();
+    Opts.MeshPeriodMs = 1;
+    MeshBackend Mesh(Opts);
+    const SpecBenchResult Ours = runSpecBenchmark(I, Mesh, /*Scale=*/0.5);
+
+    const double TimeRatio = Ours.Seconds / Base.Seconds;
+    const double MemRatio = static_cast<double>(Ours.PeakBytes) /
+                            static_cast<double>(Base.PeakBytes);
+    TimeRatios.push_back(TimeRatio);
+    MemRatios.push_back(MemRatio);
+    if (I == 0) { // perlbench-like is first
+      PerlTime = TimeRatio;
+      PerlMem = MemRatio;
+    }
+    printf("%-22s %9.3f %9.3f %8.1f%% | %9.1f %9.1f %8.1f%%\n", Base.Name,
+           Base.Seconds, Ours.Seconds, 100.0 * (TimeRatio - 1.0),
+           toMiB(static_cast<double>(Base.PeakBytes)),
+           toMiB(static_cast<double>(Ours.PeakBytes)),
+           100.0 * (MemRatio - 1.0));
+  }
+
+  printf("\nRESULT spec_geomean_memory_delta_pct %.1f (paper: -2.4)\n",
+         100.0 * (geometricMean(MemRatios) - 1.0));
+  printf("RESULT spec_geomean_time_delta_pct %.1f (paper: +0.7)\n",
+         100.0 * (geometricMean(TimeRatios) - 1.0));
+  printf("RESULT spec_perlbench_peak_reduction_pct %.1f (paper: 15)\n",
+         100.0 * (1.0 - PerlMem));
+  printf("RESULT spec_perlbench_time_overhead_pct %.1f (paper: 3.9)\n",
+         100.0 * (PerlTime - 1.0));
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- fragmentation_demo.cpp - Beating the Robson bound ------------------===//
+///
+/// The paper's Section 1 motivation, live: a Robson-style adversary
+/// allocates waves of objects and keeps one survivor per page-sized
+/// group, then moves to a different size class. A non-compacting
+/// allocator's footprint ratchets upward (bounded only by the
+/// log2(max/min) Robson factor); Mesh compacts each wave's wreckage
+/// and stays near the live-data size.
+///
+/// Build and run:  ./examples/fragmentation_demo
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/FreeListAllocator.h"
+#include "baseline/HeapBackend.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace mesh;
+
+namespace {
+
+struct AdversaryResult {
+  size_t PeakBytes;
+  size_t FinalBytes;
+  size_t LiveBytes;
+};
+
+AdversaryResult runAdversary(HeapBackend &Heap, const char *Label) {
+  std::vector<void *> Survivors;
+  size_t Live = 0, Peak = 0;
+  // Waves of doubling sizes: 16B ... 2KB (the meshable classes).
+  for (size_t Size = 16; Size <= 2048; Size *= 2) {
+    const size_t PerGroup = 4096 / Size; // one survivor per page-ish
+    std::vector<void *> Wave;
+    const size_t WaveBytes = 24 * 1024 * 1024;
+    for (size_t I = 0; I < WaveBytes / Size; ++I)
+      Wave.push_back(Heap.malloc(Size));
+    if (Heap.committedBytes() > Peak)
+      Peak = Heap.committedBytes();
+    for (size_t I = 0; I < Wave.size(); ++I) {
+      if (I % PerGroup == PerGroup / 2) {
+        Survivors.push_back(Wave[I]);
+        Live += Size;
+      } else {
+        Heap.free(Wave[I]);
+      }
+    }
+    Heap.flush();
+    printf("  [%s] after %4zu-byte wave: %6.1f MiB heap, %4.1f MiB live\n",
+           Label, Size, Heap.committedBytes() / 1048576.0,
+           Live / 1048576.0);
+  }
+  const AdversaryResult Result{Peak, Heap.committedBytes(), Live};
+  for (void *P : Survivors)
+    Heap.free(P);
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  printf("Robson-style fragmentation adversary "
+         "(one survivor per group, size classes 16B..2KB):\n\n");
+
+  printf("glibc-like freelist (non-compacting):\n");
+  FreeListAllocator Glibc;
+  const AdversaryResult Base = runAdversary(Glibc, "glibc");
+
+  printf("\nMesh:\n");
+  MeshOptions Options;
+  Options.ArenaBytes = size_t{2} << 30;
+  Options.MeshPeriodMs = 10;
+  Options.MaxDirtyBytes = 0;
+  MeshBackend Mesh(Options);
+  const AdversaryResult Ours = runAdversary(Mesh, "mesh");
+
+  printf("\nsummary (live data at end: %.1f MiB):\n", Ours.LiveBytes / 1048576.0);
+  printf("  glibc-like final footprint: %6.1f MiB (%.1fx live)\n",
+         Base.FinalBytes / 1048576.0,
+         static_cast<double>(Base.FinalBytes) / Base.LiveBytes);
+  printf("  Mesh       final footprint: %6.1f MiB (%.1fx live)\n",
+         Ours.FinalBytes / 1048576.0,
+         static_cast<double>(Ours.FinalBytes) / Ours.LiveBytes);
+  printf("\nthe classical Robson bound permits up to log2(2048/16) = 7x\n"
+         "blowup for this size range; Mesh's randomized meshing avoids it\n"
+         "with high probability (paper Sections 1, 5).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+//===- CliqueCover.cpp - Minimum clique cover ----------------------------------===//
+
+#include "analysis/CliqueCover.h"
+
+#include "support/Log.h"
+
+#include <vector>
+
+namespace mesh {
+namespace analysis {
+
+size_t minCliqueCoverExact(const MeshingGraph &G) {
+  const size_t N = G.size();
+  if (N > 16)
+    fatalError("minCliqueCoverExact limited to 16 nodes (got %zu)", N);
+  if (N == 0)
+    return 0;
+  const uint32_t Full = (uint32_t{1} << N) - 1;
+
+  std::vector<uint32_t> Adj(N, 0);
+  for (size_t U = 0; U < N; ++U)
+    for (size_t V = 0; V < N; ++V)
+      if (U != V && G.adjacent(U, V))
+        Adj[U] |= uint32_t{1} << V;
+
+  // IsClique[mask]: every pair in mask is adjacent. Built incrementally
+  // from the lowest vertex.
+  std::vector<bool> IsClique(Full + 1, false);
+  IsClique[0] = true;
+  for (uint32_t Mask = 1; Mask <= Full; ++Mask) {
+    const uint32_t Low = Mask & (~Mask + 1);
+    const uint32_t Rest = Mask ^ Low;
+    const unsigned LowIdx = __builtin_ctz(Low);
+    IsClique[Mask] = IsClique[Rest] && (Rest & ~Adj[LowIdx]) == 0;
+  }
+
+  // Cover[S]: minimum cliques to cover S. Enumerate sub-masks of S
+  // containing S's lowest vertex (canonical 3^n DP).
+  std::vector<uint8_t> Cover(Full + 1, 255);
+  Cover[0] = 0;
+  for (uint32_t S = 1; S <= Full; ++S) {
+    const uint32_t Low = S & (~S + 1);
+    uint8_t Best = 255;
+    // Iterate sub-masks of S that include Low.
+    for (uint32_t Sub = S; Sub != 0; Sub = (Sub - 1) & S) {
+      if ((Sub & Low) == 0 || !IsClique[Sub])
+        continue;
+      const uint8_t Candidate = static_cast<uint8_t>(1 + Cover[S ^ Sub]);
+      if (Candidate < Best)
+        Best = Candidate;
+    }
+    Cover[S] = Best;
+  }
+  return Cover[Full];
+}
+
+size_t greedyCliqueCover(const MeshingGraph &G) {
+  const size_t N = G.size();
+  std::vector<std::vector<size_t>> Cliques;
+  for (size_t U = 0; U < N; ++U) {
+    bool Placed = false;
+    for (auto &Clique : Cliques) {
+      bool Fits = true;
+      for (size_t Member : Clique) {
+        if (!G.adjacent(U, Member)) {
+          Fits = false;
+          break;
+        }
+      }
+      if (Fits) {
+        Clique.push_back(U);
+        Placed = true;
+        break;
+      }
+    }
+    if (!Placed)
+      Cliques.push_back({U});
+  }
+  return Cliques.size();
+}
+
+} // namespace analysis
+} // namespace mesh

@@ -1,0 +1,32 @@
+//===- CliqueCover.h - Minimum clique cover ----------------------*- C++ -*-===//
+///
+/// \file
+/// MinCliqueCover on meshing graphs (paper Section 5.1): decomposing
+/// the graph into k disjoint cliques frees n-k strings. The general
+/// problem is NP-hard (and inapproximable), which is exactly why Mesh
+/// solves Matching instead; the exact solver here (exponential, small
+/// n only) exists so tests and benchmarks can quantify how little is
+/// lost by meshing pairs rather than full cliques.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_ANALYSIS_CLIQUECOVER_H
+#define MESH_ANALYSIS_CLIQUECOVER_H
+
+#include "analysis/MeshingGraph.h"
+
+#include <cstddef>
+
+namespace mesh {
+namespace analysis {
+
+/// Exact minimum clique cover size via subset DP; requires n <= 16.
+size_t minCliqueCoverExact(const MeshingGraph &G);
+
+/// Greedy cover: first-fit each node into an existing clique.
+size_t greedyCliqueCover(const MeshingGraph &G);
+
+} // namespace analysis
+} // namespace mesh
+
+#endif // MESH_ANALYSIS_CLIQUECOVER_H

@@ -1,0 +1,68 @@
+//===- Matching.cpp - Matchings on meshing graphs ------------------------------===//
+
+#include "analysis/Matching.h"
+
+#include "support/Log.h"
+
+#include <cstring>
+#include <vector>
+
+namespace mesh {
+namespace analysis {
+
+size_t maxMatchingExact(const MeshingGraph &G) {
+  const size_t N = G.size();
+  if (N > 24)
+    fatalError("maxMatchingExact limited to 24 nodes (got %zu)", N);
+  if (N == 0)
+    return 0;
+  // Adjacency as one word per node.
+  std::vector<uint32_t> Adj(N, 0);
+  for (size_t U = 0; U < N; ++U)
+    for (size_t V = 0; V < N; ++V)
+      if (U != V && G.adjacent(U, V))
+        Adj[U] |= uint32_t{1} << V;
+
+  // Memo[S] = max matching using only vertices in S.
+  std::vector<int8_t> Memo(size_t{1} << N, -1);
+  Memo[0] = 0;
+  // Iterative DP in increasing subset order: the lowest vertex in S is
+  // either unmatched or matched to some neighbor also in S.
+  for (uint32_t S = 1; S < (uint32_t{1} << N); ++S) {
+    const uint32_t Low = S & (~S + 1); // lowest set bit
+    const uint32_t Rest = S ^ Low;
+    int8_t Best = Memo[Rest]; // leave Low unmatched
+    const unsigned LowIdx = __builtin_ctz(Low);
+    uint32_t Partners = Adj[LowIdx] & Rest;
+    while (Partners != 0) {
+      const uint32_t P = Partners & (~Partners + 1);
+      Partners ^= P;
+      const int8_t With = static_cast<int8_t>(1 + Memo[Rest ^ P]);
+      if (With > Best)
+        Best = With;
+    }
+    Memo[S] = Best;
+  }
+  return static_cast<size_t>(Memo[(size_t{1} << N) - 1]);
+}
+
+size_t greedyMatching(const MeshingGraph &G) {
+  const size_t N = G.size();
+  std::vector<bool> Used(N, false);
+  size_t Matched = 0;
+  for (size_t U = 0; U < N; ++U) {
+    if (Used[U])
+      continue;
+    for (size_t V = U + 1; V < N; ++V) {
+      if (Used[V] || !G.adjacent(U, V))
+        continue;
+      Used[U] = Used[V] = true;
+      ++Matched;
+      break;
+    }
+  }
+  return Matched;
+}
+
+} // namespace analysis
+} // namespace mesh

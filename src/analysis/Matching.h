@@ -1,0 +1,31 @@
+//===- Matching.h - Matchings on meshing graphs ------------------*- C++ -*-===//
+///
+/// \file
+/// Reference matching algorithms for evaluating SplitMesher (paper
+/// Section 5.2-5.3): an exact maximum matching (bitmask DP, for small
+/// n) and a greedy 1/2-approximation (for large n). SplitMesher's
+/// quality is reported as a fraction of these reference values by the
+/// bench_splitmesher harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_ANALYSIS_MATCHING_H
+#define MESH_ANALYSIS_MATCHING_H
+
+#include "analysis/MeshingGraph.h"
+
+#include <cstddef>
+
+namespace mesh {
+namespace analysis {
+
+/// Exact maximum matching size via subset DP; requires n <= 24.
+size_t maxMatchingExact(const MeshingGraph &G);
+
+/// Greedy maximal matching size (>= 1/2 of optimal).
+size_t greedyMatching(const MeshingGraph &G);
+
+} // namespace analysis
+} // namespace mesh
+
+#endif // MESH_ANALYSIS_MATCHING_H

@@ -1,0 +1,81 @@
+//===- MeshingGraph.cpp - Spans-as-strings graph model ------------------------===//
+
+#include "analysis/MeshingGraph.h"
+
+#include <cassert>
+
+namespace mesh {
+namespace analysis {
+
+SpanString SpanString::random(uint32_t B, uint32_t R, Rng &Random) {
+  assert(R <= B && "cannot place more objects than offsets");
+  SpanString S(B);
+  uint32_t Placed = 0;
+  while (Placed < R) {
+    const uint32_t I = Random.inRange(0, B - 1);
+    if (!S.bit(I)) {
+      S.setBit(I);
+      ++Placed;
+    }
+  }
+  return S;
+}
+
+MeshingGraph::MeshingGraph(const std::vector<SpanString> &Spans)
+    : N(Spans.size()) {
+  const size_t WordsPerRow = (N + 63) / 64;
+  Rows.assign(N, std::vector<uint64_t>(WordsPerRow, 0));
+  for (size_t U = 0; U < N; ++U) {
+    for (size_t V = U + 1; V < N; ++V) {
+      if (Spans[U].meshesWith(Spans[V])) {
+        Rows[U][V / 64] |= uint64_t{1} << (V % 64);
+        Rows[V][U / 64] |= uint64_t{1} << (U % 64);
+      }
+    }
+  }
+}
+
+size_t MeshingGraph::degree(size_t U) const {
+  size_t D = 0;
+  for (uint64_t W : Rows[U])
+    D += __builtin_popcountll(W);
+  return D;
+}
+
+size_t MeshingGraph::edgeCount() const {
+  size_t Total = 0;
+  for (size_t U = 0; U < N; ++U)
+    Total += degree(U);
+  return Total / 2;
+}
+
+uint64_t MeshingGraph::triangleCount() const {
+  // For each edge (u,v), count common neighbors w > v via row ANDs.
+  uint64_t Triangles = 0;
+  for (size_t U = 0; U < N; ++U) {
+    for (size_t V = U + 1; V < N; ++V) {
+      if (!adjacent(U, V))
+        continue;
+      // Count w > v adjacent to both.
+      for (size_t Word = V / 64; Word < Rows[U].size(); ++Word) {
+        uint64_t Common = Rows[U][Word] & Rows[V][Word];
+        if (Word == V / 64)
+          Common &= ~((uint64_t{2} << (V % 64)) - 1); // strictly above V
+        Triangles += __builtin_popcountll(Common);
+      }
+    }
+  }
+  return Triangles;
+}
+
+std::vector<SpanString> randomSpans(size_t N, uint32_t B, uint32_t R,
+                                    Rng &Random) {
+  std::vector<SpanString> Spans;
+  Spans.reserve(N);
+  for (size_t I = 0; I < N; ++I)
+    Spans.push_back(SpanString::random(B, R, Random));
+  return Spans;
+}
+
+} // namespace analysis
+} // namespace mesh

@@ -1,0 +1,83 @@
+//===- MeshingGraph.h - Spans-as-strings graph model -------------*- C++ -*-===//
+///
+/// \file
+/// The formal model from paper Section 5.1: spans are binary strings
+/// of length b (bit i = offset i occupied); two strings mesh iff their
+/// dot product is zero; the meshing graph has a node per string and an
+/// edge per meshable pair (Figure 5). This module builds such graphs
+/// from synthetic random spans so the Section 5 claims (triangle
+/// scarcity, matching quality, clique-cover hardness) can be validated
+/// without touching the allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_ANALYSIS_MESHINGGRAPH_H
+#define MESH_ANALYSIS_MESHINGGRAPH_H
+
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mesh {
+namespace analysis {
+
+/// A span's allocation state as a binary string of length <= 256.
+struct SpanString {
+  uint64_t Words[4] = {0, 0, 0, 0};
+  uint32_t Length = 0; ///< b: number of offsets in the span.
+
+  explicit SpanString(uint32_t B = 0) : Length(B) {}
+
+  void setBit(uint32_t I) { Words[I / 64] |= uint64_t{1} << (I % 64); }
+  bool bit(uint32_t I) const {
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+  uint32_t popcount() const {
+    return __builtin_popcountll(Words[0]) + __builtin_popcountll(Words[1]) +
+           __builtin_popcountll(Words[2]) + __builtin_popcountll(Words[3]);
+  }
+
+  /// Definition 5.1: sum_i s1(i)*s2(i) == 0.
+  bool meshesWith(const SpanString &Other) const {
+    return ((Words[0] & Other.Words[0]) | (Words[1] & Other.Words[1]) |
+            (Words[2] & Other.Words[2]) | (Words[3] & Other.Words[3])) == 0;
+  }
+
+  /// A string of length \p B with exactly \p R uniformly random bits.
+  static SpanString random(uint32_t B, uint32_t R, Rng &Random);
+};
+
+/// Dense meshing graph over a set of span strings.
+class MeshingGraph {
+public:
+  explicit MeshingGraph(const std::vector<SpanString> &Spans);
+
+  size_t size() const { return N; }
+  bool adjacent(size_t U, size_t V) const {
+    return (Rows[U][V / 64] >> (V % 64)) & 1;
+  }
+  size_t degree(size_t U) const;
+  size_t edgeCount() const;
+
+  /// Number of triangles (3-cliques) — the quantity Section 5.2 argues
+  /// is far below the independent-edge expectation.
+  uint64_t triangleCount() const;
+
+  /// Adjacency row as packed bits (for the matching algorithms).
+  const std::vector<uint64_t> &row(size_t U) const { return Rows[U]; }
+
+private:
+  size_t N;
+  std::vector<std::vector<uint64_t>> Rows;
+};
+
+/// Convenience: n random spans of length b with r live objects each.
+std::vector<SpanString> randomSpans(size_t N, uint32_t B, uint32_t R,
+                                    Rng &Random);
+
+} // namespace analysis
+} // namespace mesh
+
+#endif // MESH_ANALYSIS_MESHINGGRAPH_H

@@ -1,0 +1,58 @@
+//===- Probability.cpp - Closed-form meshing probabilities ---------------------===//
+
+#include "analysis/Probability.h"
+
+#include <cmath>
+
+namespace mesh {
+namespace analysis {
+
+double logChoose(unsigned N, unsigned K) {
+  if (K > N)
+    return -INFINITY;
+  return std::lgamma(N + 1.0) - std::lgamma(K + 1.0) -
+         std::lgamma(N - K + 1.0);
+}
+
+double pairMeshProbability(unsigned B, unsigned R1, unsigned R2) {
+  if (R1 + R2 > B)
+    return 0.0;
+  return std::exp(logChoose(B - R1, R2) - logChoose(B, R2));
+}
+
+double tripleMeshProbability(unsigned B, unsigned R1, unsigned R2,
+                             unsigned R3) {
+  if (R1 + R2 + R3 > B)
+    return 0.0;
+  const double PairPart = logChoose(B - R1, R2) - logChoose(B, R2);
+  const double TriplePart = logChoose(B - R1 - R2, R3) - logChoose(B, R3);
+  return std::exp(PairPart + TriplePart);
+}
+
+static double choose(double N, double K) {
+  return std::exp(std::lgamma(N + 1.0) - std::lgamma(K + 1.0) -
+                  std::lgamma(N - K + 1.0));
+}
+
+double expectedTriangles(unsigned N, unsigned B, unsigned R) {
+  return choose(N, 3) * tripleMeshProbability(B, R, R, R);
+}
+
+double expectedTrianglesIndependent(unsigned N, unsigned B, unsigned R) {
+  const double Q = pairMeshProbability(B, R, R);
+  return choose(N, 3) * Q * Q * Q;
+}
+
+double log10AllSameOffsetProbability(unsigned B, unsigned N) {
+  if (N <= 1 || B == 0)
+    return 0.0;
+  return -(static_cast<double>(N) - 1.0) * std::log10(static_cast<double>(B));
+}
+
+double robsonFactor(uint64_t MinSize, uint64_t MaxSize) {
+  return std::log2(static_cast<double>(MaxSize) /
+                   static_cast<double>(MinSize));
+}
+
+} // namespace analysis
+} // namespace mesh

@@ -1,0 +1,54 @@
+//===- Probability.h - Closed-form meshing probabilities ---------*- C++ -*-===//
+///
+/// \file
+/// The combinatorial quantities quoted in the paper:
+///  - Section 2.2: the probability that n randomly-placed single-object
+///    spans all collide at one offset, (1/b)^(n-1) — e.g. 10^-152 for
+///    64 spans of 256 slots;
+///  - Section 5.2: pairwise and triple mesh probabilities and expected
+///    triangle counts, dependent vs. (incorrectly) independent models —
+///    e.g. <2 vs 167 triangles for b=32, r=10, n=1000;
+///  - Section 1: the Robson worst-case fragmentation factor,
+///    log2(largest/smallest object size).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_ANALYSIS_PROBABILITY_H
+#define MESH_ANALYSIS_PROBABILITY_H
+
+#include <cstdint>
+
+namespace mesh {
+namespace analysis {
+
+/// ln C(n, k); 0 for k > n or k < 0 handled as -inf -> probability 0.
+double logChoose(unsigned N, unsigned K);
+
+/// Probability two random spans of length b with r1 and r2 objects
+/// mesh: C(b-r1, r2) / C(b, r2).
+double pairMeshProbability(unsigned B, unsigned R1, unsigned R2);
+
+/// Probability three random spans all mesh mutually (Section 5.2):
+///   C(b-r1, r2)/C(b, r2) * C(b-r1-r2, r3)/C(b, r3).
+double tripleMeshProbability(unsigned B, unsigned R1, unsigned R2,
+                             unsigned R3);
+
+/// Expected triangles among n random r-occupied spans (true model).
+double expectedTriangles(unsigned N, unsigned B, unsigned R);
+
+/// Expected triangles if edges were independent with probability
+/// q = pairMeshProbability (the flawed DRM model, Section 7).
+double expectedTrianglesIndependent(unsigned N, unsigned B, unsigned R);
+
+/// log10 of the probability that n single-object spans are pairwise
+/// unmeshable because every object sits at the same offset:
+/// (n-1) * log10(1/b) (Section 2.2).
+double log10AllSameOffsetProbability(unsigned B, unsigned N);
+
+/// Robson worst-case fragmentation factor: log2(MaxSize/MinSize).
+double robsonFactor(uint64_t MinSize, uint64_t MaxSize);
+
+} // namespace analysis
+} // namespace mesh
+
+#endif // MESH_ANALYSIS_PROBABILITY_H

@@ -1,0 +1,74 @@
+//===- mesh.cpp - Public Mesh API -------------------------------------------===//
+
+#include "mesh/mesh.h"
+
+#include "core/Runtime.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace mesh {
+
+static MeshOptions optionsFromEnvironment() {
+  MeshOptions Opts;
+  if (getenv("MESH_NO_MESH") != nullptr)
+    Opts.MeshingEnabled = false;
+  if (getenv("MESH_NO_RAND") != nullptr)
+    Opts.Randomized = false;
+  if (getenv("MESH_NO_BARRIER") != nullptr)
+    Opts.BarrierEnabled = false;
+  if (const char *Period = getenv("MESH_PERIOD_MS"))
+    Opts.MeshPeriodMs = strtoull(Period, nullptr, 10);
+  if (const char *Probes = getenv("MESH_PROBES"))
+    Opts.MeshProbes = static_cast<uint32_t>(strtoul(Probes, nullptr, 10));
+  if (const char *Seed = getenv("MESH_SEED"))
+    Opts.Seed = strtoull(Seed, nullptr, 10);
+  return Opts;
+}
+
+Runtime &defaultRuntime() {
+  // Built in static storage and intentionally never destroyed: frees
+  // may arrive from atexit handlers after static destructors run.
+  alignas(Runtime) static char Storage[sizeof(Runtime)];
+  static Runtime *Instance = new (Storage) Runtime(optionsFromEnvironment());
+  return *Instance;
+}
+
+} // namespace mesh
+
+using mesh::defaultRuntime;
+
+extern "C" {
+
+void *mesh_malloc(size_t Bytes) { return defaultRuntime().malloc(Bytes); }
+
+void mesh_free(void *Ptr) { defaultRuntime().free(Ptr); }
+
+void *mesh_calloc(size_t Count, size_t Size) {
+  return defaultRuntime().calloc(Count, Size);
+}
+
+void *mesh_realloc(void *Ptr, size_t Bytes) {
+  return defaultRuntime().realloc(Ptr, Bytes);
+}
+
+int mesh_posix_memalign(void **Out, size_t Alignment, size_t Bytes) {
+  return defaultRuntime().posixMemalign(Out, Alignment, Bytes);
+}
+
+size_t mesh_malloc_usable_size(const void *Ptr) {
+  return defaultRuntime().usableSize(Ptr);
+}
+
+int mesh_mallctl(const char *Name, void *OldP, size_t *OldLenP, void *NewP,
+                 size_t NewLen) {
+  return defaultRuntime().mallctl(Name, OldP, OldLenP, NewP, NewLen);
+}
+
+size_t mesh_committed_bytes(void) {
+  return defaultRuntime().committedBytes();
+}
+
+size_t mesh_mesh_now(void) { return defaultRuntime().meshNow(); }
+
+} // extern "C"

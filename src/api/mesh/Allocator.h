@@ -1,0 +1,54 @@
+//===- mesh/Allocator.h - std-compatible allocator adapter ------*- C++ -*-===//
+///
+/// \file
+/// A C++ standard-library allocator over a mesh::Runtime (or any class
+/// exposing malloc/free), so containers — and the workload substrates
+/// in this repository — can run on a specific heap instance. Stateful:
+/// copies refer to the same Runtime; comparison is by Runtime identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_API_ALLOCATOR_H
+#define MESH_API_ALLOCATOR_H
+
+#include "core/Runtime.h"
+
+#include <cstddef>
+#include <new>
+
+namespace mesh {
+
+template <typename T> class Allocator {
+public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  explicit Allocator(Runtime &R) noexcept : Heap(&R) {}
+  template <typename U>
+  Allocator(const Allocator<U> &Other) noexcept : Heap(Other.runtime()) {}
+
+  T *allocate(size_t N) {
+    void *Mem = Heap->malloc(N * sizeof(T));
+    if (Mem == nullptr)
+      throw std::bad_alloc();
+    return static_cast<T *>(Mem);
+  }
+
+  void deallocate(T *Ptr, size_t) noexcept { Heap->free(Ptr); }
+
+  Runtime *runtime() const noexcept { return Heap; }
+
+  template <typename U>
+  friend bool operator==(const Allocator &A, const Allocator<U> &B) noexcept {
+    return A.runtime() == B.runtime();
+  }
+
+private:
+  Runtime *Heap;
+};
+
+} // namespace mesh
+
+#endif // MESH_API_ALLOCATOR_H

@@ -1,0 +1,64 @@
+//===- mesh/mesh.h - Public Mesh API ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Public entry points for the Mesh allocator.
+///
+/// Two usage models:
+///  - the process-default heap via the C functions below (what the
+///    malloc interposition shim forwards to), configured through
+///    MESH_* environment variables; and
+///  - instance heaps via mesh::Runtime (include core/Runtime.h), used
+///    by the tests and benchmarks to run several configurations in one
+///    process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_API_MESH_H
+#define MESH_API_MESH_H
+
+#include <cstddef>
+
+extern "C" {
+
+/// malloc/free family over the process-default Mesh heap.
+void *mesh_malloc(size_t Bytes);
+void mesh_free(void *Ptr);
+void *mesh_calloc(size_t Count, size_t Size);
+void *mesh_realloc(void *Ptr, size_t Bytes);
+int mesh_posix_memalign(void **Out, size_t Alignment, size_t Bytes);
+size_t mesh_malloc_usable_size(const void *Ptr);
+
+/// jemalloc-style control/introspection interface (paper Section 4.5).
+/// Names: "mesh.enabled", "mesh.period_ms", "mesh.probes",
+/// "mesh.max_per_pass", "mesh.now", "heap.flush_dirty",
+/// "stats.committed_bytes", "stats.peak_committed_bytes",
+/// "stats.dirty_bytes", "stats.mesh_count", "stats.mesh_passes",
+/// "stats.pages_meshed", "stats.bytes_copied", "stats.mesh_ns",
+/// "stats.max_pause_ns".
+int mesh_mallctl(const char *Name, void *OldP, size_t *OldLenP, void *NewP,
+                 size_t NewLen);
+
+/// Convenience wrappers over mesh_mallctl.
+size_t mesh_committed_bytes(void);
+size_t mesh_mesh_now(void);
+
+} // extern "C"
+
+namespace mesh {
+
+class Runtime;
+
+/// The process-default Runtime (created on first use; never destroyed).
+///
+/// Environment configuration, read once at creation:
+///   MESH_NO_MESH=1      disable meshing
+///   MESH_NO_RAND=1      disable randomized allocation
+///   MESH_NO_BARRIER=1   disable the concurrent-mesh write barrier
+///   MESH_PERIOD_MS=N    meshing rate limit (default 100)
+///   MESH_PROBES=N       SplitMesher probe budget t (default 64)
+///   MESH_SEED=N         RNG seed
+Runtime &defaultRuntime();
+
+} // namespace mesh
+
+#endif // MESH_API_MESH_H

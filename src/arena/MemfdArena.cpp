@@ -1,0 +1,91 @@
+//===- MemfdArena.cpp - File-backed virtual memory arena -----------------===//
+
+#include "arena/MemfdArena.h"
+
+#include "support/Log.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace mesh {
+
+MemfdArena::MemfdArena(size_t Bytes) : ArenaBytes(Bytes) {
+  assert(Bytes % kPageSize == 0 && "arena size must be page aligned");
+  Fd = memfd_create("mesh-arena", MFD_CLOEXEC);
+  if (Fd < 0)
+    fatalError("memfd_create failed: %s", strerror(errno));
+  if (ftruncate(Fd, static_cast<off_t>(ArenaBytes)) != 0)
+    fatalError("ftruncate(%zu) failed: %s", ArenaBytes, strerror(errno));
+  void *Mem = mmap(nullptr, ArenaBytes, PROT_READ | PROT_WRITE, MAP_SHARED,
+                   Fd, 0);
+  if (Mem == MAP_FAILED)
+    fatalError("arena mmap of %zu bytes failed: %s", ArenaBytes,
+               strerror(errno));
+  Base = static_cast<char *>(Mem);
+}
+
+MemfdArena::~MemfdArena() {
+  if (Base != nullptr)
+    munmap(Base, ArenaBytes);
+  if (Fd >= 0)
+    close(Fd);
+}
+
+void MemfdArena::commit(size_t PageOff, size_t Pages) {
+  assert(PageOff + Pages <= arenaPages() && "commit beyond arena");
+  Committed.fetch_add(Pages, std::memory_order_relaxed);
+}
+
+void MemfdArena::release(size_t PageOff, size_t Pages) {
+  assert(PageOff + Pages <= arenaPages() && "release beyond arena");
+  if (fallocate(Fd, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                static_cast<off_t>(pagesToBytes(PageOff)),
+                static_cast<off_t>(pagesToBytes(Pages))) != 0)
+    fatalError("fallocate punch-hole failed: %s", strerror(errno));
+  Committed.fetch_sub(Pages, std::memory_order_relaxed);
+}
+
+void MemfdArena::alias(size_t VictimPageOff, size_t KeeperPageOff,
+                       size_t Pages) {
+  assert(KeeperPageOff != VictimPageOff && "cannot mesh a span with itself");
+  // Atomically swing the victim's virtual pages onto the keeper's file
+  // offset. mmap over an existing mapping replaces it without a window
+  // where the address range is unmapped, which is what makes concurrent
+  // reads safe (paper Section 4.5.2: "the atomic semantics of mmap").
+  void *Target = ptrForPage(VictimPageOff);
+  void *Res = mmap(Target, pagesToBytes(Pages), PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_FIXED, Fd,
+                   static_cast<off_t>(pagesToBytes(KeeperPageOff)));
+  if (Res == MAP_FAILED)
+    fatalError("mesh remap failed: %s", strerror(errno));
+}
+
+void MemfdArena::resetMapping(size_t PageOff, size_t Pages) {
+  void *Target = ptrForPage(PageOff);
+  void *Res = mmap(Target, pagesToBytes(Pages), PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_FIXED, Fd,
+                   static_cast<off_t>(pagesToBytes(PageOff)));
+  if (Res == MAP_FAILED)
+    fatalError("identity remap failed: %s", strerror(errno));
+}
+
+void MemfdArena::protect(size_t PageOff, size_t Pages, bool ReadOnly) {
+  const int Prot = ReadOnly ? PROT_READ : (PROT_READ | PROT_WRITE);
+  if (mprotect(ptrForPage(PageOff), pagesToBytes(Pages), Prot) != 0)
+    fatalError("mprotect failed: %s", strerror(errno));
+}
+
+size_t MemfdArena::kernelFilePages() const {
+  struct stat St;
+  if (fstat(Fd, &St) != 0)
+    fatalError("fstat on arena fd failed: %s", strerror(errno));
+  // st_blocks counts 512-byte units.
+  return static_cast<size_t>(St.st_blocks) * 512 / kPageSize;
+}
+
+} // namespace mesh

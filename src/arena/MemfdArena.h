@@ -1,0 +1,115 @@
+//===- MemfdArena.h - File-backed virtual memory arena ----------*- C++ -*-===//
+///
+/// \file
+/// The virtual-memory substrate from paper Section 4.5.1. Mesh's arena
+/// is not an anonymous mapping: it is backed by a temporary in-memory
+/// file (memfd_create) so that the same file offset — a physical span —
+/// can be mapped at several virtual addresses. Meshing a span is then:
+///
+///   1. copy live objects from the victim span into the keeper span,
+///   2. mmap(MAP_FIXED) every victim virtual span onto the keeper's
+///      file offset (atomic with respect to concurrent readers), and
+///   3. fallocate(FALLOC_FL_PUNCH_HOLE) the victim's old file pages,
+///      returning the physical memory to the OS.
+///
+/// The arena also tracks a precise committed-page count, which is the
+/// allocator-side equivalent of the RSS measured by the paper's mstat
+/// tool (see DESIGN.md, substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_ARENA_MEMFDARENA_H
+#define MESH_ARENA_MEMFDARENA_H
+
+#include "support/Common.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace mesh {
+
+/// A contiguous reservation of virtual address space backed by a
+/// memfd file with identity virtual->file mapping at creation.
+///
+/// Pages are addressed by their page offset from the arena base. All
+/// methods are thread-compatible: callers (MeshableArena / GlobalHeap)
+/// serialize mutations under the global heap lock; the committed-page
+/// counter is atomic so statistics reads need no lock.
+class MemfdArena {
+public:
+  /// Reserves \p ArenaBytes of address space (default 16 GiB; address
+  /// space is free — physical pages are committed on first touch).
+  explicit MemfdArena(size_t ArenaBytes = size_t{16} << 30);
+  ~MemfdArena();
+
+  MemfdArena(const MemfdArena &) = delete;
+  MemfdArena &operator=(const MemfdArena &) = delete;
+
+  char *base() const { return Base; }
+  size_t arenaBytes() const { return ArenaBytes; }
+  size_t arenaPages() const { return ArenaBytes >> kPageShift; }
+
+  /// True iff \p Ptr lies inside the arena reservation.
+  bool contains(const void *Ptr) const {
+    auto P = reinterpret_cast<uintptr_t>(Ptr);
+    auto B = reinterpret_cast<uintptr_t>(Base);
+    return P >= B && P < B + ArenaBytes;
+  }
+
+  char *ptrForPage(size_t PageOff) const {
+    return Base + pagesToBytes(PageOff);
+  }
+
+  size_t pageForPtr(const void *Ptr) const {
+    return (reinterpret_cast<uintptr_t>(Ptr) -
+            reinterpret_cast<uintptr_t>(Base)) >>
+           kPageShift;
+  }
+
+  /// Marks \p Pages pages at \p PageOff as committed (about to be
+  /// touched). Pages in a memfd materialize on first write; this keeps
+  /// our accounting in sync with what the OS will charge us.
+  void commit(size_t PageOff, size_t Pages);
+
+  /// Punches a hole over the file pages under the identity mapping at
+  /// \p PageOff, returning physical memory to the OS. The virtual pages
+  /// remain mapped and read back as zero (and re-commit on next touch).
+  void release(size_t PageOff, size_t Pages);
+
+  /// Remaps the virtual span at \p VictimPageOff onto the file offset
+  /// of \p KeeperPageOff (both spans are \p Pages long). Step 2 of a
+  /// mesh; the caller has already copied live objects and must have
+  /// arranged that no thread writes the victim span during the remap
+  /// (see WriteBarrier). Does not touch the committed-page count: the
+  /// caller releases the victim's own file pages separately.
+  void alias(size_t VictimPageOff, size_t KeeperPageOff, size_t Pages);
+
+  /// Restores the identity virtual->file mapping for \p Pages pages at
+  /// \p PageOff. Used when a previously-meshed virtual span is recycled
+  /// for a fresh allocation. The underlying file pages are holes, so
+  /// the span reads back as zero.
+  void resetMapping(size_t PageOff, size_t Pages);
+
+  /// Applies mprotect with \p ReadOnly to the span (write barrier).
+  void protect(size_t PageOff, size_t Pages, bool ReadOnly);
+
+  /// Pages this arena believes are backed by physical memory.
+  size_t committedPages() const {
+    return Committed.load(std::memory_order_relaxed);
+  }
+
+  /// Ground truth from the kernel: file blocks actually allocated to
+  /// the memfd, in pages. Used by tests to validate our accounting.
+  size_t kernelFilePages() const;
+
+private:
+  char *Base = nullptr;
+  size_t ArenaBytes = 0;
+  int Fd = -1;
+  std::atomic<size_t> Committed{0};
+};
+
+} // namespace mesh
+
+#endif // MESH_ARENA_MEMFDARENA_H

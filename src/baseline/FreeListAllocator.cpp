@@ -1,0 +1,195 @@
+//===- FreeListAllocator.cpp - glibc-style baseline -------------------------===//
+
+#include "baseline/FreeListAllocator.h"
+
+#include "support/Common.h"
+#include "support/Log.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <sys/mman.h>
+
+namespace mesh {
+
+FreeListAllocator::FreeListAllocator(size_t Region) : RegionBytes(Region) {
+  void *Mem = mmap(nullptr, RegionBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (Mem == MAP_FAILED)
+    fatalError("freelist region mmap failed: %s", strerror(errno));
+  Base = static_cast<char *>(Mem);
+  // Seed the wilderness chunk.
+  Break = Base + kMinChunk;
+  Top = reinterpret_cast<Header *>(Base);
+  Top->set(kMinChunk, false);
+  Top->PrevSize = 0;
+  updatePeak();
+}
+
+FreeListAllocator::~FreeListAllocator() {
+  if (Base != nullptr)
+    munmap(Base, RegionBytes);
+}
+
+unsigned FreeListAllocator::binFor(size_t Size) {
+  if (Size < kSmallLimit)
+    return static_cast<unsigned>((Size - kMinChunk) / 16);
+  // Large bins: [1024, 2048) is the first, doubling upward.
+  const unsigned Log = log2Floor(Size);
+  const unsigned Bin = kNumSmallBins + (Log - 10);
+  return Bin >= kNumBins ? kNumBins - 1 : Bin;
+}
+
+void FreeListAllocator::insertFree(Header *H) {
+  assert(!H->used() && "inserting a used chunk into a free bin");
+  auto *Node = reinterpret_cast<FreeNode *>(payloadOf(H));
+  const unsigned Bin = binFor(H->size());
+  Node->Prev = nullptr;
+  Node->Next = Bins[Bin];
+  if (Bins[Bin] != nullptr)
+    Bins[Bin]->Prev = Node;
+  Bins[Bin] = Node;
+}
+
+void FreeListAllocator::removeFree(Header *H) {
+  auto *Node = reinterpret_cast<FreeNode *>(payloadOf(H));
+  const unsigned Bin = binFor(H->size());
+  if (Node->Prev != nullptr)
+    Node->Prev->Next = Node->Next;
+  else
+    Bins[Bin] = Node->Next;
+  if (Node->Next != nullptr)
+    Node->Next->Prev = Node->Prev;
+}
+
+void FreeListAllocator::updatePeak() {
+  const size_t Used = static_cast<size_t>(Break - Base);
+  if (Used > PeakCommitted)
+    PeakCommitted = Used;
+}
+
+bool FreeListAllocator::growTop(size_t NeedBytes) {
+  const size_t Grow = roundUpPow2Multiple(NeedBytes, kPageSize);
+  if (Break + Grow > Base + RegionBytes)
+    return false;
+  Top->set(Top->size() + Grow, false);
+  Break += Grow;
+  updatePeak();
+  return true;
+}
+
+void *FreeListAllocator::malloc(size_t Bytes) {
+  if (Bytes == 0)
+    Bytes = 1;
+  size_t Chunk = roundUpPow2Multiple(Bytes + kHeaderBytes, 16);
+  if (Chunk < kMinChunk)
+    Chunk = kMinChunk;
+
+  // First fit: the chunk's own bin, then every larger bin.
+  for (unsigned Bin = binFor(Chunk); Bin < kNumBins; ++Bin) {
+    for (FreeNode *Node = Bins[Bin]; Node != nullptr; Node = Node->Next) {
+      Header *H = headerOf(Node); // Node sits at the payload start.
+      if (H->size() < Chunk)
+        continue;
+      removeFree(H);
+      if (H->size() >= Chunk + kMinChunk) {
+        // Split; the remainder becomes a free chunk after H.
+        const size_t Remainder = H->size() - Chunk;
+        H->set(Chunk, true);
+        Header *Rest = nextChunk(H);
+        Rest->set(Remainder, false);
+        Rest->PrevSize = Chunk;
+        nextChunk(Rest)->PrevSize = Remainder;
+        insertFree(Rest);
+      } else {
+        H->set(H->size(), true);
+      }
+      LivePayload += H->size() - kHeaderBytes;
+      return payloadOf(H);
+    }
+  }
+
+  // Carve from the wilderness, growing it as needed. Keep Top at least
+  // kMinChunk so it never vanishes.
+  if (Top->size() < Chunk + kMinChunk &&
+      !growTop(Chunk + kMinChunk - Top->size()))
+    return nullptr;
+  Header *H = Top;
+  const size_t Remainder = Top->size() - Chunk;
+  H->set(Chunk, true);
+  Top = nextChunk(H);
+  Top->set(Remainder, false);
+  Top->PrevSize = Chunk;
+  LivePayload += Chunk - kHeaderBytes;
+  return payloadOf(H);
+}
+
+void FreeListAllocator::free(void *Ptr) {
+  if (Ptr == nullptr)
+    return;
+  Header *H = headerOf(Ptr);
+  assert(H->used() && "double free in baseline allocator");
+  LivePayload -= H->size() - kHeaderBytes;
+  H->set(H->size(), false);
+
+  // Coalesce forward (possibly into the wilderness).
+  Header *Next = nextChunk(H);
+  if (Next == Top) {
+    H->set(H->size() + Top->size(), false);
+    Top = H;
+  } else if (!Next->used()) {
+    removeFree(Next);
+    H->set(H->size() + Next->size(), false);
+  }
+  // Coalesce backward.
+  if (H->PrevSize != 0) {
+    Header *Prev = prevChunk(H);
+    if (!Prev->used() && Prev != Top) {
+      removeFree(Prev);
+      Prev->set(Prev->size() + H->size(), false);
+      H = Prev;
+    }
+  }
+
+  if (H == Top || reinterpret_cast<char *>(H) + H->size() == Break) {
+    Top = H;
+    trimTop();
+    return;
+  }
+  nextChunk(H)->PrevSize = H->size();
+  insertFree(H);
+}
+
+void FreeListAllocator::trimTop() {
+  // Release whole pages of the wilderness back to the OS, keeping a
+  // kMinChunk stub (glibc's M_TRIM_THRESHOLD behaviour, threshold 0 so
+  // the baseline is as favourable as possible).
+  const size_t Keep = kMinChunk;
+  if (Top->size() <= Keep + kPageSize)
+    return;
+  char *TopStart = reinterpret_cast<char *>(Top);
+  char *NewBreak =
+      reinterpret_cast<char *>(
+          roundUpPow2Multiple(reinterpret_cast<uintptr_t>(TopStart) + Keep,
+                              kPageSize));
+  if (NewBreak >= Break)
+    return;
+  madvise(NewBreak, static_cast<size_t>(Break - NewBreak), MADV_DONTNEED);
+  Break = NewBreak;
+  Top->set(static_cast<size_t>(Break - TopStart), false);
+}
+
+size_t FreeListAllocator::usableSize(const void *Ptr) const {
+  if (Ptr == nullptr)
+    return 0;
+  return headerOf(Ptr)->size() - kHeaderBytes;
+}
+
+size_t FreeListAllocator::committedBytes() const {
+  // Everything below the break is resident: interior frees never
+  // return pages (the Robson regime this baseline exists to exhibit).
+  return static_cast<size_t>(Break - Base);
+}
+
+} // namespace mesh

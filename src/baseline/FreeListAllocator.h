@@ -1,0 +1,110 @@
+//===- FreeListAllocator.h - glibc-style baseline ----------------*- C++ -*-===//
+///
+/// \file
+/// A classic boundary-tag, segregated first-fit allocator over a
+/// contiguous sbrk-style region — the "glibc malloc" baseline of the
+/// paper's evaluation. It splits and coalesces chunks and trims the
+/// wilderness (top) chunk, but (like all non-compacting allocators,
+/// per Robson) cannot return interior fragmented pages: one live chunk
+/// high in the region pins everything below the break.
+///
+/// Single-threaded by design (the benchmarks drive one heap per
+/// thread); this keeps the baseline honest without replicating glibc's
+/// arena machinery, which is orthogonal to fragmentation behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_BASELINE_FREELISTALLOCATOR_H
+#define MESH_BASELINE_FREELISTALLOCATOR_H
+
+#include "baseline/HeapBackend.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mesh {
+
+class FreeListAllocator final : public HeapBackend {
+public:
+  explicit FreeListAllocator(size_t RegionBytes = size_t{4} << 30);
+  ~FreeListAllocator() override;
+
+  FreeListAllocator(const FreeListAllocator &) = delete;
+  FreeListAllocator &operator=(const FreeListAllocator &) = delete;
+
+  void *malloc(size_t Bytes) override;
+  void free(void *Ptr) override;
+  size_t usableSize(const void *Ptr) const override;
+  size_t committedBytes() const override;
+  size_t peakCommittedBytes() const override { return PeakCommitted; }
+  const char *name() const override { return "glibc-like freelist"; }
+
+  /// Live-payload bytes (for fragmentation-ratio reporting in tests).
+  size_t liveBytes() const { return LivePayload; }
+
+private:
+  // Chunk layout: [Header][payload...]; the header stores the chunk
+  // size with the low bit marking "in use", plus the previous chunk's
+  // size for backward coalescing (boundary tags). The topmost chunk
+  // (the "wilderness") is always free and always ends at the break.
+  struct Header {
+    size_t SizeAndUsed;
+    size_t PrevSize;
+
+    size_t size() const { return SizeAndUsed & ~size_t{1}; }
+    bool used() const { return SizeAndUsed & 1; }
+    void set(size_t Size, bool Used) { SizeAndUsed = Size | (Used ? 1 : 0); }
+  };
+
+  struct FreeNode {
+    FreeNode *Next;
+    FreeNode *Prev;
+  };
+
+  static constexpr size_t kHeaderBytes = sizeof(Header);
+  static constexpr size_t kMinChunk = 64;
+  // glibc-style binning: exact bins at 16-byte granularity for small
+  // chunks (64..1023), power-of-two "large" bins above. Exact bins make
+  // small malloc O(1); without them first-fit degenerates to O(n)
+  // scans under mixed small sizes.
+  static constexpr size_t kSmallLimit = 1024;
+  static constexpr unsigned kNumSmallBins = (kSmallLimit - kMinChunk) / 16;
+  static constexpr unsigned kNumLargeBins = 28;
+  static constexpr unsigned kNumBins = kNumSmallBins + kNumLargeBins;
+
+  static unsigned binFor(size_t Size);
+  Header *headerOf(const void *Payload) const {
+    return reinterpret_cast<Header *>(
+        const_cast<char *>(static_cast<const char *>(Payload)) -
+        kHeaderBytes);
+  }
+  char *payloadOf(Header *H) const {
+    return reinterpret_cast<char *>(H) + kHeaderBytes;
+  }
+  Header *nextChunk(Header *H) const {
+    return reinterpret_cast<Header *>(reinterpret_cast<char *>(H) +
+                                      H->size());
+  }
+  Header *prevChunk(Header *H) const {
+    return reinterpret_cast<Header *>(reinterpret_cast<char *>(H) -
+                                      H->PrevSize);
+  }
+
+  void insertFree(Header *H);
+  void removeFree(Header *H);
+  bool growTop(size_t NeedBytes);
+  void trimTop();
+  void updatePeak();
+
+  char *Base = nullptr;
+  char *Break = nullptr; ///< End of the region in use (== end of Top).
+  size_t RegionBytes = 0;
+  Header *Top = nullptr; ///< Wilderness chunk; free; ends at Break.
+  size_t PeakCommitted = 0;
+  size_t LivePayload = 0;
+  FreeNode *Bins[kNumBins] = {};
+};
+
+} // namespace mesh
+
+#endif // MESH_BASELINE_FREELISTALLOCATOR_H

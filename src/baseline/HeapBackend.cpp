@@ -1,0 +1,9 @@
+//===- HeapBackend.cpp - Common allocator interface --------------------------===//
+
+#include "baseline/HeapBackend.h"
+
+namespace mesh {
+
+// Interface anchor; implementations live in their own files.
+
+} // namespace mesh

@@ -1,0 +1,87 @@
+//===- HeapBackend.h - Common allocator interface ---------------*- C++ -*-===//
+///
+/// \file
+/// The interface the workload substrates and benchmark harnesses drive.
+/// One implementation wraps Mesh (in any of its ablation configs); the
+/// others are the non-compacting baselines standing in for glibc malloc
+/// and jemalloc (see DESIGN.md substitution table). committedBytes() is
+/// each allocator's physical-memory footprint — the quantity the
+/// paper's mstat tool sampled as RSS.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_BASELINE_HEAPBACKEND_H
+#define MESH_BASELINE_HEAPBACKEND_H
+
+#include "core/Options.h"
+#include "core/Runtime.h"
+
+#include <cstddef>
+#include <memory>
+
+namespace mesh {
+
+class HeapBackend {
+public:
+  virtual ~HeapBackend() = default;
+
+  virtual void *malloc(size_t Bytes) = 0;
+  virtual void free(void *Ptr) = 0;
+  virtual size_t usableSize(const void *Ptr) const = 0;
+
+  /// Physical bytes currently held from the OS (the RSS analogue).
+  virtual size_t committedBytes() const = 0;
+  virtual size_t peakCommittedBytes() const = 0;
+
+  virtual const char *name() const = 0;
+
+  /// Periodic maintenance hook, called by workload drivers on their
+  /// sampling cadence (Mesh: rate-limited meshing; baselines: no-op).
+  virtual void tick() {}
+
+  /// Forces a full maintenance cycle (Mesh: immediate meshing pass).
+  virtual void flush() {}
+};
+
+/// Mesh in a chosen configuration behind the backend interface.
+class MeshBackend final : public HeapBackend {
+public:
+  explicit MeshBackend(const MeshOptions &Opts = MeshOptions(),
+                       const char *Label = "Mesh")
+      : Heap(Opts), Label(Label) {}
+
+  void *malloc(size_t Bytes) override { return Heap.malloc(Bytes); }
+  void free(void *Ptr) override { Heap.free(Ptr); }
+  size_t usableSize(const void *Ptr) const override {
+    return Heap.usableSize(Ptr);
+  }
+  size_t committedBytes() const override { return Heap.committedBytes(); }
+  size_t peakCommittedBytes() const override {
+    return pagesToBytes(
+        Heap.global().stats().PeakCommittedPages.load());
+  }
+  const char *name() const override { return Label; }
+  void tick() override { Heap.global().maybeMesh(); }
+  void flush() override {
+    // Full maintenance: rotate this thread's spans to the global heap
+    // and mesh until diminishing returns. Each meshNow() pass is
+    // individually pause-bounded by MeshOptions::MaxMeshesPerPass;
+    // stopping below the effectiveness threshold mirrors the paper's
+    // 1 MB hysteresis (Section 4.5).
+    Heap.localHeap().releaseAll();
+    const size_t Threshold = Heap.global().options().MeshEffectiveBytes;
+    for (int Pass = 0; Pass < 64; ++Pass)
+      if (Heap.meshNow() < Threshold)
+        break;
+  }
+
+  Runtime &runtime() { return Heap; }
+
+private:
+  Runtime Heap;
+  const char *Label;
+};
+
+} // namespace mesh
+
+#endif // MESH_BASELINE_HEAPBACKEND_H

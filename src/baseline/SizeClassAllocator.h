@@ -1,0 +1,63 @@
+//===- SizeClassAllocator.h - jemalloc-style baseline ------------*- C++ -*-===//
+///
+/// \file
+/// A segregated-fit, span-based allocator — the "jemalloc" baseline of
+/// the paper's evaluation. It shares Mesh's size classes and span
+/// geometry (so internal fragmentation is identical) and releases
+/// *empty* spans to the OS, but allocates sequentially within spans and
+/// never compacts: a span with one live object pins all of its pages.
+/// Structurally this is "Mesh (no meshing, no randomization)" built as
+/// independent, simpler code.
+///
+/// Single-threaded by design, like FreeListAllocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_BASELINE_SIZECLASSALLOCATOR_H
+#define MESH_BASELINE_SIZECLASSALLOCATOR_H
+
+#include "baseline/HeapBackend.h"
+#include "core/MeshableArena.h"
+#include "core/MiniHeap.h"
+#include "core/SizeClass.h"
+#include "support/InternalVector.h"
+
+#include <cstddef>
+
+namespace mesh {
+
+class SizeClassAllocator final : public HeapBackend {
+public:
+  explicit SizeClassAllocator(size_t ArenaBytes = size_t{4} << 30,
+                              size_t MaxDirtyBytes = kMaxDirtyBytes);
+  ~SizeClassAllocator() override;
+
+  SizeClassAllocator(const SizeClassAllocator &) = delete;
+  SizeClassAllocator &operator=(const SizeClassAllocator &) = delete;
+
+  void *malloc(size_t Bytes) override;
+  void free(void *Ptr) override;
+  size_t usableSize(const void *Ptr) const override;
+  size_t committedBytes() const override {
+    return pagesToBytes(Arena.committedPages());
+  }
+  size_t peakCommittedBytes() const override {
+    return pagesToBytes(PeakPages);
+  }
+  const char *name() const override { return "jemalloc-like sizeclass"; }
+
+private:
+  void *allocSmall(int Class);
+  void *allocLarge(size_t Bytes);
+  MiniHeap *newSpan(int Class);
+  void releaseSpan(MiniHeap *MH);
+
+  MeshableArena Arena;
+  /// Partially full spans per class (LIFO: most recently used first).
+  InternalVector<MiniHeap *> Partial[kNumSizeClasses];
+  size_t PeakPages = 0;
+};
+
+} // namespace mesh
+
+#endif // MESH_BASELINE_SIZECLASSALLOCATOR_H

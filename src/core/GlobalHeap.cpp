@@ -1,0 +1,367 @@
+//===- GlobalHeap.cpp - Shared heap state and meshing coordinator ----------===//
+
+#include "core/GlobalHeap.h"
+
+#include "core/Mesher.h"
+#include "core/WriteBarrier.h"
+#include "support/InternalHeap.h"
+#include "support/Log.h"
+
+#include <cassert>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace mesh {
+
+namespace {
+
+uint64_t monotonicNs() {
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ULL +
+         static_cast<uint64_t>(Ts.tv_nsec);
+}
+
+uint64_t monotonicMs() { return monotonicNs() / 1000000ULL; }
+
+} // namespace
+
+GlobalHeap::GlobalHeap(const MeshOptions &Options)
+    : Opts(Options), Arena(Options.ArenaBytes, Options.MaxDirtyBytes),
+      Random(Options.Seed) {
+  if (Opts.BarrierEnabled) {
+    WriteBarrier::instance().ensureHandlerInstalled();
+    WriteBarrier::instance().registerArena(Arena.arenaBase(),
+                                           Opts.ArenaBytes);
+  }
+}
+
+GlobalHeap::~GlobalHeap() {
+  // Destroy every surviving MiniHeap so its metadata returns to the
+  // internal heap (which is shared process-wide and outlives us).
+  const size_t Frontier = Arena.frontierPages();
+  for (size_t Page = 0; Page < Frontier; ++Page) {
+    MiniHeap *MH = Arena.ownerOfPage(Page);
+    if (MH == nullptr)
+      continue;
+    for (uint32_t Off : MH->spans())
+      Arena.setOwner(Off, MH->spanPages(), nullptr);
+    InternalHeap::global().deleteObj(MH);
+  }
+  if (Opts.BarrierEnabled)
+    WriteBarrier::instance().unregisterArena(Arena.arenaBase());
+}
+
+void GlobalHeap::insertIntoBinLocked(MiniHeap *MH) {
+  assert(!MH->isInBin() && "double bin insertion");
+  const uint32_t InUse = MH->inUseCount();
+  assert(InUse > 0 && InUse < MH->objectCount() &&
+         "only partially full spans are binned");
+  const int Bin = occupancyBin(InUse, MH->objectCount());
+  auto &B = Bins[MH->sizeClass()][Bin];
+  MH->setBin(static_cast<int8_t>(Bin), static_cast<uint32_t>(B.size()));
+  B.push_back(MH);
+}
+
+void GlobalHeap::removeFromBinLocked(MiniHeap *MH) {
+  if (!MH->isInBin())
+    return;
+  auto &B = Bins[MH->sizeClass()][MH->binIndex()];
+  const uint32_t Slot = MH->binSlot();
+  assert(Slot < B.size() && B[Slot] == MH && "bin bookkeeping corrupt");
+  B[Slot] = B.back();
+  B[Slot]->setBin(MH->binIndex(), Slot);
+  B.pop_back();
+  MH->clearBin();
+}
+
+void GlobalHeap::rebinOrDestroyLocked(MiniHeap *MH) {
+  removeFromBinLocked(MH);
+  const uint32_t InUse = MH->inUseCount();
+  if (InUse == 0) {
+    destroyMiniHeapLocked(MH);
+    return;
+  }
+  if (InUse < MH->objectCount())
+    insertIntoBinLocked(MH);
+  // Full spans float unbinned; the page table still references them and
+  // the next free re-bins them.
+}
+
+void GlobalHeap::destroyMiniHeapLocked(MiniHeap *MH) {
+  assert(MH->isEmpty() && "destroying a MiniHeap with live objects");
+  assert(!MH->isInBin() && "destroying a binned MiniHeap");
+  const uint32_t Pages = MH->spanPages();
+  const auto &Spans = MH->spans();
+  for (uint32_t I = 0; I < Spans.size(); ++I)
+    Arena.setOwner(Spans[I], Pages, nullptr);
+  // Span 0 is the identity-mapped physical span; later entries are
+  // virtual spans meshed onto it whose own file pages are already
+  // holes.
+  if (MH->isLargeAlloc() || !MH->isMeshable())
+    Arena.freeReleasedSpan(Spans[0], Pages);
+  else
+    Arena.freeDirtySpan(Spans[0], Pages);
+  for (uint32_t I = 1; I < Spans.size(); ++I)
+    Arena.freeAliasSpan(Spans[I], Pages);
+  InternalHeap::global().deleteObj(MH);
+}
+
+MiniHeap *GlobalHeap::allocMiniHeapForClass(int SizeClass) {
+  assert(SizeClass >= 0 && SizeClass < kNumSizeClasses &&
+         "size class out of range");
+  std::lock_guard<SpinLock> Guard(Lock);
+  // Scan bins by decreasing occupancy and choose a random span from the
+  // first non-empty bin (Section 3.1): maximizes utilization while
+  // preserving the randomness the analysis relies on.
+  for (int Bin = kOccupancyBins - 1; Bin >= 0; --Bin) {
+    auto &B = Bins[SizeClass][Bin];
+    if (B.empty())
+      continue;
+    const uint32_t Idx =
+        Random.inRange(0, static_cast<uint32_t>(B.size()) - 1);
+    MiniHeap *MH = B[Idx];
+    removeFromBinLocked(MH);
+    MH->setAttached(true);
+    return MH;
+  }
+  // No partially full span: carve a fresh one out of the arena.
+  const SizeClassInfo &Info = sizeClassInfo(SizeClass);
+  bool IsClean = false;
+  const uint32_t Off = Arena.allocSpan(Info.SpanPages, &IsClean);
+  auto *MH = InternalHeap::global().makeNew<MiniHeap>(
+      Off, Info.SpanPages, Info.ObjectSize, Info.ObjectCount,
+      static_cast<int8_t>(SizeClass), Info.Meshable);
+  Arena.setOwner(Off, Info.SpanPages, MH);
+  MH->setAttached(true);
+  Stats.updatePeak(Arena.committedPages());
+  return MH;
+}
+
+void GlobalHeap::releaseMiniHeap(MiniHeap *MH) {
+  if (MH == nullptr)
+    return;
+  std::lock_guard<SpinLock> Guard(Lock);
+  MH->setAttached(false);
+  rebinOrDestroyLocked(MH);
+}
+
+void *GlobalHeap::largeAlloc(size_t Bytes) {
+  const size_t Pages = bytesToPages(Bytes == 0 ? 1 : Bytes);
+  std::lock_guard<SpinLock> Guard(Lock);
+  bool IsClean = false;
+  const uint32_t Off = Arena.allocSpan(static_cast<uint32_t>(Pages),
+                                       &IsClean);
+  auto *MH = InternalHeap::global().makeNew<MiniHeap>(
+      Off, static_cast<uint32_t>(Pages), Bytes);
+  Arena.setOwner(Off, static_cast<uint32_t>(Pages), MH);
+  Stats.updatePeak(Arena.committedPages());
+  return Arena.arenaBase() + pagesToBytes(Off);
+}
+
+void GlobalHeap::free(void *Ptr) {
+  if (Ptr == nullptr)
+    return;
+  if (!Arena.contains(Ptr)) {
+    logWarning("ignoring free of non-heap pointer %p", Ptr);
+    return;
+  }
+  std::lock_guard<SpinLock> Guard(Lock);
+  // Look the owner up under the lock: a concurrent mesh may retarget
+  // the page-table entry.
+  MiniHeap *MH = Arena.ownerOf(Ptr);
+  if (MH == nullptr) {
+    logWarning("ignoring free of unallocated pointer %p", Ptr);
+    return;
+  }
+  freeLocked(MH, Ptr);
+  maybeMeshLocked();
+}
+
+void GlobalHeap::freeLocked(MiniHeap *MH, void *Ptr) {
+  if (!MH->isAligned(Ptr, Arena.arenaBase())) {
+    logWarning("ignoring free of interior pointer %p", Ptr);
+    return;
+  }
+  const uint32_t Off = MH->offsetOf(Ptr, Arena.arenaBase());
+  if (!MH->bitmap().unset(Off)) {
+    logWarning("ignoring double free of %p", Ptr);
+    return;
+  }
+  FreedSinceLastMesh = true;
+  if (MH->isLargeAlloc()) {
+    destroyMiniHeapLocked(MH);
+    return;
+  }
+  if (!MH->isAttached())
+    rebinOrDestroyLocked(MH);
+  // Attached MiniHeaps stay with their owner thread; the cleared bit is
+  // picked up at the next attach (Section 4.4.4).
+}
+
+size_t GlobalHeap::usableSize(const void *Ptr) const {
+  const MiniHeap *MH = Arena.ownerOf(Ptr);
+  if (MH == nullptr)
+    return 0;
+  return MH->isLargeAlloc() ? MH->spanBytes() : MH->objectSize();
+}
+
+size_t GlobalHeap::meshNow() {
+  // The ablation switch wins even over explicit requests: a "Mesh (no
+  // meshing)" heap must never compact (Section 6.3).
+  if (!Opts.MeshingEnabled)
+    return 0;
+  std::lock_guard<SpinLock> Guard(Lock);
+  return performMeshingLocked();
+}
+
+void GlobalHeap::maybeMesh() {
+  if (!Opts.MeshingEnabled)
+    return;
+  std::lock_guard<SpinLock> Guard(Lock);
+  maybeMeshLocked();
+}
+
+void GlobalHeap::maybeMeshLocked() {
+  if (!Opts.MeshingEnabled || InMeshPass)
+    return;
+  const uint64_t Now = monotonicMs();
+  if (Now - LastMeshMs < Opts.MeshPeriodMs)
+    return;
+  // Hysteresis (Section 4.5): after an ineffective pass, wait for
+  // another global free before re-arming.
+  if (LastMeshReleased < Opts.MeshEffectiveBytes && !FreedSinceLastMesh)
+    return;
+  performMeshingLocked();
+}
+
+size_t GlobalHeap::flushDirtyPages() {
+  std::lock_guard<SpinLock> Guard(Lock);
+  return pagesToBytes(Arena.flushDirty());
+}
+
+size_t GlobalHeap::binnedCount(int SizeClass) const {
+  std::lock_guard<SpinLock> Guard(Lock);
+  size_t Count = 0;
+  for (int Bin = 0; Bin < kOccupancyBins; ++Bin)
+    Count += Bins[SizeClass][Bin].size();
+  return Count;
+}
+
+size_t GlobalHeap::performMeshingLocked() {
+  InMeshPass = true;
+  const uint64_t Start = monotonicNs();
+  size_t PagesReleased = 0;
+  uint32_t MeshedThisPass = 0;
+
+  InternalVector<MiniHeap *> Candidates;
+  InternalVector<MeshPair> Pairs;
+  for (int Class = 0; Class < kNumSizeClasses; ++Class) {
+    if (!sizeClassInfo(Class).Meshable)
+      continue;
+    Candidates.clear();
+    // Only spans at <= 50% occupancy can possibly mesh: two spans each
+    // more than half full must collide on some offset (pigeonhole), so
+    // probing them is pure waste.
+    for (int Bin = 0; Bin < kOccupancyBins; ++Bin)
+      for (MiniHeap *MH : Bins[Class][Bin])
+        if (2 * MH->inUseCount() <= MH->objectCount() &&
+            MH->isMeshingCandidate())
+          Candidates.push_back(MH);
+    if (Candidates.size() < 2)
+      continue;
+    Pairs.clear();
+    uint64_t Probes = 0;
+    splitMesher(Candidates, Opts.MeshProbes, Random, Pairs, &Probes);
+    Stats.MeshProbeCount.fetch_add(Probes, std::memory_order_relaxed);
+    for (auto &[A, B] : Pairs) {
+      if (Opts.MaxMeshesPerPass != 0 &&
+          MeshedThisPass >= Opts.MaxMeshesPerPass)
+        break; // Pause bound: the next pass re-finds leftover pairs.
+      // Keep the fuller span so fewer objects move.
+      MiniHeap *Dst = A->inUseCount() >= B->inUseCount() ? A : B;
+      MiniHeap *Src = Dst == A ? B : A;
+      PagesReleased += meshPairLocked(Dst, Src);
+      ++MeshedThisPass;
+    }
+    if (Opts.MaxMeshesPerPass != 0 &&
+        MeshedThisPass >= Opts.MaxMeshesPerPass)
+      break;
+  }
+
+  // Section 4.4.1: pages return to the OS after the dirty budget fills
+  // *or whenever meshing is invoked* — a pass is already paying for
+  // page-table work, so piggyback the dirty-page flush.
+  Arena.flushDirty();
+
+  const uint64_t Elapsed = monotonicNs() - Start;
+  Stats.recordPass(Elapsed);
+  LastMeshMs = monotonicMs();
+  LastMeshReleased = pagesToBytes(PagesReleased);
+  FreedSinceLastMesh = false;
+  InMeshPass = false;
+  return pagesToBytes(PagesReleased);
+}
+
+size_t GlobalHeap::meshPairLocked(MiniHeap *Dst, MiniHeap *Src) {
+  assert(canMeshPair(Dst, Src) && "meshing an unmeshable pair");
+  char *Base = Arena.arenaBase();
+  const uint32_t Pages = Src->spanPages();
+  const size_t ObjSize = Src->objectSize();
+  WriteBarrier &Barrier = WriteBarrier::instance();
+
+  // 1. Write barrier: mark every virtual span of the source read-only
+  //    so no thread mutates objects while they are being relocated.
+  if (Opts.BarrierEnabled) {
+    Barrier.beginEpoch();
+    for (uint32_t Off : Src->spans()) {
+      Barrier.addProtectedRange(Base + pagesToBytes(Off),
+                                pagesToBytes(Pages));
+      Arena.vm().protect(Off, Pages, /*ReadOnly=*/true);
+    }
+  }
+
+  // 2. Consolidate: copy live source objects into the keeper's holes.
+  //    Offsets are preserved, so virtual addresses never change.
+  size_t Copied = 0;
+  Src->bitmap().forEachSet([&](uint32_t Off) {
+    memcpy(Dst->ptrForOffset(Off, Base), Src->ptrForOffset(Off, Base),
+           ObjSize);
+    Copied += ObjSize;
+  });
+  Dst->bitmap().mergeFrom(Src->bitmap());
+
+  // 3. Retarget page-table entries so frees of source-span pointers
+  //    find the keeper.
+  for (uint32_t Off : Src->spans())
+    Arena.setOwner(Off, Pages, Dst);
+
+  // 4. Remap every source virtual span onto the keeper's physical span
+  //    (atomic per-span; concurrent readers are never interrupted),
+  //    then release the source's physical pages to the OS.
+  const uint32_t SrcPhys = Src->physicalSpanOffset();
+  for (uint32_t Off : Src->spans())
+    Arena.vm().alias(Off, Dst->physicalSpanOffset(), Pages);
+  Arena.vm().release(SrcPhys, Pages);
+
+  // 5. Bookkeeping: the keeper absorbs the source's virtual spans and
+  //    moves to its new occupancy bin; the source MiniHeap dies.
+  removeFromBinLocked(Src);
+  removeFromBinLocked(Dst);
+  Dst->takeSpansFrom(*Src);
+  const uint32_t InUse = Dst->inUseCount();
+  if (InUse > 0 && InUse < Dst->objectCount())
+    insertIntoBinLocked(Dst);
+  InternalHeap::global().deleteObj(Src);
+
+  if (Opts.BarrierEnabled)
+    Barrier.endEpoch();
+
+  Stats.MeshCount.fetch_add(1, std::memory_order_relaxed);
+  Stats.PagesMeshed.fetch_add(Pages, std::memory_order_relaxed);
+  Stats.BytesCopied.fetch_add(Copied, std::memory_order_relaxed);
+  return Pages;
+}
+
+} // namespace mesh

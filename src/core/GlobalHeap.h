@@ -1,0 +1,141 @@
+//===- GlobalHeap.h - Shared heap state and meshing coordinator -*- C++ -*-===//
+///
+/// \file
+/// The global heap (paper Section 4.4): allocates MiniHeaps for
+/// thread-local heaps from occupancy-ordered bins, serves large-object
+/// allocations via singleton MiniHeaps, performs non-local frees, and
+/// coordinates meshing.
+///
+/// Locking discipline: one spin lock guards all structural state (bins,
+/// span bins, page-table writes, MiniHeap lifetime). The paper performs
+/// non-local frees with only atomic bitmap updates; we take the lock on
+/// the global free path as well, which closes the race between a remote
+/// free and a concurrent mesh consolidating the same span at the cost
+/// of some contention (local frees — the common case — remain
+/// lock-free). DESIGN.md discusses the trade-off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_CORE_GLOBALHEAP_H
+#define MESH_CORE_GLOBALHEAP_H
+
+#include "core/MeshStats.h"
+#include "core/MeshableArena.h"
+#include "core/MiniHeap.h"
+#include "core/Options.h"
+#include "core/SizeClass.h"
+#include "support/InternalVector.h"
+#include "support/Rng.h"
+#include "support/SpinLock.h"
+
+#include <cstddef>
+
+namespace mesh {
+
+class GlobalHeap {
+public:
+  explicit GlobalHeap(const MeshOptions &Opts);
+  ~GlobalHeap();
+
+  GlobalHeap(const GlobalHeap &) = delete;
+  GlobalHeap &operator=(const GlobalHeap &) = delete;
+
+  char *arenaBase() const { return Arena.arenaBase(); }
+  bool contains(const void *Ptr) const { return Arena.contains(Ptr); }
+  const MeshOptions &options() const { return Opts; }
+
+  /// Selects (or creates) a MiniHeap for \p SizeClass and marks it
+  /// attached. Partially full spans are reused first: the fullest
+  /// non-empty occupancy bin is scanned and a random member chosen
+  /// (Section 3.1).
+  MiniHeap *allocMiniHeapForClass(int SizeClass);
+
+  /// Returns a MiniHeap previously attached by a thread-local heap
+  /// (whose shuffle vector has already surrendered its cached offsets).
+  /// Re-bins it, or destroys it when empty.
+  void releaseMiniHeap(MiniHeap *MH);
+
+  /// Large-object allocation (> 16 KiB): rounds up to whole pages and
+  /// tracks the span with a singleton MiniHeap (Section 4.4.3).
+  void *largeAlloc(size_t Bytes);
+
+  /// Non-local free (Section 4.4.4): constant-time owner lookup, then
+  /// bitmap update and bin/lifetime maintenance under the lock. Invalid
+  /// and double frees are detected and discarded with a warning.
+  void free(void *Ptr);
+
+  /// Usable size of \p Ptr (its size-class size, or the whole span for
+  /// large objects); 0 when \p Ptr is not a live Mesh pointer.
+  size_t usableSize(const void *Ptr) const;
+
+  /// Owning MiniHeap, or nullptr (lock-free page-table read).
+  MiniHeap *miniheapFor(const void *Ptr) const { return Arena.ownerOf(Ptr); }
+
+  /// Runs a meshing pass immediately, ignoring the rate limiter.
+  /// \returns bytes of physical memory released.
+  size_t meshNow();
+
+  /// Rate-limited meshing trigger (Section 4.5), called on global
+  /// frees.
+  void maybeMesh();
+
+  /// Flushes dirty spans back to the OS (also happens automatically
+  /// past the dirty budget).
+  size_t flushDirtyPages();
+
+  size_t committedBytes() const {
+    return pagesToBytes(Arena.committedPages());
+  }
+  size_t dirtyBytes() const { return pagesToBytes(Arena.dirtyPages()); }
+
+  MeshStats &stats() { return Stats; }
+  const MeshStats &stats() const { return Stats; }
+
+  /// Runtime controls (mallctl surface).
+  void setMeshingEnabled(bool Enabled) { Opts.MeshingEnabled = Enabled; }
+  void setMeshPeriodMs(uint64_t Ms) { Opts.MeshPeriodMs = Ms; }
+  void setMeshProbes(uint32_t T) { Opts.MeshProbes = T; }
+  void setMaxMeshesPerPass(uint32_t Max) { Opts.MaxMeshesPerPass = Max; }
+  bool randomized() const { return Opts.Randomized; }
+
+  /// Test hook: number of detached, partially-full MiniHeaps currently
+  /// binned for \p SizeClass.
+  size_t binnedCount(int SizeClass) const;
+
+private:
+  static constexpr int kOccupancyBins = 4;
+
+  static int occupancyBin(uint32_t InUse, uint32_t Count) {
+    // Bin 3 holds (75%, 100%), bin 0 holds (0%, 25%]; full and empty
+    // spans are never binned.
+    const int Bin = static_cast<int>(
+        (static_cast<uint64_t>(InUse) * kOccupancyBins) / Count);
+    return Bin >= kOccupancyBins ? kOccupancyBins - 1 : Bin;
+  }
+
+  void insertIntoBinLocked(MiniHeap *MH);
+  void removeFromBinLocked(MiniHeap *MH);
+  void rebinOrDestroyLocked(MiniHeap *MH);
+  void destroyMiniHeapLocked(MiniHeap *MH);
+  void freeLocked(MiniHeap *MH, void *Ptr);
+  size_t performMeshingLocked();
+  size_t meshPairLocked(MiniHeap *Dst, MiniHeap *Src);
+  void maybeMeshLocked();
+
+  MeshOptions Opts;
+  MeshableArena Arena;
+  MeshStats Stats;
+  mutable SpinLock Lock;
+  Rng Random;
+
+  InternalVector<MiniHeap *> Bins[kNumSizeClasses][kOccupancyBins];
+
+  uint64_t LastMeshMs = 0;
+  size_t LastMeshReleased = 0;
+  bool FreedSinceLastMesh = false;
+  bool InMeshPass = false;
+};
+
+} // namespace mesh
+
+#endif // MESH_CORE_GLOBALHEAP_H

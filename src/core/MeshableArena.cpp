@@ -1,0 +1,137 @@
+//===- MeshableArena.cpp - Span allocation over the arena ------------------===//
+
+#include "core/MeshableArena.h"
+
+#include "support/Log.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <sys/mman.h>
+
+namespace mesh {
+
+MeshableArena::MeshableArena(size_t ArenaBytes, size_t MaxDirty)
+    : Arena(ArenaBytes), MaxDirtyBytes(MaxDirty) {
+  PageTableBytes =
+      roundUpPow2Multiple(Arena.arenaPages() * sizeof(PageTable[0]),
+                          kPageSize);
+  void *Mem = mmap(nullptr, PageTableBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (Mem == MAP_FAILED)
+    fatalError("page table mmap failed: %s", strerror(errno));
+  PageTable = static_cast<std::atomic<MiniHeap *> *>(Mem);
+}
+
+MeshableArena::~MeshableArena() {
+  if (PageTable != nullptr)
+    munmap(PageTable, PageTableBytes);
+}
+
+int MeshableArena::binForPages(uint32_t Pages) {
+  if (!isPowerOfTwo(Pages) || Pages > 32)
+    return -1;
+  return static_cast<int>(log2Floor(Pages));
+}
+
+uint32_t MeshableArena::allocSpan(uint32_t Pages, bool *IsClean) {
+  assert(Pages > 0 && "zero-length span request");
+  const int Bin = binForPages(Pages);
+  if (Bin >= 0) {
+    // Prefer dirty spans: their pages are already committed, so reuse
+    // costs nothing (Section 4.4.1: used pages are likely needed soon).
+    if (!DirtyBins[Bin].empty()) {
+      const uint32_t Off = DirtyBins[Bin].back();
+      DirtyBins[Bin].pop_back();
+      DirtyPageCount -= Pages;
+      *IsClean = false;
+      return Off;
+    }
+    if (!CleanBins[Bin].empty()) {
+      const uint32_t Off = CleanBins[Bin].back();
+      CleanBins[Bin].pop_back();
+      Arena.commit(Off, Pages);
+      *IsClean = true;
+      return Off;
+    }
+  } else {
+    // Large-object span lengths: exact-fit from recycled spans.
+    for (size_t I = 0; I < OddCleanSpans.size(); ++I) {
+      if (OddCleanSpans[I].Pages == Pages) {
+        const uint32_t Off = OddCleanSpans[I].PageOff;
+        OddCleanSpans[I] = OddCleanSpans.back();
+        OddCleanSpans.pop_back();
+        Arena.commit(Off, Pages);
+        *IsClean = true;
+        return Off;
+      }
+    }
+  }
+  // Extend the bump frontier.
+  if (HighWaterPage + Pages > Arena.arenaPages())
+    fatalError("arena exhausted: %zu pages requested past %zu-page arena",
+               static_cast<size_t>(Pages), Arena.arenaPages());
+  const uint32_t Off = static_cast<uint32_t>(HighWaterPage);
+  HighWaterPage += Pages;
+  Arena.commit(Off, Pages);
+  *IsClean = true;
+  return Off;
+}
+
+void MeshableArena::freeDirtySpan(uint32_t PageOff, uint32_t Pages) {
+  const int Bin = binForPages(Pages);
+  if (Bin < 0) {
+    // Odd-length spans are always released eagerly.
+    freeReleasedSpan(PageOff, Pages);
+    return;
+  }
+  DirtyBins[Bin].push_back(PageOff);
+  DirtyPageCount += Pages;
+  if (pagesToBytes(DirtyPageCount) > MaxDirtyBytes)
+    flushDirty();
+}
+
+void MeshableArena::freeReleasedSpan(uint32_t PageOff, uint32_t Pages) {
+  Arena.release(PageOff, Pages);
+  const int Bin = binForPages(Pages);
+  if (Bin >= 0)
+    CleanBins[Bin].push_back(PageOff);
+  else
+    OddCleanSpans.push_back(Span{PageOff, Pages});
+}
+
+void MeshableArena::freeAliasSpan(uint32_t PageOff, uint32_t Pages) {
+  // The span's own file pages were punched when it was meshed away;
+  // restoring the identity mapping yields a demand-zero span.
+  Arena.resetMapping(PageOff, Pages);
+  const int Bin = binForPages(Pages);
+  if (Bin >= 0)
+    CleanBins[Bin].push_back(PageOff);
+  else
+    OddCleanSpans.push_back(Span{PageOff, Pages});
+}
+
+size_t MeshableArena::flushDirty() {
+  size_t Released = 0;
+  for (uint32_t Bin = 0; Bin < kNumLenBins; ++Bin) {
+    const uint32_t Pages = 1u << Bin;
+    for (uint32_t Off : DirtyBins[Bin]) {
+      Arena.release(Off, Pages);
+      CleanBins[Bin].push_back(Off);
+      Released += Pages;
+    }
+    DirtyBins[Bin].clear();
+  }
+  assert(Released == DirtyPageCount && "dirty accounting out of sync");
+  DirtyPageCount = 0;
+  return Released;
+}
+
+void MeshableArena::setOwner(uint32_t PageOff, uint32_t Pages,
+                             MiniHeap *Owner) {
+  for (uint32_t I = 0; I < Pages; ++I)
+    PageTable[PageOff + I].store(Owner, std::memory_order_release);
+}
+
+} // namespace mesh

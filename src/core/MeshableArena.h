@@ -1,0 +1,114 @@
+//===- MeshableArena.h - Span allocation over the arena ---------*- C++ -*-===//
+///
+/// \file
+/// The meshable arena from paper Section 4.4.1: the global heap's
+/// source of spans. It keeps two sets of bins for same-length spans —
+/// one for demand-zeroed ("clean") spans whose file pages are holes,
+/// and one for recently used ("dirty") spans that still hold physical
+/// pages — plus the mapping from arena page offsets to owning MiniHeap
+/// pointers used for constant-time pointer lookup (Section 4.4.4).
+///
+/// Used pages are not returned to the OS immediately (reclamation is
+/// expensive and reuse is likely); only after kMaxDirtyBytes of dirty
+/// pages accumulate, or when meshing releases a span, does the arena
+/// punch holes in the backing file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_CORE_MESHABLEARENA_H
+#define MESH_CORE_MESHABLEARENA_H
+
+#include "arena/MemfdArena.h"
+#include "support/Common.h"
+#include "support/InternalVector.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace mesh {
+
+class MiniHeap;
+
+/// Span allocator and page-ownership table. Not internally
+/// synchronized: every mutating call happens under the global heap
+/// lock. Page-table reads are atomic so the free fast path may consult
+/// them without the lock.
+class MeshableArena {
+public:
+  explicit MeshableArena(size_t ArenaBytes, size_t MaxDirtyBytes);
+  ~MeshableArena();
+
+  MeshableArena(const MeshableArena &) = delete;
+  MeshableArena &operator=(const MeshableArena &) = delete;
+
+  MemfdArena &vm() { return Arena; }
+  char *arenaBase() const { return Arena.base(); }
+  bool contains(const void *Ptr) const { return Arena.contains(Ptr); }
+
+  /// Allocates a span of \p Pages pages. Sets \p IsClean true when the
+  /// span is known demand-zero (fresh or previously punched); dirty
+  /// spans may contain stale bytes and callers must not assume zero.
+  uint32_t allocSpan(uint32_t Pages, bool *IsClean);
+
+  /// Returns a span whose physical pages are still live to the dirty
+  /// bins; flushes dirty pages to the OS past the configured budget.
+  void freeDirtySpan(uint32_t PageOff, uint32_t Pages);
+
+  /// Punches the span's pages immediately (used for large objects,
+  /// paper Section 4: "the pages are directly freed to the OS").
+  void freeReleasedSpan(uint32_t PageOff, uint32_t Pages);
+
+  /// Recycles a virtual span that had been meshed onto another span:
+  /// restores its identity mapping (its own file pages are holes) and
+  /// makes it available as a clean span.
+  void freeAliasSpan(uint32_t PageOff, uint32_t Pages);
+
+  /// Punches every dirty span now. Returns pages released.
+  size_t flushDirty();
+
+  /// Page-table maintenance: records \p Owner for all \p Pages pages
+  /// starting at \p PageOff (nullptr clears).
+  void setOwner(uint32_t PageOff, uint32_t Pages, MiniHeap *Owner);
+
+  /// Constant-time lookup of the MiniHeap owning \p Ptr, or nullptr.
+  MiniHeap *ownerOf(const void *Ptr) const {
+    if (!Arena.contains(Ptr))
+      return nullptr;
+    return PageTable[Arena.pageForPtr(Ptr)].load(std::memory_order_acquire);
+  }
+
+  MiniHeap *ownerOfPage(size_t PageOff) const {
+    return PageTable[PageOff].load(std::memory_order_acquire);
+  }
+
+  /// Pages currently backed by physical memory (the RSS analogue).
+  size_t committedPages() const { return Arena.committedPages(); }
+  size_t dirtyPages() const { return DirtyPageCount; }
+  /// High-water mark of the bump frontier, in pages.
+  size_t frontierPages() const { return HighWaterPage; }
+
+private:
+  static constexpr uint32_t kNumLenBins = 6; // lengths 1,2,4,8,16,32
+  static int binForPages(uint32_t Pages);
+
+  MemfdArena Arena;
+  std::atomic<MiniHeap *> *PageTable = nullptr;
+  size_t PageTableBytes = 0;
+
+  struct Span {
+    uint32_t PageOff;
+    uint32_t Pages;
+  };
+
+  InternalVector<uint32_t> CleanBins[kNumLenBins];
+  InternalVector<uint32_t> DirtyBins[kNumLenBins];
+  InternalVector<Span> OddCleanSpans;
+
+  size_t MaxDirtyBytes;
+  size_t DirtyPageCount = 0;
+  size_t HighWaterPage = 0;
+};
+
+} // namespace mesh
+
+#endif // MESH_CORE_MESHABLEARENA_H

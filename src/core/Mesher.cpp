@@ -1,0 +1,74 @@
+//===- Mesher.cpp - SplitMesher pair finding --------------------------------===//
+
+#include "core/Mesher.h"
+
+namespace mesh {
+
+bool canMeshPair(const MiniHeap *A, const MiniHeap *B) {
+  if (A == B || A == nullptr || B == nullptr)
+    return false;
+  if (A->sizeClass() != B->sizeClass())
+    return false;
+  if (!A->isMeshingCandidate() || !B->isMeshingCandidate())
+    return false;
+  if (A->spans().size() + B->spans().size() > kMaxMeshes)
+    return false;
+  return A->bitmap().isMeshableWith(B->bitmap());
+}
+
+void splitMesher(InternalVector<MiniHeap *> &Candidates, uint32_t T,
+                 Rng &Random, InternalVector<MeshPair> &Pairs,
+                 uint64_t *ProbeCount) {
+  uint64_t Probes = 0;
+  const size_t N = Candidates.size();
+  if (N < 2) {
+    if (ProbeCount != nullptr)
+      *ProbeCount = 0;
+    return;
+  }
+
+  shuffleVectorContents(Candidates, Random);
+
+  // Split into halves Sl = [0, Half), Sr = [Half, N). Meshed spans are
+  // nulled out and compacted between rounds; the paper's pseudocode
+  // removes them from the lists directly.
+  const size_t Half = N / 2;
+  InternalVector<MiniHeap *> Left(Candidates.begin(),
+                                  Candidates.begin() + Half);
+  InternalVector<MiniHeap *> Right(Candidates.begin() + Half,
+                                   Candidates.end());
+
+  auto Compact = [](InternalVector<MiniHeap *> &V) {
+    size_t Out = 0;
+    for (size_t In = 0; In < V.size(); ++In)
+      if (V[In] != nullptr)
+        V[Out++] = V[In];
+    V.resize(Out);
+  };
+
+  for (uint32_t Round = 0; Round < T; ++Round) {
+    Compact(Left);
+    Compact(Right);
+    if (Left.empty() || Right.empty())
+      break;
+    const size_t Len = Left.size();
+    for (size_t J = 0; J < Len; ++J) {
+      if (Left[J] == nullptr)
+        continue;
+      const size_t K = (J + Round) % Right.size();
+      if (Right[K] == nullptr)
+        continue;
+      ++Probes;
+      if (!canMeshPair(Left[J], Right[K]))
+        continue;
+      Pairs.push_back(MeshPair{Left[J], Right[K]});
+      Left[J] = nullptr;
+      Right[K] = nullptr;
+    }
+  }
+
+  if (ProbeCount != nullptr)
+    *ProbeCount = Probes;
+}
+
+} // namespace mesh

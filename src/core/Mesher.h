@@ -1,0 +1,55 @@
+//===- Mesher.h - SplitMesher pair finding ----------------------*- C++ -*-===//
+///
+/// \file
+/// The SplitMesher algorithm (paper Figure 2 / Section 3.3): shuffle
+/// the candidate spans, split the list into halves, and probe pairs
+/// between the halves for meshability, rotating the right half by one
+/// position per round for up to t rounds. Finds, with high probability,
+/// a matching within a factor ~1/2 of optimal in O(n/q) time
+/// (Lemma 5.3), without ever materializing the meshing graph.
+///
+/// Pair *finding* is pure (no heap mutation), so it is exposed here as
+/// a standalone function testable against the exact matching algorithms
+/// in src/analysis. Pair *execution* lives in GlobalHeap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_CORE_MESHER_H
+#define MESH_CORE_MESHER_H
+
+#include "core/MiniHeap.h"
+#include "support/InternalVector.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <utility>
+
+namespace mesh {
+
+using MeshPair = std::pair<MiniHeap *, MiniHeap *>;
+
+/// True iff the two MiniHeaps can be meshed right now: same size class,
+/// disjoint allocation bitmaps (Definition 5.1), both meshing
+/// candidates, and their combined virtual-span count within kMaxMeshes.
+bool canMeshPair(const MiniHeap *A, const MiniHeap *B);
+
+/// Runs SplitMesher over \p Candidates with probe budget \p T,
+/// appending disjoint meshable pairs to \p Pairs. \p Candidates is
+/// shuffled in place. If \p ProbeCount is non-null it receives the
+/// number of meshability tests performed (bounded by T * n/2).
+void splitMesher(InternalVector<MiniHeap *> &Candidates, uint32_t T,
+                 Rng &Random, InternalVector<MeshPair> &Pairs,
+                 uint64_t *ProbeCount = nullptr);
+
+/// Fisher-Yates shuffle of an InternalVector (exposed for reuse).
+template <typename T>
+void shuffleVectorContents(InternalVector<T> &V, Rng &Random) {
+  for (size_t I = V.size(); I > 1; --I) {
+    const size_t J = Random.inRange(0, static_cast<uint32_t>(I - 1));
+    std::swap(V[I - 1], V[J]);
+  }
+}
+
+} // namespace mesh
+
+#endif // MESH_CORE_MESHER_H

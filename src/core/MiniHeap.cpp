@@ -1,0 +1,13 @@
+//===- MiniHeap.cpp - Span metadata ----------------------------------------===//
+
+#include "core/MiniHeap.h"
+
+namespace mesh {
+
+// MiniHeap is header-only; this file anchors the translation unit and
+// hosts compile-time checks on its footprint. MiniHeaps are allocated
+// from the internal heap per live span, so size matters.
+static_assert(sizeof(MiniHeap) <= 128,
+              "MiniHeap metadata should stay within two cache lines");
+
+} // namespace mesh

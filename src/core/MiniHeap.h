@@ -1,0 +1,190 @@
+//===- MiniHeap.h - Span metadata -------------------------------*- C++ -*-===//
+///
+/// \file
+/// MiniHeaps (paper Section 4.1) track occupancy and metadata for
+/// spans. A MiniHeap owns one *physical* span (a run of contiguous
+/// pages in the arena file) and one or more *virtual* spans that map to
+/// it — exactly one before any meshing, more afterwards. It records the
+/// object size, the span length, the atomic allocation bitmap, and
+/// whether the MiniHeap is currently attached to a thread-local heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_CORE_MINIHEAP_H
+#define MESH_CORE_MINIHEAP_H
+
+#include "support/Bitmap.h"
+#include "support/Common.h"
+#include "support/StaticVector.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace mesh {
+
+/// Metadata for one span (or one large allocation).
+///
+/// Life cycle: created by the global heap when a fresh span is carved
+/// out of the arena; repeatedly attached to thread-local heaps and
+/// detached back to the global heap's occupancy bins; possibly merged
+/// into another MiniHeap by meshing (the victim's MiniHeap dies, its
+/// virtual spans transfer to the keeper); destroyed when its last
+/// object is freed while detached.
+class MiniHeap {
+public:
+  /// Size-class span constructor.
+  MiniHeap(uint32_t SpanPageOff, uint32_t SpanPages, uint32_t ObjSize,
+           uint32_t ObjCount, int8_t SizeClass, bool Meshable)
+      : Bits(ObjCount), ObjectSize(ObjSize), SpanPageCount(SpanPages),
+        ObjectCount(ObjCount), SizeClassIndex(SizeClass),
+        MeshableFlag(Meshable) {
+    VirtualSpans.push_back(SpanPageOff);
+  }
+
+  /// Large-object ("singleton MiniHeap", Section 4.4.2) constructor:
+  /// one object covering the whole span. \p RequestedBytes is the
+  /// original malloc argument, kept for realloc/usable-size semantics.
+  MiniHeap(uint32_t SpanPageOff, uint32_t SpanPages, size_t RequestedBytes)
+      : Bits(1), ObjectSize(pagesToBytes(SpanPages)),
+        SpanPageCount(SpanPages), ObjectCount(1), SizeClassIndex(-1),
+        MeshableFlag(false) {
+    (void)RequestedBytes;
+    VirtualSpans.push_back(SpanPageOff);
+    Bits.tryToSet(0);
+  }
+
+  MiniHeap(const MiniHeap &) = delete;
+  MiniHeap &operator=(const MiniHeap &) = delete;
+
+  Bitmap &bitmap() { return Bits; }
+  const Bitmap &bitmap() const { return Bits; }
+
+  bool isLargeAlloc() const { return SizeClassIndex < 0; }
+  int sizeClass() const { return SizeClassIndex; }
+  size_t objectSize() const { return ObjectSize; }
+  uint32_t objectCount() const { return ObjectCount; }
+  uint32_t spanPages() const { return SpanPageCount; }
+  size_t spanBytes() const { return pagesToBytes(SpanPageCount); }
+
+  /// Page offsets (from the arena base) of every virtual span mapped to
+  /// this MiniHeap's physical span. Index 0 is the physical span's own
+  /// identity-mapped offset.
+  const StaticVector<uint32_t, kMaxMeshes> &spans() const {
+    return VirtualSpans;
+  }
+
+  uint32_t physicalSpanOffset() const { return VirtualSpans[0]; }
+
+  /// Transfers all of \p Victim's virtual spans to this MiniHeap
+  /// (called by the mesher after consolidating objects).
+  void takeSpansFrom(MiniHeap &Victim) {
+    for (uint32_t Off : Victim.VirtualSpans) {
+      assert(!VirtualSpans.full() && "kMaxMeshes exceeded during mesh");
+      VirtualSpans.push_back(Off);
+    }
+    Victim.VirtualSpans.clear();
+  }
+
+  bool isAttached() const {
+    return Attached.load(std::memory_order_acquire);
+  }
+  void setAttached(bool Value) {
+    Attached.store(Value, std::memory_order_release);
+  }
+
+  uint32_t inUseCount() const { return Bits.inUseCount(); }
+  bool isEmpty() const { return inUseCount() == 0; }
+  bool isFull() const { return inUseCount() == ObjectCount; }
+
+  /// Fraction of objects live, in [0, 1].
+  double occupancy() const {
+    return static_cast<double>(inUseCount()) /
+           static_cast<double>(ObjectCount);
+  }
+
+  /// True iff this MiniHeap may participate in meshing right now:
+  /// detached, a meshable size class, partially full, and with room to
+  /// absorb at least one more virtual span.
+  bool isMeshingCandidate() const {
+    if (isAttached() || !MeshableFlag)
+      return false;
+    if (VirtualSpans.size() >= kMaxMeshes)
+      return false;
+    const uint32_t InUse = inUseCount();
+    return InUse > 0 && InUse < ObjectCount;
+  }
+
+  bool isMeshable() const { return MeshableFlag; }
+
+  /// True iff \p Ptr falls inside any of this MiniHeap's virtual spans.
+  bool contains(const void *Ptr, const char *ArenaBase) const {
+    return spanIndexOf(Ptr, ArenaBase) >= 0;
+  }
+
+  /// Object index of \p Ptr, which must lie in one of the virtual
+  /// spans. \p Ptr need not be object-aligned; use isAligned() to
+  /// detect interior-pointer frees.
+  uint32_t offsetOf(const void *Ptr, const char *ArenaBase) const {
+    const int Span = spanIndexOf(Ptr, ArenaBase);
+    assert(Span >= 0 && "pointer not owned by this MiniHeap");
+    const uintptr_t SpanStart = reinterpret_cast<uintptr_t>(
+        ArenaBase + pagesToBytes(VirtualSpans[Span]));
+    return static_cast<uint32_t>(
+        (reinterpret_cast<uintptr_t>(Ptr) - SpanStart) / ObjectSize);
+  }
+
+  /// True iff \p Ptr is exactly the start of an object slot.
+  bool isAligned(const void *Ptr, const char *ArenaBase) const {
+    const int Span = spanIndexOf(Ptr, ArenaBase);
+    if (Span < 0)
+      return false;
+    const uintptr_t SpanStart = reinterpret_cast<uintptr_t>(
+        ArenaBase + pagesToBytes(VirtualSpans[Span]));
+    return (reinterpret_cast<uintptr_t>(Ptr) - SpanStart) % ObjectSize == 0;
+  }
+
+  /// Address of object \p Offset through the physical (index-0) span.
+  char *ptrForOffset(uint32_t Offset, char *ArenaBase) const {
+    assert(Offset < ObjectCount && "object offset out of range");
+    return ArenaBase + pagesToBytes(VirtualSpans[0]) + Offset * ObjectSize;
+  }
+
+  /// Occupancy-bin bookkeeping (owned by GlobalHeap).
+  int8_t binIndex() const { return BinIdx; }
+  uint32_t binSlot() const { return BinSlot; }
+  void setBin(int8_t Bin, uint32_t Slot) {
+    BinIdx = Bin;
+    BinSlot = Slot;
+  }
+  void clearBin() { BinIdx = -1; }
+  bool isInBin() const { return BinIdx >= 0; }
+
+private:
+  int spanIndexOf(const void *Ptr, const char *ArenaBase) const {
+    const auto P = reinterpret_cast<uintptr_t>(Ptr);
+    for (uint32_t I = 0; I < VirtualSpans.size(); ++I) {
+      const auto Start = reinterpret_cast<uintptr_t>(
+          ArenaBase + pagesToBytes(VirtualSpans[I]));
+      if (P >= Start && P < Start + spanBytes())
+        return static_cast<int>(I);
+    }
+    return -1;
+  }
+
+  Bitmap Bits;
+  StaticVector<uint32_t, kMaxMeshes> VirtualSpans;
+  size_t ObjectSize;
+  uint32_t SpanPageCount;
+  uint32_t ObjectCount;
+  int8_t SizeClassIndex;
+  bool MeshableFlag;
+  std::atomic<bool> Attached{false};
+  int8_t BinIdx = -1;
+  uint32_t BinSlot = 0;
+};
+
+} // namespace mesh
+
+#endif // MESH_CORE_MINIHEAP_H

@@ -1,0 +1,66 @@
+//===- Options.h - Runtime configuration ------------------------*- C++ -*-===//
+///
+/// \file
+/// The tunables the paper exposes (meshing rate limit, the SplitMesher
+/// probe budget t) plus the ablation switches its evaluation sweeps
+/// (meshing on/off, randomization on/off, Section 6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_CORE_OPTIONS_H
+#define MESH_CORE_OPTIONS_H
+
+#include "support/Common.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mesh {
+
+struct MeshOptions {
+  /// Master switch for meshing ("Mesh (no meshing)" ablation when off).
+  bool MeshingEnabled = true;
+
+  /// Randomized allocation via shuffle vectors ("Mesh (no rand)"
+  /// ablation when off: allocation degrades to bump-pointer order and
+  /// frees keep deterministic order).
+  bool Randomized = true;
+
+  /// mprotect + SIGSEGV write barrier during meshing (Section 4.5.2).
+  /// Required for concurrent writers; may be disabled for
+  /// single-threaded measurement runs.
+  bool BarrierEnabled = true;
+
+  /// SplitMesher probe budget t (Section 3.3; default 64).
+  uint32_t MeshProbes = kDefaultMeshProbes;
+
+  /// Minimum milliseconds between meshing passes (Section 4.5; default
+  /// 100 ms). Zero means every eligible global free may mesh.
+  uint64_t MeshPeriodMs = kDefaultMeshPeriodMs;
+
+  /// If the previous pass freed less than this many bytes, the timer is
+  /// not re-armed until another allocation is freed through the global
+  /// heap (Section 4.5; default 1 MB).
+  size_t MeshEffectiveBytes = 1024 * 1024;
+
+  /// Upper bound on pairs meshed in one pass (0 = unlimited). Bounds
+  /// the stop-the-allocator pause of a single pass: leftover meshable
+  /// pairs are simply found again by the next rate-limited pass. The
+  /// paper reports a 22 ms longest pause on Redis-sized heaps, which
+  /// corresponds to a bounded amount of copying per pass.
+  uint32_t MaxMeshesPerPass = 256;
+
+  /// Seed for all of this heap's RNGs; fixed for reproducibility.
+  uint64_t Seed = 0x5EEDF00D;
+
+  /// Virtual address reservation for the arena.
+  size_t ArenaBytes = size_t{16} << 30;
+
+  /// Dirty-page budget before pages are returned to the OS
+  /// (Section 4.4.1; default 64 MB).
+  size_t MaxDirtyBytes = kMaxDirtyBytes;
+};
+
+} // namespace mesh
+
+#endif // MESH_CORE_OPTIONS_H

@@ -1,0 +1,211 @@
+//===- Runtime.cpp - Per-heap runtime facade --------------------------------===//
+
+#include "core/Runtime.h"
+
+#include "support/InternalHeap.h"
+#include "support/Log.h"
+#include "support/MathUtils.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+namespace mesh {
+
+Runtime::Runtime(const MeshOptions &Opts) : Global(Opts) {
+  if (pthread_key_create(&HeapKey, destroyThreadHeap) != 0)
+    fatalError("pthread_key_create failed");
+}
+
+Runtime::~Runtime() {
+  // Release the calling thread's heap explicitly; heaps of other live
+  // threads are reclaimed by their pthread destructors, which must run
+  // before the Runtime is destroyed (standard teardown ordering for
+  // instance heaps; the process-default Runtime is never destroyed).
+  if (auto *Heap = static_cast<ThreadLocalHeap *>(
+          pthread_getspecific(HeapKey))) {
+    pthread_setspecific(HeapKey, nullptr);
+    InternalHeap::global().deleteObj(Heap);
+  }
+  pthread_key_delete(HeapKey);
+}
+
+void Runtime::destroyThreadHeap(void *Arg) {
+  auto *Heap = static_cast<ThreadLocalHeap *>(Arg);
+  InternalHeap::global().deleteObj(Heap);
+}
+
+ThreadLocalHeap &Runtime::localHeap() {
+  auto *Heap = static_cast<ThreadLocalHeap *>(pthread_getspecific(HeapKey));
+  if (Heap == nullptr) {
+    Heap = InternalHeap::global().makeNew<ThreadLocalHeap>(
+        &Global, Global.options().Seed ^
+                     reinterpret_cast<uintptr_t>(pthread_self()));
+    pthread_setspecific(HeapKey, Heap);
+  }
+  return *Heap;
+}
+
+void *Runtime::malloc(size_t Bytes) { return localHeap().malloc(Bytes); }
+
+void Runtime::free(void *Ptr) { localHeap().free(Ptr); }
+
+void *Runtime::calloc(size_t Count, size_t Size) {
+  if (Count != 0 && Size > SIZE_MAX / Count)
+    return nullptr; // Multiplication would overflow.
+  const size_t Bytes = Count * Size;
+  void *Ptr = malloc(Bytes);
+  if (Ptr != nullptr)
+    memset(Ptr, 0, Bytes);
+  return Ptr;
+}
+
+void *Runtime::realloc(void *Ptr, size_t Bytes) {
+  if (Ptr == nullptr)
+    return malloc(Bytes);
+  if (Bytes == 0) {
+    free(Ptr);
+    return nullptr;
+  }
+  const size_t Usable = usableSize(Ptr);
+  if (Usable == 0) {
+    logWarning("realloc of unknown pointer %p", Ptr);
+    return nullptr;
+  }
+  // Grow/shrink in place when the slot still fits and is not wasteful.
+  if (Bytes <= Usable && Bytes >= Usable / 2)
+    return Ptr;
+  void *Fresh = malloc(Bytes);
+  if (Fresh == nullptr)
+    return nullptr;
+  memcpy(Fresh, Ptr, Bytes < Usable ? Bytes : Usable);
+  free(Ptr);
+  return Fresh;
+}
+
+int Runtime::posixMemalign(void **Out, size_t Alignment, size_t Bytes) {
+  if (Out == nullptr || !isPowerOfTwo(Alignment) ||
+      Alignment % sizeof(void *) != 0)
+    return EINVAL;
+  if (Alignment <= kMinObjectSize) {
+    // Every size-classed slot is at least 16-byte aligned.
+    *Out = malloc(Bytes);
+    return *Out == nullptr ? ENOMEM : 0;
+  }
+  if (Alignment <= kMaxSizeClassedObject && Bytes <= kMaxSizeClassedObject) {
+    // Serve from the power-of-two class >= max(size, alignment): slots
+    // are ObjectSize-aligned within page-aligned spans.
+    const size_t Rounded =
+        roundUpToPowerOfTwo(Bytes > Alignment ? Bytes : Alignment);
+    *Out = malloc(Rounded);
+    return *Out == nullptr ? ENOMEM : 0;
+  }
+  if (Alignment <= kPageSize) {
+    // Large objects are always page-aligned.
+    *Out = Global.largeAlloc(Bytes);
+    return *Out == nullptr ? ENOMEM : 0;
+  }
+  // Alignments beyond a page are rare; unsupported in this build.
+  return EINVAL;
+}
+
+size_t Runtime::usableSize(const void *Ptr) const {
+  if (Ptr == nullptr)
+    return 0;
+  return Global.usableSize(Ptr);
+}
+
+int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
+                     void *NewP, size_t NewLen) {
+  auto ReadU64 = [&](uint64_t Value) -> int {
+    if (OldP == nullptr || OldLenP == nullptr || *OldLenP < sizeof(uint64_t))
+      return EINVAL;
+    memcpy(OldP, &Value, sizeof(uint64_t));
+    *OldLenP = sizeof(uint64_t);
+    return 0;
+  };
+  auto WriteBool = [&](bool *Target) -> int {
+    if (NewP == nullptr || NewLen != sizeof(bool))
+      return EINVAL;
+    bool Value;
+    memcpy(&Value, NewP, sizeof(bool));
+    *Target = Value;
+    return 0;
+  };
+
+  if (strcmp(Name, "mesh.enabled") == 0) {
+    if (NewP != nullptr) {
+      bool Value = Global.options().MeshingEnabled;
+      const int Rc = WriteBool(&Value);
+      if (Rc != 0)
+        return Rc;
+      Global.setMeshingEnabled(Value);
+      return 0;
+    }
+    return ReadU64(Global.options().MeshingEnabled ? 1 : 0);
+  }
+  if (strcmp(Name, "mesh.period_ms") == 0) {
+    if (NewP != nullptr) {
+      if (NewLen != sizeof(uint64_t))
+        return EINVAL;
+      uint64_t Ms;
+      memcpy(&Ms, NewP, sizeof(uint64_t));
+      Global.setMeshPeriodMs(Ms);
+      return 0;
+    }
+    return ReadU64(Global.options().MeshPeriodMs);
+  }
+  if (strcmp(Name, "mesh.probes") == 0) {
+    if (NewP != nullptr) {
+      if (NewLen != sizeof(uint64_t))
+        return EINVAL;
+      uint64_t T;
+      memcpy(&T, NewP, sizeof(uint64_t));
+      Global.setMeshProbes(static_cast<uint32_t>(T));
+      return 0;
+    }
+    return ReadU64(Global.options().MeshProbes);
+  }
+  if (strcmp(Name, "mesh.max_per_pass") == 0) {
+    if (NewP != nullptr) {
+      if (NewLen != sizeof(uint64_t))
+        return EINVAL;
+      uint64_t Max;
+      memcpy(&Max, NewP, sizeof(uint64_t));
+      Global.setMaxMeshesPerPass(static_cast<uint32_t>(Max));
+      return 0;
+    }
+    return ReadU64(Global.options().MaxMeshesPerPass);
+  }
+  if (strcmp(Name, "mesh.now") == 0)
+    return ReadU64(Global.meshNow());
+  if (strcmp(Name, "heap.flush_dirty") == 0)
+    return ReadU64(Global.flushDirtyPages());
+  if (strcmp(Name, "stats.dirty_bytes") == 0)
+    return ReadU64(Global.dirtyBytes());
+  if (strcmp(Name, "stats.bytes_copied") == 0)
+    return ReadU64(
+        Global.stats().BytesCopied.load(std::memory_order_relaxed));
+  if (strcmp(Name, "stats.mesh_passes") == 0)
+    return ReadU64(
+        Global.stats().MeshPasses.load(std::memory_order_relaxed));
+  if (strcmp(Name, "stats.committed_bytes") == 0)
+    return ReadU64(Global.committedBytes());
+  if (strcmp(Name, "stats.peak_committed_bytes") == 0)
+    return ReadU64(pagesToBytes(
+        Global.stats().PeakCommittedPages.load(std::memory_order_relaxed)));
+  if (strcmp(Name, "stats.mesh_count") == 0)
+    return ReadU64(Global.stats().MeshCount.load(std::memory_order_relaxed));
+  if (strcmp(Name, "stats.pages_meshed") == 0)
+    return ReadU64(
+        Global.stats().PagesMeshed.load(std::memory_order_relaxed));
+  if (strcmp(Name, "stats.mesh_ns") == 0)
+    return ReadU64(
+        Global.stats().TotalMeshNs.load(std::memory_order_relaxed));
+  if (strcmp(Name, "stats.max_pause_ns") == 0)
+    return ReadU64(
+        Global.stats().MaxMeshPassNs.load(std::memory_order_relaxed));
+  return ENOENT;
+}
+
+} // namespace mesh

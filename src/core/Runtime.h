@@ -1,0 +1,72 @@
+//===- Runtime.h - Per-heap runtime facade ----------------------*- C++ -*-===//
+///
+/// \file
+/// A Runtime ties together one global heap, per-thread local heaps
+/// (managed through a pthread key so arbitrary threads can allocate),
+/// and the malloc/free/realloc surface. The interposition shim owns a
+/// process-wide default Runtime; tests and benchmarks construct
+/// independent Runtimes with their own options and arenas.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_CORE_RUNTIME_H
+#define MESH_CORE_RUNTIME_H
+
+#include "core/GlobalHeap.h"
+#include "core/Options.h"
+#include "core/ThreadLocalHeap.h"
+
+#include <cstddef>
+#include <pthread.h>
+
+namespace mesh {
+
+class Runtime {
+public:
+  explicit Runtime(const MeshOptions &Opts = MeshOptions());
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  void *malloc(size_t Bytes);
+  void free(void *Ptr);
+  void *calloc(size_t Count, size_t Size);
+  void *realloc(void *Ptr, size_t Bytes);
+
+  /// posix_memalign semantics; alignments up to one page are supported
+  /// exactly, larger alignments via page-aligned large objects.
+  int posixMemalign(void **Out, size_t Alignment, size_t Bytes);
+
+  /// malloc_usable_size semantics (0 for unknown pointers).
+  size_t usableSize(const void *Ptr) const;
+
+  GlobalHeap &global() { return Global; }
+  const GlobalHeap &global() const { return Global; }
+
+  /// Physical memory footprint of the heap, including Mesh's own
+  /// metadata share (the RSS analogue used by the benchmarks).
+  size_t committedBytes() const { return Global.committedBytes(); }
+
+  /// Forces a meshing pass; returns bytes released.
+  size_t meshNow() { return Global.meshNow(); }
+
+  /// The calling thread's local heap, created on first use.
+  ThreadLocalHeap &localHeap();
+
+  /// jemalloc-flavoured control interface (paper Section 4.5 mentions
+  /// the "semi-standard mallctl API"). Supported names are documented
+  /// in README.md. Returns 0, or ENOENT/EINVAL on error.
+  int mallctl(const char *Name, void *OldP, size_t *OldLenP, void *NewP,
+              size_t NewLen);
+
+private:
+  static void destroyThreadHeap(void *Arg);
+
+  GlobalHeap Global;
+  pthread_key_t HeapKey;
+};
+
+} // namespace mesh
+
+#endif // MESH_CORE_RUNTIME_H

@@ -1,0 +1,13 @@
+//===- ShuffleVector.cpp - Randomized freelist ------------------------------===//
+
+#include "core/ShuffleVector.h"
+
+namespace mesh {
+
+// Header-only; compile-time checks live here. One shuffle vector exists
+// per size class per thread (24 x ~280 bytes = under 8 KiB per thread,
+// matching the paper's "roughly 2.8K per thread" order of magnitude).
+static_assert(sizeof(ShuffleVector) <= 320,
+              "shuffle vector should remain compact");
+
+} // namespace mesh

@@ -1,0 +1,156 @@
+//===- ShuffleVector.h - Randomized freelist --------------------*- C++ -*-===//
+///
+/// \file
+/// Shuffle vectors (paper Section 4.2): the data structure that gives
+/// Mesh O(1) randomized allocation with one byte of overhead per free
+/// object. A shuffle vector caches the free offsets of exactly one
+/// attached MiniHeap, in uniformly random order:
+///
+///   - attach: pull every unset bitmap offset (atomically setting it),
+///     then Knuth-Fisher-Yates shuffle;
+///   - malloc: pop the head (bump the allocation index);
+///   - free: push the offset at the head, then swap it with a uniformly
+///     random element — one incremental Fisher-Yates step, preserving
+///     the all-permutations-equally-likely invariant.
+///
+/// Shuffle vectors are single-threaded by construction (only the owning
+/// thread touches them), so no operation here is atomic except the
+/// bitmap updates performed during attach/detach.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_CORE_SHUFFLEVECTOR_H
+#define MESH_CORE_SHUFFLEVECTOR_H
+
+#include "core/MiniHeap.h"
+#include "support/Common.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+namespace mesh {
+
+class ShuffleVector {
+public:
+  ShuffleVector() = default;
+  ShuffleVector(const ShuffleVector &) = delete;
+  ShuffleVector &operator=(const ShuffleVector &) = delete;
+
+  /// Must be called once before use. \p Randomized false degrades the
+  /// vector to deterministic (descending-offset) order — the "Mesh
+  /// (no rand)" ablation from paper Section 6.3.
+  void init(Rng *R, bool Randomized) {
+    Random = R;
+    Randomize = Randomized;
+  }
+
+  bool isAttached() const { return MH != nullptr; }
+  MiniHeap *miniheap() const { return MH; }
+
+  /// True when no cached free offsets remain.
+  bool isExhausted() const { return Head >= MaxCount; }
+
+  /// Number of offsets currently cached.
+  uint32_t length() const { return MaxCount - Head; }
+
+  /// Attaches to \p NewMH: reserves every free slot by atomically
+  /// setting its bitmap bit and caching its offset. Returns the number
+  /// of offsets pulled.
+  uint32_t attach(MiniHeap *NewMH, char *ArenaBase) {
+    assert(MH == nullptr && "attach over a live attachment");
+    assert(NewMH != nullptr && "cannot attach null MiniHeap");
+    MH = NewMH;
+    MaxCount = static_cast<uint16_t>(MH->objectCount());
+    ObjSize = MH->objectSize();
+    SpanStart = ArenaBase + pagesToBytes(MH->physicalSpanOffset());
+    Head = MaxCount;
+    Bitmap &Bits = MH->bitmap();
+    // Walk offsets descending so the cached order is ascending from the
+    // head; without randomization, allocation then proceeds in
+    // bump-pointer order from offset 0 upward.
+    for (int I = static_cast<int>(MaxCount) - 1; I >= 0; --I)
+      if (Bits.tryToSet(static_cast<uint32_t>(I)))
+        List[--Head] = static_cast<uint8_t>(I);
+    const uint32_t Pulled = length();
+    if (Randomize && Pulled > 1) {
+      // Knuth-Fisher-Yates over the cached range.
+      for (uint32_t I = MaxCount - 1; I > Head; --I) {
+        const uint32_t J = Random->inRange(Head, I);
+        std::swap(List[I], List[J]);
+      }
+    }
+    return Pulled;
+  }
+
+  /// Detaches from the current MiniHeap, returning leftover cached
+  /// offsets to the bitmap (unsetting their bits). Returns the MiniHeap
+  /// so the caller can hand it back to the global heap.
+  MiniHeap *detach() {
+    MiniHeap *Old = MH;
+    if (Old == nullptr)
+      return nullptr;
+    Bitmap &Bits = Old->bitmap();
+    for (uint32_t I = Head; I < MaxCount; ++I) {
+      const bool WasSet = Bits.unset(List[I]);
+      assert(WasSet && "cached offset must own its bitmap bit");
+      (void)WasSet;
+    }
+    Head = MaxCount;
+    MH = nullptr;
+    SpanStart = nullptr;
+    return Old;
+  }
+
+  /// Pops the next randomized offset. Requires !isExhausted().
+  void *malloc() {
+    assert(!isExhausted() && "malloc from exhausted shuffle vector");
+    const uint32_t Off = List[Head++];
+    return SpanStart + Off * ObjSize;
+  }
+
+  /// True iff \p Ptr belongs to the attached span's primary range.
+  bool contains(const void *Ptr) const {
+    if (MH == nullptr)
+      return false;
+    const auto P = reinterpret_cast<uintptr_t>(Ptr);
+    const auto S = reinterpret_cast<uintptr_t>(SpanStart);
+    return P >= S && P < S + MH->spanBytes();
+  }
+
+  /// Frees \p Ptr (which must satisfy contains()): pushes its offset at
+  /// the head and randomly swaps it into the cached range, preserving
+  /// the uniform-permutation invariant (Figure 3c-d in the paper).
+  void free(void *Ptr) {
+    const auto P = reinterpret_cast<uintptr_t>(Ptr);
+    const auto S = reinterpret_cast<uintptr_t>(SpanStart);
+    assert(P >= S && P < S + MH->spanBytes() && "free outside span");
+    const uint32_t Off = static_cast<uint32_t>((P - S) / ObjSize);
+    assert((P - S) % ObjSize == 0 && "interior pointer free");
+    assert(Head > 0 && "more frees than allocations");
+    List[--Head] = static_cast<uint8_t>(Off);
+    if (Randomize) {
+      const uint32_t SwapIdx = Random->inRange(Head, MaxCount - 1);
+      std::swap(List[Head], List[SwapIdx]);
+    }
+  }
+
+  /// Read-only view of the cached offsets (tests only).
+  const uint8_t *cachedBegin() const { return List + Head; }
+  const uint8_t *cachedEnd() const { return List + MaxCount; }
+
+private:
+  uint8_t List[kMaxObjectsPerSpan];
+  uint16_t Head = 0;
+  uint16_t MaxCount = 0;
+  size_t ObjSize = 0;
+  char *SpanStart = nullptr;
+  MiniHeap *MH = nullptr;
+  Rng *Random = nullptr;
+  bool Randomize = true;
+};
+
+} // namespace mesh
+
+#endif // MESH_CORE_SHUFFLEVECTOR_H

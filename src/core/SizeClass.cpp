@@ -1,0 +1,100 @@
+//===- SizeClass.cpp - Segregated-fit size classes ------------------------===//
+
+#include "core/SizeClass.h"
+
+#include <cassert>
+
+namespace mesh {
+
+namespace {
+
+constexpr uint32_t spanPagesFor(uint32_t ObjSize) {
+  // Smallest whole-page span holding at least kMinObjectsPerSpan objects.
+  uint32_t Pages = 1;
+  while (Pages * kPageSize / ObjSize < kMinObjectsPerSpan)
+    Pages *= 2;
+  return Pages;
+}
+
+constexpr uint32_t objectCountFor(uint32_t ObjSize) {
+  const uint32_t Fit = spanPagesFor(ObjSize) * kPageSize / ObjSize;
+  return Fit > kMaxObjectsPerSpan ? kMaxObjectsPerSpan : Fit;
+}
+
+constexpr SizeClassInfo makeClass(uint32_t ObjSize) {
+  return SizeClassInfo{ObjSize, spanPagesFor(ObjSize), objectCountFor(ObjSize),
+                       ObjSize < kMinNonMeshableObjectSize};
+}
+
+// jemalloc-style spacing <= 1024 (16-byte quantum up to 128, then four
+// classes per doubling), power-of-two from 2048 to 16384.
+constexpr SizeClassInfo Classes[kNumSizeClasses] = {
+    makeClass(16),   makeClass(32),   makeClass(48),   makeClass(64),
+    makeClass(80),   makeClass(96),   makeClass(112),  makeClass(128),
+    makeClass(160),  makeClass(192),  makeClass(224),  makeClass(256),
+    makeClass(320),  makeClass(384),  makeClass(448),  makeClass(512),
+    makeClass(640),  makeClass(768),  makeClass(896),  makeClass(1024),
+    makeClass(2048), makeClass(4096), makeClass(8192), makeClass(16384),
+};
+
+static_assert(Classes[0].ObjectSize == kMinObjectSize, "table starts at 16");
+static_assert(Classes[kNumSizeClasses - 1].ObjectSize == kMaxSizeClassedObject,
+              "table ends at 16 KiB");
+static_assert(Classes[0].ObjectCount == 256 && Classes[0].SpanPages == 1,
+              "16-byte spans: one page, 256 objects");
+static_assert(Classes[19].ObjectSize == 1024 && Classes[19].SpanPages == 2 &&
+                  Classes[19].ObjectCount == 8,
+              "1024-byte spans: two pages, 8 objects");
+static_assert(!Classes[21].Meshable && Classes[20].Meshable,
+              "meshing cutoff at 4 KiB objects");
+
+// Dense lookup for sizes <= 1024: table index for ceil(size/16).
+constexpr int kDenseEntries = 1024 / 16 + 1;
+constexpr int denseClassFor(uint32_t Quanta) {
+  // Quanta = size in 16-byte units, 0..64.
+  for (int C = 0; C < kNumSizeClasses; ++C)
+    if (Classes[C].ObjectSize >= Quanta * 16u)
+      return C;
+  return -1;
+}
+
+constexpr auto makeDenseTable() {
+  struct Table {
+    int8_t Entry[kDenseEntries];
+  } T{};
+  for (int Q = 0; Q < kDenseEntries; ++Q)
+    T.Entry[Q] = static_cast<int8_t>(denseClassFor(Q));
+  return T;
+}
+
+constexpr auto DenseTable = makeDenseTable();
+
+} // namespace
+
+const SizeClassInfo &sizeClassInfo(int Class) {
+  assert(Class >= 0 && Class < kNumSizeClasses && "size class out of range");
+  return Classes[Class];
+}
+
+bool sizeClassForSize(size_t Size, int *Class) {
+  assert(Class != nullptr && "output parameter required");
+  if (Size > kMaxSizeClassedObject)
+    return false;
+  if (Size <= 1024) {
+    const size_t Quanta = (Size + 15) / 16;
+    *Class = DenseTable.Entry[Quanta];
+    return true;
+  }
+  // 2048, 4096, 8192, 16384.
+  for (int C = 20; C < kNumSizeClasses; ++C) {
+    if (Classes[C].ObjectSize >= Size) {
+      *Class = C;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t objectSizeForClass(int Class) { return sizeClassInfo(Class).ObjectSize; }
+
+} // namespace mesh

@@ -1,0 +1,48 @@
+//===- SizeClass.h - Segregated-fit size classes ----------------*- C++ -*-===//
+///
+/// \file
+/// Mesh's size classes (paper Section 4): jemalloc's fine-grained
+/// classes for objects up to 1024 bytes and power-of-two classes from
+/// 2 KiB to 16 KiB — 24 classes total. Each class also fixes its span
+/// geometry: spans are whole pages holding between 8 and 256 objects,
+/// and classes of 4 KiB and larger are excluded from meshing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_CORE_SIZECLASS_H
+#define MESH_CORE_SIZECLASS_H
+
+#include "support/Common.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mesh {
+
+/// Number of size classes (paper Section 4.2: "24 in the current
+/// implementation").
+inline constexpr int kNumSizeClasses = 24;
+
+/// Static geometry of one size class.
+struct SizeClassInfo {
+  uint32_t ObjectSize;  ///< Bytes per object (multiple of 16).
+  uint32_t SpanPages;   ///< Pages per span.
+  uint32_t ObjectCount; ///< Objects per span, in [8, 256].
+  bool Meshable;        ///< False for ObjectSize >= 4 KiB (Section 4).
+};
+
+/// Table of all size classes, ascending by ObjectSize.
+const SizeClassInfo &sizeClassInfo(int Class);
+
+/// Maps \p Size to the smallest size class that fits it.
+///
+/// \returns true and sets \p Class for sizes <= 16 KiB; false for large
+/// objects, which the global heap serves directly (Section 4.3).
+bool sizeClassForSize(size_t Size, int *Class);
+
+/// Convenience: the object size of class \p Class.
+uint32_t objectSizeForClass(int Class);
+
+} // namespace mesh
+
+#endif // MESH_CORE_SIZECLASS_H

@@ -1,0 +1,58 @@
+//===- ThreadLocalHeap.cpp - Per-thread allocation fast path ----------------===//
+
+#include "core/ThreadLocalHeap.h"
+
+#include <cassert>
+
+namespace mesh {
+
+ThreadLocalHeap::ThreadLocalHeap(GlobalHeap *GlobalHeapPtr, uint64_t Seed)
+    : Global(GlobalHeapPtr), Random(Seed) {
+  const bool Randomized = Global->options().Randomized;
+  for (auto &V : Vectors)
+    V.init(&Random, Randomized);
+}
+
+ThreadLocalHeap::~ThreadLocalHeap() { releaseAll(); }
+
+void ThreadLocalHeap::releaseAll() {
+  for (auto &V : Vectors) {
+    if (!V.isAttached())
+      continue;
+    MiniHeap *MH = V.detach();
+    Global->releaseMiniHeap(MH);
+  }
+}
+
+void *ThreadLocalHeap::malloc(size_t Bytes) {
+  int SizeClass;
+  if (!sizeClassForSize(Bytes, &SizeClass))
+    return Global->largeAlloc(Bytes);
+
+  ShuffleVector &V = Vectors[SizeClass];
+  while (V.isExhausted()) {
+    if (V.isAttached())
+      Global->releaseMiniHeap(V.detach());
+    MiniHeap *MH = Global->allocMiniHeapForClass(SizeClass);
+    const uint32_t Pulled = V.attach(MH, Global->arenaBase());
+    assert(Pulled > 0 && "global heap returned a full span");
+    (void)Pulled;
+  }
+  return V.malloc();
+}
+
+void ThreadLocalHeap::free(void *Ptr) {
+  if (Ptr == nullptr)
+    return;
+  // Local-free fast path: scan this thread's attached spans (at most
+  // one range check per size class, no locks or atomics).
+  for (auto &V : Vectors) {
+    if (V.contains(Ptr)) {
+      V.free(Ptr);
+      return;
+    }
+  }
+  Global->free(Ptr);
+}
+
+} // namespace mesh

@@ -1,0 +1,55 @@
+//===- ThreadLocalHeap.h - Per-thread allocation fast path ------*- C++ -*-===//
+///
+/// \file
+/// Thread-local heaps (paper Section 4.3): one shuffle vector per size
+/// class plus a thread-local RNG. malloc and free requests start here
+/// and complete without locks or atomic operations in the common case;
+/// large allocations and non-local frees forward to the global heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_CORE_THREADLOCALHEAP_H
+#define MESH_CORE_THREADLOCALHEAP_H
+
+#include "core/GlobalHeap.h"
+#include "core/ShuffleVector.h"
+#include "core/SizeClass.h"
+#include "support/Rng.h"
+
+#include <cstddef>
+
+namespace mesh {
+
+class ThreadLocalHeap {
+public:
+  ThreadLocalHeap(GlobalHeap *Global, uint64_t Seed);
+  ~ThreadLocalHeap();
+
+  ThreadLocalHeap(const ThreadLocalHeap &) = delete;
+  ThreadLocalHeap &operator=(const ThreadLocalHeap &) = delete;
+
+  /// Allocates \p Bytes: pops from the size class's shuffle vector,
+  /// refilling it from the global heap when exhausted; requests larger
+  /// than 16 KiB forward to the global heap (Figure 4 pseudocode).
+  void *malloc(size_t Bytes);
+
+  /// Frees \p Ptr: handled by the owning shuffle vector when the
+  /// pointer lies in one of this thread's attached spans, otherwise
+  /// passed to the global heap (Figure 4 pseudocode).
+  void free(void *Ptr);
+
+  /// Detaches every shuffle vector, returning all attached spans to the
+  /// global heap. Called on thread exit and by tests.
+  void releaseAll();
+
+  Rng &rng() { return Random; }
+
+private:
+  ShuffleVector Vectors[kNumSizeClasses];
+  GlobalHeap *Global;
+  Rng Random;
+};
+
+} // namespace mesh
+
+#endif // MESH_CORE_THREADLOCALHEAP_H

@@ -1,0 +1,120 @@
+//===- Shim.cpp - malloc/free interposition ---------------------------------===//
+///
+/// \file
+/// Strong definitions of the libc allocation entry points over the
+/// process-default Mesh runtime (paper Section 4: "Mesh interposes on
+/// memory management operations"). Built two ways:
+///
+///  - libmesh_shim_static.a: linked into a binary, the symbols replace
+///    libc's at link time (used by the interposition integration test);
+///  - libmesh.so: loaded via LD_PRELOAD, the dynamic linker resolves
+///    malloc/free here before libc.
+///
+/// Reentrancy: creating a thread's local heap may itself trigger an
+/// allocation inside libc (e.g. pthread_setspecific's second-level
+/// table). A thread-local guard detects this and serves such nested
+/// requests directly from the global heap, which needs no thread state.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "mesh/mesh.h"
+#include "support/MathUtils.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace {
+
+// initial-exec TLS: guaranteed not to allocate on access, which a
+// dynamically-allocated TLS block could.
+__thread bool Busy __attribute__((tls_model("initial-exec"))) = false;
+
+void *shimMalloc(size_t Bytes) {
+  mesh::Runtime &R = mesh::defaultRuntime();
+  if (Busy)
+    return R.global().largeAlloc(Bytes == 0 ? 1 : Bytes);
+  Busy = true;
+  void *Ptr = R.malloc(Bytes);
+  Busy = false;
+  return Ptr;
+}
+
+void shimFree(void *Ptr) {
+  if (Ptr == nullptr)
+    return;
+  mesh::Runtime &R = mesh::defaultRuntime();
+  if (Busy) {
+    R.global().free(Ptr);
+    return;
+  }
+  Busy = true;
+  R.free(Ptr);
+  Busy = false;
+}
+
+} // namespace
+
+extern "C" {
+
+void *malloc(size_t Bytes) { return shimMalloc(Bytes); }
+
+void free(void *Ptr) { shimFree(Ptr); }
+
+void *calloc(size_t Count, size_t Size) {
+  if (Count != 0 && Size > SIZE_MAX / Count)
+    return nullptr;
+  const size_t Bytes = Count * Size;
+  void *Ptr = shimMalloc(Bytes);
+  if (Ptr != nullptr)
+    memset(Ptr, 0, Bytes);
+  return Ptr;
+}
+
+void *realloc(void *Ptr, size_t Bytes) {
+  if (Ptr == nullptr)
+    return shimMalloc(Bytes);
+  if (Bytes == 0) {
+    shimFree(Ptr);
+    return nullptr;
+  }
+  const size_t Usable = mesh::defaultRuntime().usableSize(Ptr);
+  if (Usable >= Bytes && Bytes >= Usable / 2)
+    return Ptr;
+  void *Fresh = shimMalloc(Bytes);
+  if (Fresh == nullptr)
+    return nullptr;
+  memcpy(Fresh, Ptr, Bytes < Usable ? Bytes : Usable);
+  shimFree(Ptr);
+  return Fresh;
+}
+
+int posix_memalign(void **Out, size_t Alignment, size_t Bytes) {
+  return mesh::defaultRuntime().posixMemalign(Out, Alignment, Bytes);
+}
+
+void *aligned_alloc(size_t Alignment, size_t Bytes) {
+  void *Out = nullptr;
+  if (posix_memalign(&Out, Alignment, Bytes) != 0) {
+    errno = EINVAL;
+    return nullptr;
+  }
+  return Out;
+}
+
+void *memalign(size_t Alignment, size_t Bytes) {
+  return aligned_alloc(Alignment, Bytes);
+}
+
+void *valloc(size_t Bytes) { return aligned_alloc(mesh::kPageSize, Bytes); }
+
+void *pvalloc(size_t Bytes) {
+  return aligned_alloc(mesh::kPageSize,
+                       mesh::roundUpPow2Multiple(Bytes, mesh::kPageSize));
+}
+
+size_t malloc_usable_size(void *Ptr) {
+  return mesh::defaultRuntime().usableSize(Ptr);
+}
+
+} // extern "C"

@@ -1,0 +1,15 @@
+//===- Bitmap.cpp - Atomic allocation bitmap --------------------*- C++ -*-===//
+///
+/// \file
+/// Out-of-line anchor for Bitmap (the class itself is header-only).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Bitmap.h"
+
+namespace mesh {
+
+static_assert(Bitmap::kWords * 64 == kMaxObjectsPerSpan,
+              "bitmap words must exactly cover the maximum span size");
+
+} // namespace mesh

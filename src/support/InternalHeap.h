@@ -1,0 +1,91 @@
+//===- InternalHeap.h - mmap-backed metadata allocator ----------*- C++ -*-===//
+///
+/// \file
+/// The allocator Mesh uses for its *own* needs (paper Section 4.4.2):
+/// MiniHeap objects, bin arrays, internal vectors. It draws storage
+/// directly from mmap so the interposition shim can bootstrap without
+/// recursing into malloc.
+///
+/// Design: chunked bump allocation with per-size-class free lists.
+/// Sizes are rounded to powers of two between 16 bytes and 4 KiB;
+/// larger requests get dedicated mappings. Thread safety via SpinLock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_INTERNALHEAP_H
+#define MESH_SUPPORT_INTERNALHEAP_H
+
+#include "support/SpinLock.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+
+namespace mesh {
+
+/// mmap-backed allocator for Mesh metadata. Never touches malloc.
+class InternalHeap {
+public:
+  InternalHeap() = default;
+  ~InternalHeap();
+
+  InternalHeap(const InternalHeap &) = delete;
+  InternalHeap &operator=(const InternalHeap &) = delete;
+
+  /// Allocates \p Size bytes, 16-byte aligned. Aborts on OOM (metadata
+  /// allocation failure is not recoverable inside an allocator).
+  void *alloc(size_t Size);
+
+  /// Returns memory obtained from alloc(). \p Size must match the
+  /// original request.
+  void free(void *Ptr, size_t Size);
+
+  /// Constructs a \p T from this heap.
+  template <typename T, typename... Args> T *makeNew(Args &&...As) {
+    void *Mem = alloc(sizeof(T));
+    return new (Mem) T(std::forward<Args>(As)...);
+  }
+
+  /// Destroys and frees an object created by makeNew().
+  template <typename T> void deleteObj(T *Obj) {
+    if (Obj == nullptr)
+      return;
+    Obj->~T();
+    free(Obj, sizeof(T));
+  }
+
+  /// Bytes currently handed out to live metadata objects.
+  size_t liveBytes() const { return LiveBytes; }
+
+  /// Bytes of address space this heap has mapped for metadata.
+  size_t mappedBytes() const { return MappedBytes; }
+
+  /// The process-wide metadata heap used by default runtimes and the
+  /// interposition shim.
+  static InternalHeap &global();
+
+private:
+  struct FreeNode {
+    FreeNode *Next;
+  };
+
+  static constexpr size_t kChunkBytes = 256 * 1024;
+  static constexpr size_t kMinBlock = 16;
+  static constexpr size_t kMaxBlock = 4096;
+  static constexpr unsigned kNumClasses = 9; // 16,32,...,4096
+
+  static unsigned classForSize(size_t Size);
+  void refill(unsigned Class);
+
+  SpinLock Lock;
+  FreeNode *FreeLists[kNumClasses] = {};
+  char *ChunkCursor = nullptr;
+  size_t ChunkRemaining = 0;
+  size_t LiveBytes = 0;
+  size_t MappedBytes = 0;
+};
+
+} // namespace mesh
+
+#endif // MESH_SUPPORT_INTERNALHEAP_H

@@ -1,0 +1,47 @@
+//===- InternalVector.h - Containers over the internal heap -----*- C++ -*-===//
+///
+/// \file
+/// std-compatible allocator drawing from an InternalHeap, plus the
+/// container aliases Mesh's internals use. The allocator indirection
+/// exists so that no container reachable from the malloc interposition
+/// shim ever calls the system malloc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_INTERNALVECTOR_H
+#define MESH_SUPPORT_INTERNALVECTOR_H
+
+#include "support/InternalHeap.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace mesh {
+
+/// Allocator facade over InternalHeap::global().
+template <typename T> class InternalAllocator {
+public:
+  using value_type = T;
+
+  InternalAllocator() = default;
+  template <typename U> InternalAllocator(const InternalAllocator<U> &) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(InternalHeap::global().alloc(N * sizeof(T)));
+  }
+
+  void deallocate(T *Ptr, size_t N) {
+    InternalHeap::global().free(Ptr, N * sizeof(T));
+  }
+
+  friend bool operator==(const InternalAllocator &, const InternalAllocator &) {
+    return true;
+  }
+};
+
+/// Vector whose backing store comes from the internal metadata heap.
+template <typename T> using InternalVector = std::vector<T, InternalAllocator<T>>;
+
+} // namespace mesh
+
+#endif // MESH_SUPPORT_INTERNALVECTOR_H

@@ -1,0 +1,44 @@
+//===- Log.cpp - Minimal logging and fatal-error reporting ---------------===//
+
+#include "support/Log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unistd.h>
+
+namespace mesh {
+
+static void writeLine(const char *Prefix, const char *Fmt, va_list Args) {
+  char Buf[512];
+  size_t Off = strlen(Prefix);
+  memcpy(Buf, Prefix, Off);
+  int N = vsnprintf(Buf + Off, sizeof(Buf) - Off - 1, Fmt, Args);
+  if (N < 0)
+    N = 0;
+  Off += static_cast<size_t>(N);
+  if (Off > sizeof(Buf) - 2)
+    Off = sizeof(Buf) - 2;
+  Buf[Off++] = '\n';
+  // Best effort; nothing sensible to do if stderr is gone.
+  ssize_t Ignored = write(2, Buf, Off);
+  (void)Ignored;
+}
+
+void logWarning(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  writeLine("mesh: warning: ", Fmt, Args);
+  va_end(Args);
+}
+
+void fatalError(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  writeLine("mesh: fatal: ", Fmt, Args);
+  va_end(Args);
+  abort();
+}
+
+} // namespace mesh

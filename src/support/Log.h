@@ -1,0 +1,25 @@
+//===- Log.h - Minimal logging and fatal-error reporting --------*- C++ -*-===//
+///
+/// \file
+/// write(2)-based diagnostics. Library code must not use <iostream>
+/// (static constructors) or printf-family functions that might allocate
+/// through malloc while we *are* malloc, so messages are formatted into
+/// a stack buffer and written directly to stderr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_LOG_H
+#define MESH_SUPPORT_LOG_H
+
+namespace mesh {
+
+/// Writes a formatted diagnostic line to stderr. Never allocates.
+void logWarning(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Writes a formatted message to stderr and aborts. Never returns.
+[[noreturn]] void fatalError(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace mesh
+
+#endif // MESH_SUPPORT_LOG_H

@@ -1,0 +1,56 @@
+//===- MathUtils.h - Small arithmetic helpers -------------------*- C++ -*-===//
+///
+/// \file
+/// Power-of-two and rounding helpers used throughout the allocator, plus
+/// the geometric mean used when summarizing benchmark suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_MATHUTILS_H
+#define MESH_SUPPORT_MATHUTILS_H
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace mesh {
+
+inline constexpr bool isPowerOfTwo(size_t X) {
+  return X != 0 && (X & (X - 1)) == 0;
+}
+
+/// Rounds \p X up to the next multiple of \p Alignment (a power of two).
+inline constexpr size_t roundUpPow2Multiple(size_t X, size_t Alignment) {
+  return (X + Alignment - 1) & ~(Alignment - 1);
+}
+
+/// Rounds \p X up to the next power of two. roundUpToPowerOfTwo(0) == 1.
+inline constexpr size_t roundUpToPowerOfTwo(size_t X) {
+  if (X <= 1)
+    return 1;
+  return size_t{1} << (64 - __builtin_clzll(X - 1));
+}
+
+/// Floor of log2(X); X must be nonzero.
+inline constexpr unsigned log2Floor(size_t X) {
+  return 63 - static_cast<unsigned>(__builtin_clzll(X));
+}
+
+/// Geometric mean of \p Values; each value must be positive.
+template <typename Range> double geometricMean(const Range &Values) {
+  double LogSum = 0.0;
+  size_t N = 0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+    ++N;
+  }
+  if (N == 0)
+    return 0.0;
+  return std::exp(LogSum / static_cast<double>(N));
+}
+
+} // namespace mesh
+
+#endif // MESH_SUPPORT_MATHUTILS_H

@@ -1,0 +1,82 @@
+//===- Rng.h - Deterministic pseudo-random number generation ---*- C++ -*-===//
+///
+/// \file
+/// A small, fast, seedable PRNG (xoshiro256**, seeded via SplitMix64).
+/// Mesh's guarantees rest on randomized allocation, so every randomized
+/// decision in the allocator draws from one of these generators; fixing
+/// the seed makes whole-heap runs reproducible in tests and benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_RNG_H
+#define MESH_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace mesh {
+
+/// xoshiro256** generator with SplitMix64 seeding.
+///
+/// Not cryptographic; chosen for speed (the shuffle-vector fast path
+/// performs one draw per free) and statistical quality sufficient for
+/// the paper's uniform-offset arguments.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL) { seed(Seed); }
+
+  /// Re-seeds the generator deterministically from \p Seed.
+  void seed(uint64_t Seed) {
+    // SplitMix64 expansion, as recommended by the xoshiro authors.
+    for (auto &Word : State) {
+      Seed += 0x9E3779B97F4A7C15ULL;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in the inclusive range [\p Lo, \p Hi].
+  ///
+  /// Uses Lemire's multiply-shift reduction; the bias for our ranges
+  /// (at most 256 values) is at most 2^-56 and irrelevant in practice.
+  uint32_t inRange(uint32_t Lo, uint32_t Hi) {
+    assert(Lo <= Hi && "inRange requires a non-empty range");
+    const uint64_t Span = static_cast<uint64_t>(Hi) - Lo + 1;
+    const uint64_t Draw = next() >> 32;
+    return Lo + static_cast<uint32_t>((Draw * Span) >> 32);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P.
+  bool withProbability(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace mesh
+
+#endif // MESH_SUPPORT_RNG_H

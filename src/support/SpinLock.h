@@ -1,0 +1,59 @@
+//===- SpinLock.h - Test-and-test-and-set spin lock -------------*- C++ -*-===//
+///
+/// \file
+/// A small TTAS spin lock meeting the BasicLockable requirements. Mesh
+/// avoids std::mutex in paths reachable from the malloc interposition
+/// shim: pthread mutex initialization may itself allocate on some libcs,
+/// and the global-heap critical sections are short.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_SPINLOCK_H
+#define MESH_SUPPORT_SPINLOCK_H
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace mesh {
+
+/// Pauses the core briefly inside a spin loop.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpinLock {
+public:
+  SpinLock() = default;
+  SpinLock(const SpinLock &) = delete;
+  SpinLock &operator=(const SpinLock &) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!Locked.exchange(true, std::memory_order_acquire))
+        return;
+      while (Locked.load(std::memory_order_relaxed))
+        cpuRelax();
+    }
+  }
+
+  bool try_lock() {
+    return !Locked.load(std::memory_order_relaxed) &&
+           !Locked.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { Locked.store(false, std::memory_order_release); }
+
+private:
+  std::atomic<bool> Locked{false};
+};
+
+} // namespace mesh
+
+#endif // MESH_SUPPORT_SPINLOCK_H

@@ -1,0 +1,74 @@
+//===- StaticVector.h - Fixed-capacity inline vector ------------*- C++ -*-===//
+///
+/// \file
+/// A tiny fixed-capacity vector for trivially-copyable elements. Used
+/// where Mesh needs small bounded collections with no heap traffic,
+/// e.g. the list of virtual spans sharing a MiniHeap's physical span.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_STATICVECTOR_H
+#define MESH_SUPPORT_STATICVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace mesh {
+
+template <typename T, uint32_t Capacity> class StaticVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "StaticVector only supports trivially copyable types");
+
+public:
+  StaticVector() = default;
+
+  uint32_t size() const { return Count; }
+  static constexpr uint32_t capacity() { return Capacity; }
+  bool empty() const { return Count == 0; }
+  bool full() const { return Count == Capacity; }
+
+  void push_back(const T &Value) {
+    assert(Count < Capacity && "StaticVector overflow");
+    Data[Count++] = Value;
+  }
+
+  void pop_back() {
+    assert(Count > 0 && "pop_back on empty StaticVector");
+    --Count;
+  }
+
+  void clear() { Count = 0; }
+
+  T &operator[](uint32_t I) {
+    assert(I < Count && "StaticVector index out of range");
+    return Data[I];
+  }
+  const T &operator[](uint32_t I) const {
+    assert(I < Count && "StaticVector index out of range");
+    return Data[I];
+  }
+
+  T &back() { return (*this)[Count - 1]; }
+  const T &back() const { return (*this)[Count - 1]; }
+
+  /// Removes element \p I by swapping the last element into its slot.
+  void swapRemove(uint32_t I) {
+    assert(I < Count && "swapRemove index out of range");
+    Data[I] = Data[Count - 1];
+    --Count;
+  }
+
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Count; }
+  T *begin() { return Data; }
+  T *end() { return Data + Count; }
+
+private:
+  T Data[Capacity];
+  uint32_t Count = 0;
+};
+
+} // namespace mesh
+
+#endif // MESH_SUPPORT_STATICVECTOR_H

@@ -1,0 +1,167 @@
+//===- AllocTrace.cpp - Allocation trace record & replay ----------------------===//
+
+#include "workloads/AllocTrace.h"
+
+#include "support/Log.h"
+
+#include <cstring>
+#include <ctime>
+
+namespace mesh {
+
+namespace {
+
+double nowSeconds() {
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<double>(Ts.tv_sec) + Ts.tv_nsec * 1e-9;
+}
+
+unsigned char patternFor(uint32_t Id) {
+  return static_cast<unsigned char>(0x39 + Id * 0x9E3779B9u);
+}
+
+} // namespace
+
+size_t AllocTrace::liveBytesAtEnd() const {
+  std::vector<uint32_t> Sizes(ObjectCount, 0);
+  for (const TraceOp &Op : Ops) {
+    if (Op.Op == TraceOp::Malloc)
+      Sizes[Op.Id] = Op.Size;
+    else
+      Sizes[Op.Id] = 0;
+  }
+  size_t Total = 0;
+  for (uint32_t S : Sizes)
+    Total += S;
+  return Total;
+}
+
+bool AllocTrace::validate() const {
+  std::vector<bool> Live(ObjectCount, false);
+  for (const TraceOp &Op : Ops) {
+    if (Op.Id >= ObjectCount)
+      return false;
+    if (Op.Op == TraceOp::Malloc) {
+      if (Live[Op.Id])
+        return false; // id reused while live
+      Live[Op.Id] = true;
+    } else {
+      if (!Live[Op.Id])
+        return false; // free of dead object
+      Live[Op.Id] = false;
+    }
+  }
+  return true;
+}
+
+AllocTrace AllocTrace::churn(size_t Steps, size_t MaxLive, size_t MinSize,
+                             size_t MaxSize, uint64_t Seed) {
+  AllocTrace Trace;
+  Rng Random(Seed);
+  std::vector<uint32_t> Live;
+  uint32_t NextId = 0;
+  for (size_t Step = 0; Step < Steps; ++Step) {
+    const bool DoAlloc =
+        Live.empty() ||
+        (Live.size() < MaxLive && Random.withProbability(0.55));
+    if (DoAlloc) {
+      const auto Size = static_cast<uint32_t>(Random.inRange(
+          static_cast<uint32_t>(MinSize), static_cast<uint32_t>(MaxSize)));
+      Trace.recordMalloc(NextId, Size);
+      Live.push_back(NextId++);
+    } else {
+      const size_t Idx = Random.inRange(0, Live.size() - 1);
+      Trace.recordFree(Live[Idx]);
+      Live[Idx] = Live.back();
+      Live.pop_back();
+    }
+  }
+  return Trace;
+}
+
+AllocTrace AllocTrace::fragmented(size_t Count, size_t Size,
+                                  size_t KeepEvery) {
+  AllocTrace Trace;
+  for (uint32_t Id = 0; Id < Count; ++Id)
+    Trace.recordMalloc(Id, static_cast<uint32_t>(Size));
+  for (uint32_t Id = 0; Id < Count; ++Id)
+    if (Id % KeepEvery != 0)
+      Trace.recordFree(Id);
+  return Trace;
+}
+
+AllocTrace AllocTrace::generational(size_t Phases, size_t PerPhase,
+                                    size_t MinSize, size_t MaxSize,
+                                    uint64_t Seed) {
+  AllocTrace Trace;
+  Rng Random(Seed);
+  std::vector<std::vector<uint32_t>> Generations;
+  uint32_t NextId = 0;
+  for (size_t Phase = 0; Phase < Phases; ++Phase) {
+    std::vector<uint32_t> Gen;
+    for (size_t I = 0; I < PerPhase; ++I) {
+      const auto Size = static_cast<uint32_t>(Random.inRange(
+          static_cast<uint32_t>(MinSize), static_cast<uint32_t>(MaxSize)));
+      Trace.recordMalloc(NextId, Size);
+      Gen.push_back(NextId++);
+    }
+    Generations.push_back(std::move(Gen));
+    // The generation before last dies (old results are discarded).
+    if (Generations.size() >= 3) {
+      for (uint32_t Id : Generations[Generations.size() - 3])
+        Trace.recordFree(Id);
+      Generations[Generations.size() - 3].clear();
+    }
+  }
+  return Trace;
+}
+
+ReplayResult replayTrace(const AllocTrace &Trace, HeapBackend &Backend,
+                         uint64_t TickEvery) {
+  ReplayResult Result;
+  std::vector<char *> Objects(Trace.objectCount(), nullptr);
+  std::vector<uint32_t> Sizes(Trace.objectCount(), 0);
+  const double Start = nowSeconds();
+  uint64_t OpIndex = 0;
+  for (const TraceOp &Op : Trace.ops()) {
+    if (Op.Op == TraceOp::Malloc) {
+      char *P = static_cast<char *>(Backend.malloc(Op.Size));
+      if (P == nullptr)
+        fatalError("trace replay: allocation of %u bytes failed", Op.Size);
+      memset(P, patternFor(Op.Id), Op.Size);
+      Objects[Op.Id] = P;
+      Sizes[Op.Id] = Op.Size;
+    } else {
+      char *P = Objects[Op.Id];
+      // Verify first/last byte: catches cross-object corruption during
+      // replay (e.g. a mis-meshed span).
+      const unsigned char Want = patternFor(Op.Id);
+      if (static_cast<unsigned char>(P[0]) != Want ||
+          static_cast<unsigned char>(P[Sizes[Op.Id] - 1]) != Want)
+        fatalError("trace replay: object %u corrupted", Op.Id);
+      Result.Checksum += Want;
+      Backend.free(P);
+      Objects[Op.Id] = nullptr;
+    }
+    ++OpIndex;
+    if (TickEvery != 0 && OpIndex % TickEvery == 0) {
+      Backend.tick();
+      const size_t Now = Backend.committedBytes();
+      if (Now > Result.PeakCommittedBytes)
+        Result.PeakCommittedBytes = Now;
+    }
+  }
+  Result.Seconds = nowSeconds() - Start;
+  const size_t Final = Backend.committedBytes();
+  if (Final > Result.PeakCommittedBytes)
+    Result.PeakCommittedBytes = Final;
+  Result.FinalCommittedBytes = Final;
+  Result.LiveBytesAtEnd = Trace.liveBytesAtEnd();
+  for (uint32_t Id = 0; Id < Trace.objectCount(); ++Id)
+    if (Objects[Id] != nullptr)
+      Backend.free(Objects[Id]);
+  return Result;
+}
+
+} // namespace mesh

@@ -1,0 +1,98 @@
+//===- AllocTrace.h - Allocation trace record & replay ----------*- C++ -*-===//
+///
+/// \file
+/// A minimal allocation-trace substrate: traces are sequences of
+/// malloc/free operations with stable object ids, so the *same*
+/// allocation stream can be replayed against any HeapBackend — the
+/// methodological core of the paper's evaluation (identical workload,
+/// different allocators, compare RSS). Includes generators for the
+/// canonical stream shapes used across the benchmarks and a recorder
+/// for capturing traces from instrumented call sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_WORKLOADS_ALLOCTRACE_H
+#define MESH_WORKLOADS_ALLOCTRACE_H
+
+#include "baseline/HeapBackend.h"
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mesh {
+
+/// One traced operation. Frees reference the allocating op's index.
+struct TraceOp {
+  enum Kind : uint8_t { Malloc, Free };
+  Kind Op;
+  uint32_t Id;   ///< Object id (allocation index).
+  uint32_t Size; ///< Malloc only.
+};
+
+class AllocTrace {
+public:
+  void recordMalloc(uint32_t Id, size_t Size) {
+    Ops.push_back(TraceOp{TraceOp::Malloc, Id,
+                          static_cast<uint32_t>(Size)});
+    if (Id >= ObjectCount)
+      ObjectCount = Id + 1;
+  }
+  void recordFree(uint32_t Id) {
+    Ops.push_back(TraceOp{TraceOp::Free, Id, 0});
+  }
+
+  const std::vector<TraceOp> &ops() const { return Ops; }
+  size_t objectCount() const { return ObjectCount; }
+
+  /// Total bytes live at the end of the trace (leaked objects).
+  size_t liveBytesAtEnd() const;
+
+  /// Verifies well-formedness: every free targets a live object, no
+  /// double frees, ids dense. Returns false on violation.
+  bool validate() const;
+
+  // -- Generators (deterministic given the seed) ------------------------
+
+  /// Uniform churn: \p Steps operations, live set bounded by \p MaxLive,
+  /// sizes uniform in [\p MinSize, \p MaxSize].
+  static AllocTrace churn(size_t Steps, size_t MaxLive, size_t MinSize,
+                          size_t MaxSize, uint64_t Seed);
+
+  /// The fragmentation shape: allocate \p Count objects of \p Size,
+  /// then free all but every \p KeepEvery-th.
+  static AllocTrace fragmented(size_t Count, size_t Size,
+                               size_t KeepEvery);
+
+  /// Phased lifetimes: \p Phases rounds of \p PerPhase allocations
+  /// where each round frees the survivors of the round before last.
+  static AllocTrace generational(size_t Phases, size_t PerPhase,
+                                 size_t MinSize, size_t MaxSize,
+                                 uint64_t Seed);
+
+private:
+  std::vector<TraceOp> Ops;
+  size_t ObjectCount = 0;
+};
+
+/// Result of replaying a trace against a backend.
+struct ReplayResult {
+  size_t PeakCommittedBytes = 0;
+  size_t FinalCommittedBytes = 0;
+  size_t LiveBytesAtEnd = 0;
+  double Seconds = 0;
+  uint64_t Checksum = 0; ///< Over object contents; equal across backends.
+};
+
+/// Replays \p Trace against \p Backend. Every object is filled with a
+/// deterministic pattern on allocation and verified on free, so replay
+/// doubles as a correctness check. \p TickEvery invokes Backend.tick()
+/// on that op cadence (0 = never). Leaked objects are freed at the end
+/// (after FinalCommittedBytes is read).
+ReplayResult replayTrace(const AllocTrace &Trace, HeapBackend &Backend,
+                         uint64_t TickEvery = 0);
+
+} // namespace mesh
+
+#endif // MESH_WORKLOADS_ALLOCTRACE_H

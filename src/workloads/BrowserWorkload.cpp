@@ -1,0 +1,131 @@
+//===- BrowserWorkload.cpp - Firefox/Speedometer stand-in --------------------===//
+
+#include "workloads/BrowserWorkload.h"
+
+#include "support/Rng.h"
+
+#include <cstring>
+#include <ctime>
+#include <vector>
+
+namespace mesh {
+
+namespace {
+
+double nowSeconds() {
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<double>(Ts.tv_sec) + Ts.tv_nsec * 1e-9;
+}
+
+/// Defeats dead-code elimination of dwell-work checksums.
+void benchmarkKeepAlive(uint64_t Value) {
+  __asm__ volatile("" : : "r"(Value) : "memory");
+}
+
+/// DOM-flavoured size distribution: lots of node-sized objects, a tail
+/// of strings/styles, occasional buffers. Sizes land in distinct size
+/// classes so fragmentation spreads across classes like a browser's.
+size_t drawSize(Rng &Random) {
+  const uint32_t Kind = Random.inRange(0, 99);
+  if (Kind < 40)
+    return 32 + 16 * Random.inRange(0, 5); // DOM nodes: 32..112
+  if (Kind < 65)
+    return 128 + 16 * Random.inRange(0, 23); // styles: 128..496
+  if (Kind < 85)
+    return 16 + 8 * Random.inRange(0, 5); // small strings
+  if (Kind < 97)
+    return 512 + 64 * Random.inRange(0, 23); // text runs: 512..1984
+  return 4096 + 1024 * Random.inRange(0, 27); // buffers: 4K..31K
+}
+
+} // namespace
+
+BrowserWorkloadResult runBrowserWorkload(HeapBackend &Backend,
+                                         MemoryMeter &Meter,
+                                         const BrowserWorkloadConfig &Cfg) {
+  BrowserWorkloadResult Result;
+  Rng Random(Cfg.Seed);
+  const double Start = nowSeconds();
+  uint64_t TotalOps = 0;
+
+  // Objects that survive their episode (caches, retained documents).
+  std::vector<std::pair<char *, size_t>> Persistent;
+
+  for (int Episode = 0; Episode < Cfg.Episodes; ++Episode) {
+    std::vector<std::pair<char *, size_t>> EpisodeLive;
+    EpisodeLive.reserve(Cfg.AllocsPerEpisode / 2);
+    uint64_t EpisodeChecksum = 0;
+    for (size_t I = 0; I < Cfg.AllocsPerEpisode; ++I) {
+      const size_t Size = drawSize(Random);
+      auto *P = static_cast<char *>(Backend.malloc(Size));
+      // Initialize the object and do a little "layout" work over it —
+      // a real DOM node is constructed and styled, not just placed.
+      memset(P, 'b', Size);
+      for (size_t J = 0; J < Size; J += 16)
+        EpisodeChecksum += static_cast<unsigned char>(P[J]) + J;
+      EpisodeLive.push_back({P, Size});
+      ++TotalOps;
+      Meter.recordOp();
+      // In-episode churn: DOM rebuilds free recent allocations.
+      if (!EpisodeLive.empty() &&
+          Random.withProbability(Cfg.InEpisodeChurn)) {
+        const size_t Idx = Random.inRange(0, EpisodeLive.size() - 1);
+        Backend.free(EpisodeLive[Idx].first);
+        EpisodeLive[Idx] = EpisodeLive.back();
+        EpisodeLive.pop_back();
+        ++TotalOps;
+        Meter.recordOp();
+      }
+    }
+    benchmarkKeepAlive(EpisodeChecksum);
+    // Suite teardown: most of the episode dies, a slice survives.
+    for (auto &[P, Size] : EpisodeLive) {
+      if (Random.withProbability(Cfg.SurvivalFraction)) {
+        Persistent.push_back({P, Size});
+      } else {
+        Backend.free(P);
+        ++TotalOps;
+      }
+      Meter.recordOp();
+    }
+    // Periodically the browser drops old caches (tab GC), leaving the
+    // sparse spans a compacting allocator can reclaim.
+    if (Episode % 6 == 5) {
+      size_t Kept = 0;
+      for (size_t I = 0; I < Persistent.size(); ++I) {
+        if (Random.withProbability(0.5))
+          Persistent[Kept++] = Persistent[I];
+        else
+          Backend.free(Persistent[I].first);
+        Meter.recordOp();
+      }
+      Persistent.resize(Kept);
+    }
+    // Dwell: layout/JS work over the retained state (most of a real
+    // suite's time is spent here, not in the allocator).
+    uint64_t Checksum = 0;
+    for (int Dwell = 0; Dwell < 3; ++Dwell) {
+      for (auto &[P, Size] : Persistent)
+        for (size_t J = 0; J < Size; J += 64)
+          Checksum += static_cast<unsigned char>(P[J]);
+      Meter.sampleNow();
+    }
+    benchmarkKeepAlive(Checksum);
+  }
+
+  // Cooldown: the paper samples for 15 s after the score is reported.
+  for (int Round = 0; Round < Cfg.CooldownRounds; ++Round) {
+    Backend.flush();
+    Meter.sampleNow();
+  }
+
+  Result.Seconds = nowSeconds() - Start;
+  Result.Score = static_cast<double>(TotalOps) / Result.Seconds;
+  Result.FinalCommittedBytes = Backend.committedBytes();
+  for (auto &[P, Size] : Persistent)
+    Backend.free(P);
+  return Result;
+}
+
+} // namespace mesh

@@ -1,0 +1,50 @@
+//===- BrowserWorkload.h - Firefox/Speedometer stand-in ---------*- C++ -*-===//
+///
+/// \file
+/// The Firefox + Speedometer 2.0 stand-in (paper Section 6.2.1).
+/// Speedometer runs a series of small "todo app" suites; each suite
+/// builds DOM nodes, style structs and strings, churns them while the
+/// app runs, and tears most of it down when the suite ends — but some
+/// state (caches, retained documents) survives across suites and
+/// fragments the heap. The run ends with a cooldown during which the
+/// paper's mstat kept sampling (that is when compaction pays off).
+///
+/// The generator reproduces that allocation stream: per-episode mixed
+/// size classes drawn from a DOM-flavoured distribution, in-episode
+/// churn, partial survival across episodes, and a final cooldown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_WORKLOADS_BROWSERWORKLOAD_H
+#define MESH_WORKLOADS_BROWSERWORKLOAD_H
+
+#include "workloads/MemoryMeter.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mesh {
+
+struct BrowserWorkloadConfig {
+  int Episodes = 24;              ///< Speedometer test suites.
+  size_t AllocsPerEpisode = 50000;
+  double InEpisodeChurn = 0.45;   ///< Fraction freed while running.
+  double SurvivalFraction = 0.12; ///< Outlives its episode.
+  int CooldownRounds = 10;
+  uint64_t Seed = 5704; // Firefox 57.0.4
+  uint64_t OpsPerSample = 16384;
+};
+
+struct BrowserWorkloadResult {
+  double Seconds = 0;
+  double Score = 0; ///< Operations per second (Speedometer analogue).
+  size_t FinalCommittedBytes = 0;
+};
+
+BrowserWorkloadResult runBrowserWorkload(HeapBackend &Backend,
+                                         MemoryMeter &Meter,
+                                         const BrowserWorkloadConfig &Config);
+
+} // namespace mesh
+
+#endif // MESH_WORKLOADS_BROWSERWORKLOAD_H

@@ -1,0 +1,231 @@
+//===- KVStore.cpp - Redis-like key/value store ------------------------------===//
+
+#include "workloads/KVStore.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace mesh {
+
+KVStore::KVStore(HeapBackend &Backend, size_t Budget, unsigned Samples)
+    : Heap(Backend), MaxBytes(Budget), EvictionSamples(Samples) {
+  BucketCount = 1024;
+  Buckets = static_cast<Node **>(
+      Heap.malloc(BucketCount * sizeof(Node *)));
+  memset(Buckets, 0, BucketCount * sizeof(Node *));
+}
+
+KVStore::~KVStore() {
+  for (size_t B = 0; B < BucketCount; ++B) {
+    Node *N = Buckets[B];
+    while (N != nullptr) {
+      Node *Next = N->HashNext;
+      destroyNode(N);
+      N = Next;
+    }
+  }
+  Heap.free(Buckets);
+}
+
+uint64_t KVStore::hashBytes(std::string_view Bytes) {
+  // FNV-1a.
+  uint64_t H = 14695981039346656037ULL;
+  for (char C : Bytes) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+KVStore::Node **KVStore::bucketFor(std::string_view Key) {
+  return &Buckets[hashBytes(Key) & (BucketCount - 1)];
+}
+
+KVStore::Node *KVStore::find(std::string_view Key) {
+  for (Node *N = *bucketFor(Key); N != nullptr; N = N->HashNext)
+    if (Key.size() == N->KeyLen &&
+        memcmp(Key.data(), N->Key, N->KeyLen) == 0)
+      return N;
+  return nullptr;
+}
+
+void KVStore::detachLru(Node *N) {
+  if (N->LruPrev != nullptr)
+    N->LruPrev->LruNext = N->LruNext;
+  else
+    LruHead = N->LruNext;
+  if (N->LruNext != nullptr)
+    N->LruNext->LruPrev = N->LruPrev;
+  else
+    LruTail = N->LruPrev;
+  N->LruPrev = N->LruNext = nullptr;
+}
+
+void KVStore::pushFrontLru(Node *N) {
+  N->LruPrev = nullptr;
+  N->LruNext = LruHead;
+  if (LruHead != nullptr)
+    LruHead->LruPrev = N;
+  LruHead = N;
+  if (LruTail == nullptr)
+    LruTail = N;
+}
+
+char *KVStore::copyString(std::string_view S) {
+  char *Mem = static_cast<char *>(Heap.malloc(S.size()));
+  memcpy(Mem, S.data(), S.size());
+  return Mem;
+}
+
+void KVStore::destroyNode(Node *N) {
+  Payload -= N->KeyLen + N->ValueLen;
+  Heap.free(N->Key);
+  Heap.free(N->Value);
+  Heap.free(N);
+  --Count;
+}
+
+KVStore::Node *KVStore::sampleEvictionVictim() {
+  // Redis-style approximated LRU: sample EvictionSamples random
+  // entries (via random hash buckets) and take the stalest.
+  Node *Victim = nullptr;
+  unsigned Sampled = 0;
+  unsigned Attempts = 0;
+  while (Sampled < EvictionSamples && Attempts < EvictionSamples * 8) {
+    ++Attempts;
+    const size_t B = SampleRng.inRange(0, BucketCount - 1);
+    Node *N = Buckets[B];
+    if (N == nullptr)
+      continue;
+    // Walk a random distance into the chain.
+    for (uint32_t Hop = SampleRng.inRange(0, 2); Hop > 0 && N->HashNext;
+         --Hop)
+      N = N->HashNext;
+    ++Sampled;
+    if (Victim == nullptr || N->LastUsed < Victim->LastUsed)
+      Victim = N;
+  }
+  return Victim != nullptr ? Victim : LruTail;
+}
+
+void KVStore::removeNode(Node *N) {
+  detachLru(N);
+  Node **Slot = bucketFor(std::string_view(N->Key, N->KeyLen));
+  while (*Slot != N)
+    Slot = &(*Slot)->HashNext;
+  *Slot = N->HashNext;
+  destroyNode(N);
+}
+
+void KVStore::evictIfNeeded() {
+  if (MaxBytes == 0)
+    return;
+  while (Payload > MaxBytes && LruTail != nullptr) {
+    Node *Victim =
+        EvictionSamples == 0 ? LruTail : sampleEvictionVictim();
+    removeNode(Victim);
+    ++Evictions;
+  }
+}
+
+void KVStore::rehashIfNeeded() {
+  if (Count < BucketCount * 2)
+    return;
+  const size_t NewCount = BucketCount * 4;
+  Node **Fresh = static_cast<Node **>(
+      Heap.malloc(NewCount * sizeof(Node *)));
+  memset(Fresh, 0, NewCount * sizeof(Node *));
+  for (size_t B = 0; B < BucketCount; ++B) {
+    Node *N = Buckets[B];
+    while (N != nullptr) {
+      Node *Next = N->HashNext;
+      Node **Slot =
+          &Fresh[hashBytes(std::string_view(N->Key, N->KeyLen)) &
+                 (NewCount - 1)];
+      N->HashNext = *Slot;
+      *Slot = N;
+      N = Next;
+    }
+  }
+  Heap.free(Buckets);
+  Buckets = Fresh;
+  BucketCount = NewCount;
+}
+
+void KVStore::set(std::string_view Key, std::string_view Value) {
+  if (Node *Existing = find(Key)) {
+    Payload -= Existing->ValueLen;
+    Heap.free(Existing->Value);
+    Existing->Value = copyString(Value);
+    Existing->ValueLen = static_cast<uint32_t>(Value.size());
+    Existing->LastUsed = ++LruClock;
+    Payload += Value.size();
+    detachLru(Existing);
+    pushFrontLru(Existing);
+    evictIfNeeded();
+    return;
+  }
+  auto *N = static_cast<Node *>(Heap.malloc(sizeof(Node)));
+  N->HashNext = nullptr;
+  N->LruPrev = N->LruNext = nullptr;
+  N->Key = copyString(Key);
+  N->KeyLen = static_cast<uint32_t>(Key.size());
+  N->Value = copyString(Value);
+  N->ValueLen = static_cast<uint32_t>(Value.size());
+  N->LastUsed = ++LruClock;
+  Node **Slot = bucketFor(Key);
+  N->HashNext = *Slot;
+  *Slot = N;
+  pushFrontLru(N);
+  Payload += Key.size() + Value.size();
+  ++Count;
+  rehashIfNeeded();
+  evictIfNeeded();
+}
+
+std::string_view KVStore::get(std::string_view Key) {
+  Node *N = find(Key);
+  if (N == nullptr)
+    return {};
+  N->LastUsed = ++LruClock;
+  detachLru(N);
+  pushFrontLru(N);
+  return std::string_view(N->Value, N->ValueLen);
+}
+
+bool KVStore::del(std::string_view Key) {
+  Node **Slot = bucketFor(Key);
+  while (*Slot != nullptr) {
+    Node *N = *Slot;
+    if (Key.size() == N->KeyLen &&
+        memcmp(Key.data(), N->Key, N->KeyLen) == 0) {
+      *Slot = N->HashNext;
+      detachLru(N);
+      destroyNode(N);
+      return true;
+    }
+    Slot = &N->HashNext;
+  }
+  return false;
+}
+
+size_t KVStore::activeDefrag() {
+  // Walk every entry, copy key and value into fresh allocations, free
+  // the old ones (Redis's approach: hope the allocator packs the new
+  // copies contiguously).
+  size_t Moved = 0;
+  for (size_t B = 0; B < BucketCount; ++B) {
+    for (Node *N = Buckets[B]; N != nullptr; N = N->HashNext) {
+      char *NewKey = copyString(std::string_view(N->Key, N->KeyLen));
+      Heap.free(N->Key);
+      N->Key = NewKey;
+      char *NewValue = copyString(std::string_view(N->Value, N->ValueLen));
+      Heap.free(N->Value);
+      N->Value = NewValue;
+      Moved += N->KeyLen + N->ValueLen;
+    }
+  }
+  return Moved;
+}
+
+} // namespace mesh

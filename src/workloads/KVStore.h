@@ -1,0 +1,105 @@
+//===- KVStore.h - Redis-like key/value store -------------------*- C++ -*-===//
+///
+/// \file
+/// The Redis stand-in for the Section 6.2.2 experiment: an in-memory
+/// string key/value store with LRU eviction at a byte budget and an
+/// optional "active defragmentation" pass that re-allocates every
+/// entry into fresh memory and frees the old copies — the ad hoc,
+/// application-level compaction Redis 4.0 ships (Section 7 discusses
+/// why that approach is brittle; this benchmark quantifies it).
+///
+/// All storage (hash table, nodes, strings) comes from the injected
+/// HeapBackend so fragmentation accrues in the allocator under test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_WORKLOADS_KVSTORE_H
+#define MESH_WORKLOADS_KVSTORE_H
+
+#include "baseline/HeapBackend.h"
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mesh {
+
+class KVStore {
+public:
+  /// \p MaxBytes is the LRU budget over key+value payload bytes
+  /// (0 = unlimited). Eviction follows Redis's *approximated* LRU:
+  /// sample \p EvictionSamples random entries and evict the least
+  /// recently used of them (Redis's maxmemory-samples, default 5).
+  /// Sampled eviction is what scatters frees across spans — with exact
+  /// LRU, frees would track allocation order and fragmentation would
+  /// be minimal.
+  KVStore(HeapBackend &Backend, size_t MaxBytes,
+          unsigned EvictionSamples = 5);
+  ~KVStore();
+
+  KVStore(const KVStore &) = delete;
+  KVStore &operator=(const KVStore &) = delete;
+
+  /// Inserts or overwrites; evicts least-recently-used entries if the
+  /// budget is exceeded.
+  void set(std::string_view Key, std::string_view Value);
+
+  /// Returns the value (marking the entry most-recently-used), or an
+  /// empty view when absent.
+  std::string_view get(std::string_view Key);
+
+  /// Removes the entry; returns true if it existed.
+  bool del(std::string_view Key);
+
+  size_t entryCount() const { return Count; }
+  size_t payloadBytes() const { return Payload; }
+  uint64_t evictionCount() const { return Evictions; }
+
+  /// Redis-style active defragmentation: copies every entry's key and
+  /// value into freshly allocated memory and frees the originals, in
+  /// the hope the allocator packs the new copies densely.
+  /// \returns the number of bytes re-allocated.
+  size_t activeDefrag();
+
+private:
+  struct Node {
+    Node *HashNext;
+    Node *LruPrev;
+    Node *LruNext;
+    char *Key;
+    uint32_t KeyLen;
+    char *Value;
+    uint32_t ValueLen;
+    uint64_t LastUsed; ///< LRU clock stamp for sampled eviction.
+  };
+
+  static uint64_t hashBytes(std::string_view Bytes);
+  Node **bucketFor(std::string_view Key);
+  Node *find(std::string_view Key);
+  void detachLru(Node *N);
+  void pushFrontLru(Node *N);
+  void evictIfNeeded();
+  Node *sampleEvictionVictim();
+  void removeNode(Node *N);
+  void destroyNode(Node *N);
+  char *copyString(std::string_view S);
+  void rehashIfNeeded();
+
+  HeapBackend &Heap;
+  size_t MaxBytes;
+  unsigned EvictionSamples;
+  Rng SampleRng{0x4C5255}; // "LRU"
+  uint64_t LruClock = 0;
+  Node **Buckets = nullptr;
+  size_t BucketCount = 0;
+  size_t Count = 0;
+  size_t Payload = 0;
+  uint64_t Evictions = 0;
+  Node *LruHead = nullptr; ///< Most recently used.
+  Node *LruTail = nullptr; ///< Least recently used.
+};
+
+} // namespace mesh
+
+#endif // MESH_WORKLOADS_KVSTORE_H

@@ -1,0 +1,57 @@
+//===- MemoryMeter.cpp - RSS time-series sampling -----------------------------===//
+
+#include "workloads/MemoryMeter.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace mesh {
+
+static uint64_t nowNs() {
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ULL +
+         static_cast<uint64_t>(Ts.tv_nsec);
+}
+
+MemoryMeter::MemoryMeter(HeapBackend &B, uint64_t Cadence)
+    : Backend(B), OpsPerSample(Cadence == 0 ? 1 : Cadence),
+      StartNs(nowNs()) {
+  sampleNow();
+}
+
+void MemoryMeter::sampleNow() {
+  Backend.tick();
+  Samples.push_back(Sample{Ops, (nowNs() - StartNs) * 1e-9,
+                           Backend.committedBytes()});
+}
+
+double MemoryMeter::meanCommittedBytes() const {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = 0;
+  for (const Sample &S : Samples)
+    Sum += static_cast<double>(S.CommittedBytes);
+  return Sum / static_cast<double>(Samples.size());
+}
+
+size_t MemoryMeter::peakCommittedBytes() const {
+  size_t Peak = 0;
+  for (const Sample &S : Samples)
+    if (S.CommittedBytes > Peak)
+      Peak = S.CommittedBytes;
+  return Peak;
+}
+
+double MemoryMeter::elapsedSeconds() const {
+  return Samples.empty() ? 0.0 : Samples.back().ElapsedSeconds;
+}
+
+void MemoryMeter::printSeries(const char *Label) const {
+  for (const Sample &S : Samples)
+    printf("series\t%s\t%llu\t%.4f\t%.2f\n", Label,
+           static_cast<unsigned long long>(S.OpIndex), S.ElapsedSeconds,
+           static_cast<double>(S.CommittedBytes) / (1024.0 * 1024.0));
+}
+
+} // namespace mesh

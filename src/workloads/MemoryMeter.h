@@ -1,0 +1,65 @@
+//===- MemoryMeter.h - RSS time-series sampling -----------------*- C++ -*-===//
+///
+/// \file
+/// The mstat stand-in (paper Section 6.1): samples an allocator's
+/// physical footprint on a fixed cadence and reports the time series
+/// plus the summary statistics the paper quotes (mean and peak heap
+/// size over a run). Sampling is driven by workload progress (operation
+/// count) rather than wall time, so runs are reproducible; each sample
+/// also records elapsed wall time for the latency-flavoured results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_WORKLOADS_MEMORYMETER_H
+#define MESH_WORKLOADS_MEMORYMETER_H
+
+#include "baseline/HeapBackend.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mesh {
+
+class MemoryMeter {
+public:
+  struct Sample {
+    uint64_t OpIndex;
+    double ElapsedSeconds;
+    size_t CommittedBytes;
+  };
+
+  /// \p Backend is sampled every \p OpsPerSample operations; tick() is
+  /// invoked on the backend at each sample (the allocator's periodic
+  /// maintenance hook).
+  MemoryMeter(HeapBackend &Backend, uint64_t OpsPerSample);
+
+  /// Advances the operation counter; samples when the cadence is hit.
+  void recordOp() {
+    if (++Ops % OpsPerSample == 0)
+      sampleNow();
+  }
+
+  /// Takes an immediate sample regardless of cadence.
+  void sampleNow();
+
+  const std::vector<Sample> &samples() const { return Samples; }
+
+  double meanCommittedBytes() const;
+  size_t peakCommittedBytes() const;
+  double elapsedSeconds() const;
+
+  /// Prints "series <label> <op> <seconds> <MiB>" rows for plotting.
+  void printSeries(const char *Label) const;
+
+private:
+  HeapBackend &Backend;
+  uint64_t OpsPerSample;
+  uint64_t Ops = 0;
+  uint64_t StartNs;
+  std::vector<Sample> Samples;
+};
+
+} // namespace mesh
+
+#endif // MESH_WORKLOADS_MEMORYMETER_H

@@ -1,0 +1,58 @@
+//===- RedisWorkload.h - Section 6.2.2 Redis benchmark ----------*- C++ -*-===//
+///
+/// \file
+/// The benchmark adapted from the official Redis test suite (paper
+/// Section 6.2.2): configure the store as an LRU cache capped at
+/// 100 MB, insert 700,000 random keys with 240-byte values, then
+/// 170,000 keys with 492-byte values, then idle — during which either
+/// Redis-style active defragmentation or Mesh's automatic compaction
+/// reclaims the fragmentation left behind by eviction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_WORKLOADS_REDISWORKLOAD_H
+#define MESH_WORKLOADS_REDISWORKLOAD_H
+
+#include "workloads/KVStore.h"
+#include "workloads/MemoryMeter.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mesh {
+
+struct RedisWorkloadConfig {
+  size_t LruBudgetBytes = 100 * 1024 * 1024;
+  size_t Phase1Keys = 700000;
+  size_t Phase1ValueLen = 240;
+  size_t Phase2Keys = 170000;
+  size_t Phase2ValueLen = 492;
+  /// Scales key counts and the budget together (tests use < 1).
+  double Scale = 1.0;
+  uint64_t Seed = 20190622; // PLDI'19
+  uint64_t OpsPerSample = 20000;
+  /// Run the application-level defragmenter during idle (the
+  /// "jemalloc + activedefrag" configuration).
+  bool UseActiveDefrag = false;
+  /// Idle sampling rounds after the insert phases; allocator
+  /// maintenance (flush/defrag) runs once per round.
+  int IdleRounds = 12;
+};
+
+struct RedisWorkloadResult {
+  double InsertSeconds = 0;      ///< Wall time for both insert phases.
+  double MaintenanceSeconds = 0; ///< Time inside defrag or meshing.
+  size_t DefragMovedBytes = 0;   ///< Bytes copied by active defrag.
+  uint64_t Evictions = 0;
+  size_t FinalCommittedBytes = 0;
+  size_t FinalEntries = 0;
+};
+
+/// Runs the full benchmark against \p Backend, sampling into \p Meter.
+RedisWorkloadResult runRedisWorkload(HeapBackend &Backend,
+                                     MemoryMeter &Meter,
+                                     const RedisWorkloadConfig &Config);
+
+} // namespace mesh
+
+#endif // MESH_WORKLOADS_REDISWORKLOAD_H

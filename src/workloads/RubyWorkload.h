@@ -1,0 +1,45 @@
+//===- RubyWorkload.h - Section 6.3 Ruby microbenchmark ---------*- C++ -*-===//
+///
+/// \file
+/// The synthetic microbenchmark from paper Section 6.3, transliterated
+/// from Ruby: repeatedly allocate a batch of fixed-size strings,
+/// retain references to 25% of them and drop the rest (simulating
+/// accumulating API results and periodically filtering), then double
+/// the string length and repeat. The regular allocation pattern is
+/// exactly the regime where randomization is *essential* for meshing
+/// to find non-overlapping pages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_WORKLOADS_RUBYWORKLOAD_H
+#define MESH_WORKLOADS_RUBYWORKLOAD_H
+
+#include "workloads/MemoryMeter.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mesh {
+
+struct RubyWorkloadConfig {
+  size_t InitialStringLen = 16;
+  int Rounds = 8;            ///< Length doubles each round.
+  size_t BytesPerRound = 24 * 1024 * 1024;
+  double RetainFraction = 0.25;
+  uint64_t Seed = 251; // Ruby 2.5.1
+  uint64_t OpsPerSample = 8192;
+};
+
+struct RubyWorkloadResult {
+  double Seconds = 0;
+  size_t FinalLiveBytes = 0;   ///< Payload the program still references.
+  size_t FinalCommittedBytes = 0;
+  uint64_t Checksum = 0;       ///< Defeats dead-code elimination.
+};
+
+RubyWorkloadResult runRubyWorkload(HeapBackend &Backend, MemoryMeter &Meter,
+                                   const RubyWorkloadConfig &Config);
+
+} // namespace mesh
+
+#endif // MESH_WORKLOADS_RUBYWORKLOAD_H

@@ -1,0 +1,89 @@
+//===- CliqueCoverTest.cpp - MinCliqueCover tests --------------------------===//
+
+#include "analysis/CliqueCover.h"
+
+#include "analysis/Matching.h"
+
+#include <gtest/gtest.h>
+
+namespace mesh {
+namespace analysis {
+namespace {
+
+SpanString fromBits(uint32_t B, std::initializer_list<uint32_t> Bits) {
+  SpanString S(B);
+  for (uint32_t I : Bits)
+    S.setBit(I);
+  return S;
+}
+
+TEST(CliqueCoverTest, EdgeCases) {
+  MeshingGraph Empty({});
+  EXPECT_EQ(minCliqueCoverExact(Empty), 0u);
+  MeshingGraph One({fromBits(8, {0})});
+  EXPECT_EQ(minCliqueCoverExact(One), 1u);
+  EXPECT_EQ(greedyCliqueCover(One), 1u);
+}
+
+TEST(CliqueCoverTest, IsolatedNodesNeedOneCliqueEach) {
+  // Identical fully-overlapping strings: no edges at all.
+  std::vector<SpanString> Spans(6, fromBits(8, {0, 1, 2}));
+  MeshingGraph G(Spans);
+  EXPECT_EQ(minCliqueCoverExact(G), 6u);
+  EXPECT_EQ(greedyCliqueCover(G), 6u);
+}
+
+TEST(CliqueCoverTest, AllZeroStringsAreOneClique) {
+  std::vector<SpanString> Spans(8, SpanString(16));
+  MeshingGraph G(Spans);
+  EXPECT_EQ(minCliqueCoverExact(G), 1u)
+      << "mutually meshable strings release n-1 spans";
+}
+
+TEST(CliqueCoverTest, DisjointTriples) {
+  // Three strings with pairwise-disjoint bits form a clique; two such
+  // groups that overlap across groups need exactly 2 cliques.
+  std::vector<SpanString> Spans = {
+      fromBits(12, {0}), fromBits(12, {1}), fromBits(12, {2}),
+      fromBits(12, {0}), fromBits(12, {1}), fromBits(12, {2}),
+  };
+  // {0,1,2} mesh mutually; duplicates collide with their twin.
+  MeshingGraph G(Spans);
+  EXPECT_EQ(minCliqueCoverExact(G), 2u);
+}
+
+TEST(CliqueCoverTest, GreedyNeverBeatsExact) {
+  Rng Random(21);
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    auto Spans = randomSpans(12, 16, 4, Random);
+    MeshingGraph G(Spans);
+    const size_t Exact = minCliqueCoverExact(G);
+    const size_t Greedy = greedyCliqueCover(G);
+    EXPECT_GE(Greedy, Exact);
+    EXPECT_LE(Exact, Spans.size());
+    EXPECT_GE(Exact, 1u);
+  }
+}
+
+TEST(CliqueCoverTest, MatchingNearlyMatchesCliqueCoverRelease) {
+  // Section 5.2's thesis: since triangles are rare, meshing pairs
+  // (Matching) releases nearly as many spans as full MinCliqueCover.
+  // Released by cover = n - cover; by matching = matching size.
+  Rng Random(22);
+  size_t CoverRelease = 0, MatchRelease = 0;
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    auto Spans = randomSpans(14, 32, 10, Random);
+    MeshingGraph G(Spans);
+    CoverRelease += Spans.size() - minCliqueCoverExact(G);
+    MatchRelease += maxMatchingExact(G);
+  }
+  EXPECT_LE(MatchRelease, CoverRelease);
+  // At 31% occupancy triangles are rare; matching recovers almost all
+  // of the clique-cover value.
+  EXPECT_GE(MatchRelease * 10, CoverRelease * 9)
+      << "matching should capture >= 90% of clique-cover's release";
+}
+
+} // namespace
+} // namespace analysis
+} // namespace mesh

@@ -1,0 +1,112 @@
+//===- MeshingGraphTest.cpp - Section 5.1 graph model tests ----------------===//
+
+#include "analysis/MeshingGraph.h"
+
+#include <gtest/gtest.h>
+
+namespace mesh {
+namespace analysis {
+namespace {
+
+SpanString fromBits(uint32_t B, std::initializer_list<uint32_t> Bits) {
+  SpanString S(B);
+  for (uint32_t I : Bits)
+    S.setBit(I);
+  return S;
+}
+
+TEST(SpanStringTest, MeshingIsDotProductZero) {
+  SpanString A = fromBits(8, {0, 1, 3});
+  SpanString B = fromBits(8, {2, 4});
+  SpanString C = fromBits(8, {3, 5});
+  EXPECT_TRUE(A.meshesWith(B));
+  EXPECT_FALSE(A.meshesWith(C)) << "offset 3 collides";
+  EXPECT_TRUE(B.meshesWith(C));
+}
+
+TEST(SpanStringTest, RandomHasExactPopcount) {
+  Rng Random(1);
+  for (uint32_t R : {1u, 7u, 100u, 256u}) {
+    SpanString S = SpanString::random(256, R, Random);
+    EXPECT_EQ(S.popcount(), R);
+  }
+}
+
+TEST(MeshingGraphTest, Figure5Example) {
+  // Paper Figure 5: strings 01101000, 01010000, 00100110, 00010000.
+  // (Bit index = string position, leftmost = offset 0.)
+  std::vector<SpanString> Spans = {
+      fromBits(8, {1, 2, 4}), // 01101000
+      fromBits(8, {1, 3}),    // 01010000
+      fromBits(8, {2, 5, 6}), // 00100110
+      fromBits(8, {3}),       // 00010000
+  };
+  MeshingGraph G(Spans);
+  // Edges exactly as drawn: (0,3), (1,2), (2,3).
+  EXPECT_EQ(G.edgeCount(), 3u);
+  EXPECT_TRUE(G.adjacent(0, 3));
+  EXPECT_TRUE(G.adjacent(1, 2));
+  EXPECT_TRUE(G.adjacent(2, 3));
+  EXPECT_FALSE(G.adjacent(0, 1));
+  EXPECT_FALSE(G.adjacent(0, 2));
+  EXPECT_FALSE(G.adjacent(1, 3));
+  EXPECT_EQ(G.triangleCount(), 0u);
+}
+
+TEST(MeshingGraphTest, EmptyStringsFormClique) {
+  std::vector<SpanString> Spans(5, SpanString(16));
+  MeshingGraph G(Spans);
+  EXPECT_EQ(G.edgeCount(), 10u) << "all-zero strings mesh pairwise";
+  EXPECT_EQ(G.triangleCount(), 10u) << "C(5,3) triangles";
+}
+
+TEST(MeshingGraphTest, FullStringsAreIsolated) {
+  std::vector<SpanString> Spans;
+  for (int I = 0; I < 4; ++I) {
+    SpanString S(8);
+    for (uint32_t B = 0; B < 8; ++B)
+      S.setBit(B);
+    Spans.push_back(S);
+  }
+  MeshingGraph G(Spans);
+  EXPECT_EQ(G.edgeCount(), 0u);
+}
+
+TEST(MeshingGraphTest, DegreeMatchesAdjacency) {
+  Rng Random(3);
+  auto Spans = randomSpans(64, 32, 8, Random);
+  MeshingGraph G(Spans);
+  size_t DegreeSum = 0;
+  for (size_t U = 0; U < G.size(); ++U) {
+    size_t Manual = 0;
+    for (size_t V = 0; V < G.size(); ++V)
+      Manual += (U != V && G.adjacent(U, V));
+    EXPECT_EQ(G.degree(U), Manual);
+    DegreeSum += Manual;
+  }
+  EXPECT_EQ(G.edgeCount(), DegreeSum / 2);
+}
+
+TEST(MeshingGraphTest, HalfOccupancyNeverMeshes) {
+  // Observation 1 setup: strings with > b/2 ones cannot mesh at all.
+  Rng Random(4);
+  auto Spans = randomSpans(32, 16, 9, Random);
+  MeshingGraph G(Spans);
+  EXPECT_EQ(G.edgeCount(), 0u);
+}
+
+TEST(MeshingGraphTest, TriangleCountBruteForceAgreement) {
+  Rng Random(5);
+  auto Spans = randomSpans(48, 16, 3, Random);
+  MeshingGraph G(Spans);
+  uint64_t Brute = 0;
+  for (size_t A = 0; A < G.size(); ++A)
+    for (size_t B = A + 1; B < G.size(); ++B)
+      for (size_t C = B + 1; C < G.size(); ++C)
+        Brute += G.adjacent(A, B) && G.adjacent(B, C) && G.adjacent(A, C);
+  EXPECT_EQ(G.triangleCount(), Brute);
+}
+
+} // namespace
+} // namespace analysis
+} // namespace mesh

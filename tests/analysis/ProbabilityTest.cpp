@@ -1,0 +1,100 @@
+//===- ProbabilityTest.cpp - Closed-form probability tests -----------------===//
+
+#include "analysis/Probability.h"
+
+#include "analysis/MeshingGraph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mesh {
+namespace analysis {
+namespace {
+
+TEST(ProbabilityTest, LogChooseBasics) {
+  EXPECT_NEAR(std::exp(logChoose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(logChoose(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(logChoose(10, 10)), 1.0, 1e-9);
+  EXPECT_EQ(logChoose(3, 5), -INFINITY);
+}
+
+TEST(ProbabilityTest, PairMeshProbabilityKnownValues) {
+  // b=16, r1=r2=4: C(12,4)/C(16,4) = 495/1820.
+  EXPECT_NEAR(pairMeshProbability(16, 4, 4), 495.0 / 1820.0, 1e-12);
+  // Degenerate cases.
+  EXPECT_EQ(pairMeshProbability(16, 10, 10), 0.0) << "cannot fit 20 in 16";
+  EXPECT_NEAR(pairMeshProbability(16, 0, 4), 1.0, 1e-12);
+  EXPECT_NEAR(pairMeshProbability(16, 8, 8), 1.0 / 12870.0, 1e-15)
+      << "exact complement: 1/C(16,8)";
+}
+
+TEST(ProbabilityTest, PairProbabilityIsSymmetric) {
+  for (unsigned R1 = 1; R1 <= 10; ++R1)
+    for (unsigned R2 = 1; R2 <= 10; ++R2)
+      EXPECT_NEAR(pairMeshProbability(32, R1, R2),
+                  pairMeshProbability(32, R2, R1), 1e-12);
+}
+
+TEST(ProbabilityTest, Section52TriangleNumbers) {
+  // Paper Section 5.2: b=32, r=10, n=1000 strings: the expected
+  // triangle count is below 2, while independent edges would predict
+  // 167 triangles.
+  const double Dependent = expectedTriangles(1000, 32, 10);
+  const double Independent = expectedTrianglesIndependent(1000, 32, 10);
+  EXPECT_LT(Dependent, 2.0);
+  EXPECT_NEAR(Independent, 167.0, 10.0);
+  EXPECT_GT(Independent / Dependent, 80.0)
+      << "dependence suppresses triangles by two orders of magnitude";
+}
+
+TEST(ProbabilityTest, Section22WorstCaseProbability) {
+  // Paper Section 2.2: 64 spans, one 16-byte object each (b=256):
+  // probability all land on the same offset ~ 10^-152.
+  const double Log10 = log10AllSameOffsetProbability(256, 64);
+  EXPECT_NEAR(Log10, -151.7, 0.5);
+}
+
+TEST(ProbabilityTest, RobsonFactorExample) {
+  // Paper Section 1: 16-byte to 128 KB objects: 13x blowup possible.
+  EXPECT_NEAR(robsonFactor(16, 128 * 1024), 13.0, 1e-9);
+  EXPECT_NEAR(robsonFactor(16, 16), 0.0, 1e-12);
+}
+
+TEST(ProbabilityTest, MonteCarloAgreesWithPairFormula) {
+  Rng Random(99);
+  const unsigned B = 32, R = 6;
+  const double Q = pairMeshProbability(B, R, R);
+  int Meshed = 0;
+  const int Trials = 40000;
+  for (int T = 0; T < Trials; ++T) {
+    SpanString S1 = SpanString::random(B, R, Random);
+    SpanString S2 = SpanString::random(B, R, Random);
+    Meshed += S1.meshesWith(S2);
+  }
+  EXPECT_NEAR(static_cast<double>(Meshed) / Trials, Q, 0.01);
+}
+
+TEST(ProbabilityTest, MonteCarloTrianglesMatchDependentModel) {
+  // Empirical triangle counts sit near the dependent-model expectation
+  // and far below the independent-model one (Section 5.2 / Section 7's
+  // criticism of DRM's analysis).
+  Rng Random(123);
+  const unsigned N = 200, B = 32, R = 10;
+  double TotalTriangles = 0;
+  const int Trials = 30;
+  for (int T = 0; T < Trials; ++T) {
+    auto Spans = randomSpans(N, B, R, Random);
+    MeshingGraph G(Spans);
+    TotalTriangles += static_cast<double>(G.triangleCount());
+  }
+  const double Mean = TotalTriangles / Trials;
+  const double Dependent = expectedTriangles(N, B, R);
+  const double Independent = expectedTrianglesIndependent(N, B, R);
+  EXPECT_NEAR(Mean, Dependent, 0.5 + Dependent);
+  EXPECT_LT(Mean, Independent / 10.0);
+}
+
+} // namespace
+} // namespace analysis
+} // namespace mesh

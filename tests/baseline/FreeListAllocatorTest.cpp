@@ -1,0 +1,138 @@
+//===- FreeListAllocatorTest.cpp - glibc-like baseline tests ---------------===//
+
+#include "baseline/FreeListAllocator.h"
+
+#include "support/Common.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+TEST(FreeListAllocatorTest, BasicRoundTrip) {
+  FreeListAllocator A;
+  void *P = A.malloc(100);
+  ASSERT_NE(P, nullptr);
+  memset(P, 0xAA, 100);
+  EXPECT_GE(A.usableSize(P), 100u);
+  A.free(P);
+  A.free(nullptr);
+}
+
+TEST(FreeListAllocatorTest, DistinctPointers) {
+  FreeListAllocator A;
+  std::set<void *> Seen;
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 5000; ++I) {
+    void *P = A.malloc(64);
+    ASSERT_TRUE(Seen.insert(P).second);
+    Ptrs.push_back(P);
+  }
+  for (void *P : Ptrs)
+    A.free(P);
+}
+
+TEST(FreeListAllocatorTest, SixteenByteAlignment) {
+  FreeListAllocator A;
+  for (size_t Size : {1u, 24u, 100u, 4000u, 70000u}) {
+    void *P = A.malloc(Size);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 16, 0u);
+    A.free(P);
+  }
+}
+
+TEST(FreeListAllocatorTest, ReuseAfterFree) {
+  FreeListAllocator A;
+  void *P = A.malloc(256);
+  const size_t Committed = A.committedBytes();
+  A.free(P);
+  void *Q = A.malloc(256);
+  EXPECT_LE(A.committedBytes(), Committed)
+      << "freeing and reallocating must not grow the heap";
+  A.free(Q);
+}
+
+TEST(FreeListAllocatorTest, CoalescingRebuildsLargeChunks) {
+  FreeListAllocator A;
+  // Allocate 64 adjacent chunks, free them all, then ask for one chunk
+  // of the combined size: coalescing must satisfy it without growing.
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 64; ++I)
+    Ptrs.push_back(A.malloc(1000));
+  const size_t Grown = A.committedBytes();
+  for (void *P : Ptrs)
+    A.free(P);
+  void *Big = A.malloc(48 * 1024);
+  EXPECT_LE(A.committedBytes(), Grown + kPageSize)
+      << "coalesced free chunks should satisfy a large request";
+  A.free(Big);
+}
+
+TEST(FreeListAllocatorTest, TopTrimReturnsMemory) {
+  FreeListAllocator A;
+  void *Big = A.malloc(8 * 1024 * 1024);
+  const size_t AtPeak = A.committedBytes();
+  A.free(Big);
+  EXPECT_LT(A.committedBytes(), AtPeak / 2)
+      << "freeing the top chunk must shrink the break";
+  EXPECT_GE(A.peakCommittedBytes(), AtPeak);
+}
+
+TEST(FreeListAllocatorTest, InteriorFreeDoesNotShrink) {
+  // The Robson regime: a single live object above a sea of freed
+  // memory pins the break. This is the behaviour Mesh exists to fix.
+  FreeListAllocator A;
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 1000; ++I)
+    Ptrs.push_back(A.malloc(4096));
+  void *Pin = A.malloc(16); // sits on top
+  const size_t AtPeak = A.committedBytes();
+  for (void *P : Ptrs)
+    A.free(P);
+  EXPECT_GT(A.committedBytes(), AtPeak / 2)
+      << "interior frees cannot shrink a non-compacting heap";
+  A.free(Pin);
+  EXPECT_LT(A.committedBytes(), 2 * kPageSize)
+      << "freeing the pin finally releases everything";
+}
+
+TEST(FreeListAllocatorTest, LiveBytesTracking) {
+  FreeListAllocator A;
+  const size_t Initial = A.liveBytes();
+  void *P = A.malloc(100);
+  EXPECT_GT(A.liveBytes(), Initial);
+  A.free(P);
+  EXPECT_EQ(A.liveBytes(), Initial);
+}
+
+TEST(FreeListAllocatorTest, RandomChurnStaysConsistent) {
+  FreeListAllocator A;
+  Rng Driver(13);
+  std::vector<std::pair<char *, unsigned char>> Live;
+  for (int Step = 0; Step < 30000; ++Step) {
+    if (Live.empty() || Driver.withProbability(0.55)) {
+      const size_t Size = 16 + Driver.inRange(0, 2000);
+      auto *P = static_cast<char *>(A.malloc(Size));
+      const auto Pattern = static_cast<unsigned char>(Step & 0xFF);
+      memset(P, Pattern, Size);
+      Live.push_back({P, Pattern});
+    } else {
+      const size_t Idx = Driver.inRange(0, Live.size() - 1);
+      ASSERT_EQ(static_cast<unsigned char>(Live[Idx].first[0]),
+                Live[Idx].second);
+      A.free(Live[Idx].first);
+      Live[Idx] = Live.back();
+      Live.pop_back();
+    }
+  }
+  for (auto &[P, Pattern] : Live)
+    A.free(P);
+}
+
+} // namespace
+} // namespace mesh

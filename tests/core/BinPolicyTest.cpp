@@ -1,0 +1,128 @@
+//===- BinPolicyTest.cpp - Occupancy-bin policy tests ----------------------===//
+///
+/// Section 3.1's span-selection policy: the global heap groups
+/// detached, partially-full spans into occupancy bins, scans bins by
+/// decreasing occupancy, and picks a *random* span within the chosen
+/// bin. These tests pin the bin transitions and the selection
+/// distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/GlobalHeap.h"
+
+#include "TestConfig.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+/// Sets exactly \p Count bits in \p MH's bitmap (from offset 0).
+void setLive(MiniHeap *MH, uint32_t Count) {
+  for (uint32_t I = 0; I < Count; ++I)
+    MH->bitmap().tryToSet(I);
+}
+
+TEST(BinPolicyTest, FullSpansAreNotBinned) {
+  GlobalHeap G(testOptions());
+  MiniHeap *MH = G.allocMiniHeapForClass(0);
+  setLive(MH, 256);
+  G.releaseMiniHeap(MH);
+  EXPECT_EQ(G.binnedCount(0), 0u) << "full spans cannot serve allocation";
+  // A single free rebins it.
+  G.free(G.arenaBase() + pagesToBytes(MH->physicalSpanOffset()));
+  EXPECT_EQ(G.binnedCount(0), 1u);
+  // Drain it so the heap closes clean.
+  for (uint32_t I = 1; I < 256; ++I)
+    G.free(G.arenaBase() + pagesToBytes(MH->physicalSpanOffset()) + I * 16);
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(BinPolicyTest, FreesMoveSpansDownBins) {
+  GlobalHeap G(testOptions());
+  MiniHeap *MH = G.allocMiniHeapForClass(0);
+  setLive(MH, 250); // ~98%: top bin
+  G.releaseMiniHeap(MH);
+  char *Span = G.arenaBase() + pagesToBytes(MH->physicalSpanOffset());
+  // Free down through every bin boundary; the span must stay binned
+  // (reachable for reuse) the whole way down.
+  for (uint32_t I = 249; I > 0; --I) {
+    G.free(Span + I * 16);
+    ASSERT_EQ(G.binnedCount(0), 1u) << "lost the span at occupancy " << I;
+  }
+  G.free(Span);
+  EXPECT_EQ(G.binnedCount(0), 0u);
+  EXPECT_EQ(G.committedBytes(), 0u) << "empty span released";
+}
+
+TEST(BinPolicyTest, SelectionPrefersFullestBin) {
+  GlobalHeap G(testOptions());
+  // One span per occupancy quartile.
+  std::vector<MiniHeap *> Spans;
+  for (uint32_t Live : {32u, 96u, 160u, 224u}) {
+    MiniHeap *MH = G.allocMiniHeapForClass(0);
+    setLive(MH, Live);
+    Spans.push_back(MH);
+  }
+  for (MiniHeap *MH : Spans)
+    G.releaseMiniHeap(MH);
+  // Selections must come out in decreasing-occupancy order.
+  for (int Expected = 3; Expected >= 0; --Expected)
+    EXPECT_EQ(G.allocMiniHeapForClass(0), Spans[Expected])
+        << "bin scan order violated at quartile " << Expected;
+  for (MiniHeap *MH : Spans) {
+    MH->bitmap().clearAll();
+    G.releaseMiniHeap(MH);
+  }
+}
+
+TEST(BinPolicyTest, SelectionWithinBinIsRandomized) {
+  GlobalHeap G(testOptions(/*Seed=*/7));
+  // Eight spans at identical occupancy: repeated (select, release)
+  // must not always return the same span.
+  std::vector<MiniHeap *> Spans;
+  for (int I = 0; I < 8; ++I) {
+    MiniHeap *MH = G.allocMiniHeapForClass(0);
+    setLive(MH, 128);
+    Spans.push_back(MH);
+  }
+  for (MiniHeap *MH : Spans)
+    G.releaseMiniHeap(MH);
+  std::map<MiniHeap *, int> Hits;
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    MiniHeap *Picked = G.allocMiniHeapForClass(0);
+    ++Hits[Picked];
+    G.releaseMiniHeap(Picked);
+  }
+  EXPECT_GT(Hits.size(), 3u)
+      << "selection should spread across the bin (Section 3.1)";
+  for (MiniHeap *MH : Spans) {
+    MH->bitmap().clearAll();
+    G.releaseMiniHeap(MH);
+  }
+}
+
+TEST(BinPolicyTest, BinsArelPerSizeClass) {
+  GlobalHeap G(testOptions());
+  MiniHeap *Small = G.allocMiniHeapForClass(0);
+  MiniHeap *Big = G.allocMiniHeapForClass(10);
+  Small->bitmap().tryToSet(0);
+  Big->bitmap().tryToSet(0);
+  G.releaseMiniHeap(Small);
+  G.releaseMiniHeap(Big);
+  EXPECT_EQ(G.binnedCount(0), 1u);
+  EXPECT_EQ(G.binnedCount(10), 1u);
+  EXPECT_EQ(G.binnedCount(5), 0u);
+  EXPECT_EQ(G.allocMiniHeapForClass(0), Small);
+  EXPECT_EQ(G.allocMiniHeapForClass(10), Big);
+  Small->bitmap().clearAll();
+  Big->bitmap().clearAll();
+  G.releaseMiniHeap(Small);
+  G.releaseMiniHeap(Big);
+}
+
+} // namespace
+} // namespace mesh

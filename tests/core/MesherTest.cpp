@@ -1,0 +1,171 @@
+//===- MesherTest.cpp - SplitMesher pair-finding tests ---------------------===//
+
+#include "core/Mesher.h"
+
+#include "core/MiniHeap.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+// Builds a detached MiniHeap with the given allocated offsets.
+std::unique_ptr<MiniHeap> makeSpan(uint32_t PageOff,
+                                   std::initializer_list<uint32_t> Bits,
+                                   uint32_t ObjCount = 16) {
+  auto MH = std::make_unique<MiniHeap>(PageOff, 1, 256, ObjCount, 11, true);
+  for (uint32_t B : Bits)
+    MH->bitmap().tryToSet(B);
+  return MH;
+}
+
+TEST(MesherTest, CanMeshDisjointPair) {
+  auto A = makeSpan(0, {0, 1});
+  auto B = makeSpan(1, {2, 3});
+  EXPECT_TRUE(canMeshPair(A.get(), B.get()));
+}
+
+TEST(MesherTest, CannotMeshOverlappingPair) {
+  auto A = makeSpan(0, {0, 1});
+  auto B = makeSpan(1, {1, 2});
+  EXPECT_FALSE(canMeshPair(A.get(), B.get()));
+}
+
+TEST(MesherTest, CannotMeshWithSelfOrNull) {
+  auto A = makeSpan(0, {0});
+  EXPECT_FALSE(canMeshPair(A.get(), A.get()));
+  EXPECT_FALSE(canMeshPair(A.get(), nullptr));
+  EXPECT_FALSE(canMeshPair(nullptr, A.get()));
+}
+
+TEST(MesherTest, CannotMeshAcrossSizeClasses) {
+  auto A = makeSpan(0, {0});
+  MiniHeap B(1, 1, 128, 32, 7, true);
+  B.bitmap().tryToSet(5);
+  EXPECT_FALSE(canMeshPair(A.get(), &B));
+}
+
+TEST(MesherTest, CannotMeshAttachedSpan) {
+  auto A = makeSpan(0, {0});
+  auto B = makeSpan(1, {1});
+  B->setAttached(true);
+  EXPECT_FALSE(canMeshPair(A.get(), B.get()));
+}
+
+TEST(MesherTest, CannotMeshEmptyOrFullSpans) {
+  auto Empty = makeSpan(0, {});
+  auto Partial = makeSpan(1, {1});
+  EXPECT_FALSE(canMeshPair(Empty.get(), Partial.get()))
+      << "empty spans are freed directly, not meshed";
+  auto Full = makeSpan(2, {}, 4);
+  for (uint32_t I = 0; I < 4; ++I)
+    Full->bitmap().tryToSet(I);
+  auto Partial2 = makeSpan(3, {}, 4);
+  Partial2->bitmap().tryToSet(0);
+  EXPECT_FALSE(canMeshPair(Full.get(), Partial2.get()));
+}
+
+TEST(MesherTest, SplitMesherFindsPerfectMatchingOnComplementPairs) {
+  // 32 spans in 16 complementary couples: optimal matching meshes all.
+  std::vector<std::unique_ptr<MiniHeap>> Owners;
+  InternalVector<MiniHeap *> Candidates;
+  for (uint32_t I = 0; I < 16; ++I) {
+    auto A = makeSpan(2 * I, {0, 1, 2, 3, 4, 5, 6, 7});
+    auto B = makeSpan(2 * I + 1, {8, 9, 10, 11, 12, 13, 14, 15});
+    Candidates.push_back(A.get());
+    Candidates.push_back(B.get());
+    Owners.push_back(std::move(A));
+    Owners.push_back(std::move(B));
+  }
+  Rng R(1);
+  InternalVector<MeshPair> Pairs;
+  uint64_t Probes = 0;
+  splitMesher(Candidates, /*T=*/64, R, Pairs, &Probes);
+  EXPECT_EQ(Pairs.size(), 16u) << "every span can be matched";
+  EXPECT_GT(Probes, 0u);
+  // Pairs must be disjoint and genuinely meshable.
+  std::set<MiniHeap *> Used;
+  for (auto &[A, B] : Pairs) {
+    EXPECT_TRUE(A->bitmap().isMeshableWith(B->bitmap()));
+    EXPECT_TRUE(Used.insert(A).second);
+    EXPECT_TRUE(Used.insert(B).second);
+  }
+}
+
+TEST(MesherTest, SplitMesherFindsNothingWhenNothingMeshes) {
+  // Every span occupies offset 0: the adversarial layout from paper
+  // Section 2.2. No pair can mesh.
+  std::vector<std::unique_ptr<MiniHeap>> Owners;
+  InternalVector<MiniHeap *> Candidates;
+  for (uint32_t I = 0; I < 32; ++I) {
+    Owners.push_back(makeSpan(I, {0}));
+    Candidates.push_back(Owners.back().get());
+  }
+  Rng R(2);
+  InternalVector<MeshPair> Pairs;
+  splitMesher(Candidates, 64, R, Pairs);
+  EXPECT_TRUE(Pairs.empty());
+}
+
+TEST(MesherTest, ProbeBudgetBoundsWork) {
+  // With t probes, SplitMesher performs at most t * n/2 meshability
+  // tests (Section 5.3: "the algorithm checks nk/2q pairs").
+  std::vector<std::unique_ptr<MiniHeap>> Owners;
+  InternalVector<MiniHeap *> Candidates;
+  for (uint32_t I = 0; I < 64; ++I) {
+    Owners.push_back(makeSpan(I, {0})); // unmeshable: max probing
+    Candidates.push_back(Owners.back().get());
+  }
+  Rng R(3);
+  InternalVector<MeshPair> Pairs;
+  uint64_t Probes = 0;
+  const uint32_t T = 7;
+  splitMesher(Candidates, T, R, Pairs, &Probes);
+  EXPECT_LE(Probes, uint64_t{T} * 32);
+  EXPECT_EQ(Probes, uint64_t{T} * 32) << "unmeshable input probes fully";
+}
+
+TEST(MesherTest, HandlesTinyCandidateLists) {
+  Rng R(4);
+  InternalVector<MiniHeap *> None;
+  InternalVector<MeshPair> Pairs;
+  splitMesher(None, 64, R, Pairs);
+  EXPECT_TRUE(Pairs.empty());
+
+  auto A = makeSpan(0, {1});
+  InternalVector<MiniHeap *> One;
+  One.push_back(A.get());
+  splitMesher(One, 64, R, Pairs);
+  EXPECT_TRUE(Pairs.empty());
+
+  auto B = makeSpan(1, {2});
+  InternalVector<MiniHeap *> Two;
+  Two.push_back(A.get());
+  Two.push_back(B.get());
+  splitMesher(Two, 64, R, Pairs);
+  EXPECT_EQ(Pairs.size(), 1u);
+}
+
+TEST(MesherTest, RespectsMaxMeshesBudget) {
+  // A span already holding kMaxMeshes-1 extra virtual spans can absorb
+  // exactly one more single-span partner; one holding kMaxMeshes
+  // cannot.
+  auto A = makeSpan(0, {1});
+  for (uint32_t I = 1; I + 1 < kMaxMeshes; ++I) {
+    MiniHeap Extra(100 + I, 1, 256, 16, 11, true);
+    A->takeSpansFrom(Extra);
+  }
+  auto B = makeSpan(50, {2});
+  EXPECT_TRUE(canMeshPair(A.get(), B.get()));
+  MiniHeap Extra(99, 1, 256, 16, 11, true);
+  A->takeSpansFrom(Extra);
+  EXPECT_FALSE(canMeshPair(A.get(), B.get()));
+}
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,117 @@
+//===- MiniHeapTest.cpp - Span metadata tests ----------------------------===//
+
+#include "core/MiniHeap.h"
+
+#include <gtest/gtest.h>
+
+namespace mesh {
+namespace {
+
+// MiniHeap address math only needs a base pointer; no real arena
+// required for these tests.
+char *fakeBase() { return reinterpret_cast<char *>(0x100000000ULL); }
+
+TEST(MiniHeapTest, FreshSpanState) {
+  MiniHeap MH(/*SpanPageOff=*/4, /*SpanPages=*/1, /*ObjSize=*/128,
+              /*ObjCount=*/32, /*SizeClass=*/7, /*Meshable=*/true);
+  EXPECT_EQ(MH.spans().size(), 1u);
+  EXPECT_EQ(MH.physicalSpanOffset(), 4u);
+  EXPECT_TRUE(MH.isEmpty());
+  EXPECT_FALSE(MH.isFull());
+  EXPECT_FALSE(MH.isAttached());
+  EXPECT_FALSE(MH.isLargeAlloc());
+  EXPECT_EQ(MH.occupancy(), 0.0);
+  EXPECT_FALSE(MH.isMeshingCandidate()) << "empty spans are not candidates";
+}
+
+TEST(MiniHeapTest, LargeAllocSingleton) {
+  MiniHeap MH(/*SpanPageOff=*/10, /*SpanPages=*/5, /*RequestedBytes=*/17000);
+  EXPECT_TRUE(MH.isLargeAlloc());
+  EXPECT_EQ(MH.objectCount(), 1u);
+  EXPECT_EQ(MH.objectSize(), 5 * kPageSize);
+  EXPECT_TRUE(MH.isFull());
+  EXPECT_FALSE(MH.isMeshingCandidate());
+}
+
+TEST(MiniHeapTest, OccupancyTracksBitmap) {
+  MiniHeap MH(0, 1, 256, 16, 11, true);
+  for (uint32_t I = 0; I < 8; ++I)
+    MH.bitmap().tryToSet(I);
+  EXPECT_EQ(MH.inUseCount(), 8u);
+  EXPECT_DOUBLE_EQ(MH.occupancy(), 0.5);
+  EXPECT_TRUE(MH.isMeshingCandidate());
+}
+
+TEST(MiniHeapTest, AttachedSpansAreNotCandidates) {
+  MiniHeap MH(0, 1, 256, 16, 11, true);
+  MH.bitmap().tryToSet(0);
+  EXPECT_TRUE(MH.isMeshingCandidate());
+  MH.setAttached(true);
+  EXPECT_FALSE(MH.isMeshingCandidate());
+}
+
+TEST(MiniHeapTest, NonMeshableClassNeverCandidate) {
+  MiniHeap MH(0, 8, 4096, 8, 21, /*Meshable=*/false);
+  MH.bitmap().tryToSet(2);
+  EXPECT_FALSE(MH.isMeshingCandidate());
+}
+
+TEST(MiniHeapTest, PointerMath) {
+  char *Base = fakeBase();
+  MiniHeap MH(/*SpanPageOff=*/2, /*SpanPages=*/1, /*ObjSize=*/64,
+              /*ObjCount=*/64, 3, true);
+  char *SpanStart = Base + 2 * kPageSize;
+  EXPECT_TRUE(MH.contains(SpanStart, Base));
+  EXPECT_TRUE(MH.contains(SpanStart + kPageSize - 1, Base));
+  EXPECT_FALSE(MH.contains(SpanStart + kPageSize, Base));
+  EXPECT_FALSE(MH.contains(SpanStart - 1, Base));
+
+  EXPECT_EQ(MH.offsetOf(SpanStart, Base), 0u);
+  EXPECT_EQ(MH.offsetOf(SpanStart + 64, Base), 1u);
+  EXPECT_EQ(MH.offsetOf(SpanStart + 65, Base), 1u) << "interior resolves";
+  EXPECT_TRUE(MH.isAligned(SpanStart + 128, Base));
+  EXPECT_FALSE(MH.isAligned(SpanStart + 129, Base));
+  EXPECT_EQ(MH.ptrForOffset(3, Base), SpanStart + 192);
+}
+
+TEST(MiniHeapTest, TakeSpansFromMergesLists) {
+  char *Base = fakeBase();
+  MiniHeap Keeper(0, 1, 64, 64, 3, true);
+  MiniHeap Victim(5, 1, 64, 64, 3, true);
+  Keeper.takeSpansFrom(Victim);
+  ASSERT_EQ(Keeper.spans().size(), 2u);
+  EXPECT_EQ(Keeper.spans()[1], 5u);
+  EXPECT_EQ(Victim.spans().size(), 0u);
+  // Pointers in the absorbed virtual span now resolve via the keeper.
+  char *VictimSpan = Base + 5 * kPageSize;
+  EXPECT_TRUE(Keeper.contains(VictimSpan + 64, Base));
+  EXPECT_EQ(Keeper.offsetOf(VictimSpan + 64, Base), 1u);
+  // And the canonical storage address is in the keeper's physical span.
+  EXPECT_EQ(Keeper.ptrForOffset(1, Base), Base + 64);
+}
+
+TEST(MiniHeapTest, CandidateRespectsMaxMeshes) {
+  MiniHeap Keeper(0, 1, 64, 64, 3, true);
+  Keeper.bitmap().tryToSet(1);
+  for (uint32_t I = 1; I < kMaxMeshes; ++I) {
+    MiniHeap Victim(I * 2, 1, 64, 64, 3, true);
+    Keeper.takeSpansFrom(Victim);
+  }
+  EXPECT_EQ(Keeper.spans().size(), kMaxMeshes);
+  EXPECT_FALSE(Keeper.isMeshingCandidate())
+      << "a MiniHeap holding kMaxMeshes spans cannot absorb more";
+}
+
+TEST(MiniHeapTest, BinBookkeeping) {
+  MiniHeap MH(0, 1, 64, 64, 3, true);
+  EXPECT_FALSE(MH.isInBin());
+  MH.setBin(2, 17);
+  EXPECT_TRUE(MH.isInBin());
+  EXPECT_EQ(MH.binIndex(), 2);
+  EXPECT_EQ(MH.binSlot(), 17u);
+  MH.clearBin();
+  EXPECT_FALSE(MH.isInBin());
+}
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,92 @@
+//===- ReallocSweepTest.cpp - realloc/memalign parameter sweeps ------------===//
+
+#include "core/Runtime.h"
+
+#include "TestConfig.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+namespace mesh {
+namespace {
+
+class ReallocSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(ReallocSweep, ContentsSurviveResize) {
+  const auto [From, To] = GetParam();
+  Runtime R(testOptions());
+  auto *P = static_cast<unsigned char *>(R.malloc(From));
+  ASSERT_NE(P, nullptr);
+  for (size_t I = 0; I < From; ++I)
+    P[I] = static_cast<unsigned char>(I * 31 + 7);
+  auto *Q = static_cast<unsigned char *>(R.realloc(P, To));
+  ASSERT_NE(Q, nullptr);
+  const size_t Preserved = From < To ? From : To;
+  for (size_t I = 0; I < Preserved; ++I)
+    ASSERT_EQ(Q[I], static_cast<unsigned char>(I * 31 + 7))
+        << "byte " << I << " lost in realloc " << From << " -> " << To;
+  EXPECT_GE(R.usableSize(Q), To);
+  R.free(Q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizePairs, ReallocSweep,
+    ::testing::Values(std::tuple{1u, 16u}, std::tuple{16u, 17u},
+                      std::tuple{48u, 4000u}, std::tuple{4000u, 48u},
+                      std::tuple{1024u, 1025u}, std::tuple{16384u, 16385u},
+                      std::tuple{16385u, 16384u}, std::tuple{100000u, 50u},
+                      std::tuple{50u, 100000u},
+                      std::tuple{300000u, 600000u}),
+    [](const auto &Info) {
+      return "from" + std::to_string(std::get<0>(Info.param)) + "_to" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+class MemalignSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(MemalignSweep, AlignmentAndUsability) {
+  const auto [Alignment, Size] = GetParam();
+  Runtime R(testOptions());
+  void *P = nullptr;
+  ASSERT_EQ(R.posixMemalign(&P, Alignment, Size), 0)
+      << "align " << Alignment << " size " << Size;
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Alignment, 0u);
+  memset(P, 0x44, Size);
+  EXPECT_GE(R.usableSize(P), Size);
+  R.free(P);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlignSizePairs, MemalignSweep,
+    ::testing::Combine(::testing::Values(size_t{16}, size_t{32}, size_t{128},
+                                         size_t{512}, size_t{4096}),
+                       ::testing::Values(size_t{1}, size_t{100}, size_t{4096},
+                                         size_t{20000})),
+    [](const auto &Info) {
+      return "a" + std::to_string(std::get<0>(Info.param)) + "_s" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+TEST(ReallocEdgeTest, GrowShrinkChainPreservesPrefix) {
+  Runtime R(testOptions());
+  const char *Tag = "prefix-must-survive";
+  auto *P = static_cast<char *>(R.malloc(32));
+  strcpy(P, Tag);
+  // A long chain of grows and shrinks across classes and into large
+  // objects and back.
+  for (size_t Size : {64u, 33u, 4096u, 120u, 70000u, 24u, 16384u, 20u}) {
+    P = static_cast<char *>(R.realloc(P, Size));
+    ASSERT_NE(P, nullptr);
+    ASSERT_EQ(strncmp(P, Tag, Size < 20 ? Size : 20), 0)
+        << "prefix lost at size " << Size;
+  }
+  R.free(P);
+}
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,177 @@
+//===- ShuffleVectorTest.cpp - Randomized freelist tests ------------------===//
+
+#include "core/ShuffleVector.h"
+
+#include "core/MiniHeap.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+// The shuffle vector only does address arithmetic relative to the
+// arena base, so tests can run against a plain buffer.
+class ShuffleVectorTest : public ::testing::Test {
+protected:
+  ShuffleVectorTest() : Random(42) {
+    Buffer.resize(64 * kPageSize);
+    Base = Buffer.data();
+  }
+
+  MiniHeap makeMiniHeap(uint32_t PageOff = 0, uint32_t ObjSize = 16,
+                        uint32_t ObjCount = 256) {
+    return MiniHeap(PageOff, 1, ObjSize, ObjCount, 0, true);
+  }
+
+  Rng Random;
+  std::vector<char> Buffer;
+  char *Base;
+};
+
+TEST_F(ShuffleVectorTest, AttachPullsAllFreeOffsets) {
+  MiniHeap MH = makeMiniHeap();
+  ShuffleVector V;
+  V.init(&Random, true);
+  EXPECT_EQ(V.attach(&MH, Base), 256u);
+  EXPECT_EQ(V.length(), 256u);
+  EXPECT_FALSE(V.isExhausted());
+  EXPECT_EQ(MH.inUseCount(), 256u) << "attach reserves every slot";
+}
+
+TEST_F(ShuffleVectorTest, AttachSkipsAllocatedOffsets) {
+  MiniHeap MH = makeMiniHeap();
+  MH.bitmap().tryToSet(3);
+  MH.bitmap().tryToSet(200);
+  ShuffleVector V;
+  V.init(&Random, true);
+  EXPECT_EQ(V.attach(&MH, Base), 254u);
+}
+
+TEST_F(ShuffleVectorTest, MallocReturnsEachSlotExactlyOnce) {
+  MiniHeap MH = makeMiniHeap();
+  ShuffleVector V;
+  V.init(&Random, true);
+  V.attach(&MH, Base);
+  std::set<void *> Seen;
+  while (!V.isExhausted())
+    ASSERT_TRUE(Seen.insert(V.malloc()).second) << "duplicate slot";
+  EXPECT_EQ(Seen.size(), 256u);
+  // All pointers lie in the span at distinct 16-byte offsets.
+  for (void *P : Seen) {
+    const auto Delta = static_cast<char *>(P) - Base;
+    ASSERT_GE(Delta, 0);
+    ASSERT_LT(Delta, static_cast<ptrdiff_t>(kPageSize));
+    ASSERT_EQ(Delta % 16, 0);
+  }
+}
+
+TEST_F(ShuffleVectorTest, RandomizedOrderIsNotSequential) {
+  MiniHeap MH = makeMiniHeap();
+  ShuffleVector V;
+  V.init(&Random, true);
+  V.attach(&MH, Base);
+  std::vector<void *> Order;
+  while (!V.isExhausted())
+    Order.push_back(V.malloc());
+  std::vector<void *> Sorted = Order;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_NE(Order, Sorted) << "randomized allocation must not be sorted";
+}
+
+TEST_F(ShuffleVectorTest, NoRandModeIsBumpPointer) {
+  MiniHeap MH = makeMiniHeap();
+  ShuffleVector V;
+  V.init(&Random, /*Randomized=*/false);
+  V.attach(&MH, Base);
+  char *Prev = nullptr;
+  while (!V.isExhausted()) {
+    char *P = static_cast<char *>(V.malloc());
+    if (Prev != nullptr)
+      ASSERT_EQ(P, Prev + 16) << "no-rand mode must allocate sequentially";
+    Prev = P;
+  }
+}
+
+TEST_F(ShuffleVectorTest, FreeMakesSlotReusable) {
+  MiniHeap MH = makeMiniHeap();
+  ShuffleVector V;
+  V.init(&Random, true);
+  V.attach(&MH, Base);
+  std::vector<void *> Ptrs;
+  while (!V.isExhausted())
+    Ptrs.push_back(V.malloc());
+  EXPECT_TRUE(V.isExhausted());
+  V.free(Ptrs[100]);
+  EXPECT_FALSE(V.isExhausted());
+  EXPECT_EQ(V.length(), 1u);
+  EXPECT_EQ(V.malloc(), Ptrs[100]);
+}
+
+TEST_F(ShuffleVectorTest, DetachReturnsLeftoverOffsets) {
+  MiniHeap MH = makeMiniHeap();
+  ShuffleVector V;
+  V.init(&Random, true);
+  V.attach(&MH, Base);
+  for (int I = 0; I < 100; ++I)
+    V.malloc();
+  EXPECT_EQ(MH.inUseCount(), 256u);
+  MiniHeap *Out = V.detach();
+  EXPECT_EQ(Out, &MH);
+  EXPECT_FALSE(V.isAttached());
+  EXPECT_EQ(MH.inUseCount(), 100u)
+      << "detach must surrender unallocated slots to the bitmap";
+}
+
+TEST_F(ShuffleVectorTest, ContainsTracksAttachedSpanOnly) {
+  MiniHeap MH = makeMiniHeap(/*PageOff=*/2);
+  ShuffleVector V;
+  V.init(&Random, true);
+  EXPECT_FALSE(V.contains(Base + 2 * kPageSize));
+  V.attach(&MH, Base);
+  EXPECT_TRUE(V.contains(Base + 2 * kPageSize));
+  EXPECT_TRUE(V.contains(Base + 3 * kPageSize - 1));
+  EXPECT_FALSE(V.contains(Base + 3 * kPageSize));
+  EXPECT_FALSE(V.contains(Base));
+}
+
+TEST_F(ShuffleVectorTest, MallocFreeChurnPreservesSlotUniqueness) {
+  MiniHeap MH = makeMiniHeap(0, 64, 64);
+  ShuffleVector V;
+  V.init(&Random, true);
+  V.attach(&MH, Base);
+  std::set<void *> Live;
+  Rng Driver(7);
+  for (int Step = 0; Step < 10000; ++Step) {
+    const bool DoAlloc = Live.empty() ||
+                         (!V.isExhausted() && Driver.withProbability(0.55));
+    if (DoAlloc) {
+      void *P = V.malloc();
+      ASSERT_TRUE(Live.insert(P).second) << "slot handed out twice";
+    } else {
+      auto It = Live.begin();
+      std::advance(It, Driver.inRange(0, Live.size() - 1));
+      V.free(*It);
+      Live.erase(It);
+    }
+  }
+}
+
+TEST_F(ShuffleVectorTest, SmallObjectCountSpan) {
+  // 1024-byte class: two pages, 8 objects.
+  MiniHeap MH(0, 2, 1024, 8, 19, true);
+  ShuffleVector V;
+  V.init(&Random, true);
+  EXPECT_EQ(V.attach(&MH, Base), 8u);
+  std::set<void *> Seen;
+  while (!V.isExhausted())
+    Seen.insert(V.malloc());
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,105 @@
+//===- SizeClassTest.cpp - Size-class table tests ------------------------===//
+
+#include "core/SizeClass.h"
+
+#include <gtest/gtest.h>
+
+namespace mesh {
+namespace {
+
+TEST(SizeClassTest, TableShape) {
+  // 24 classes (paper Section 4.2), ascending, 16-byte aligned sizes.
+  uint32_t Prev = 0;
+  for (int C = 0; C < kNumSizeClasses; ++C) {
+    const SizeClassInfo &I = sizeClassInfo(C);
+    EXPECT_GT(I.ObjectSize, Prev) << "sizes must ascend";
+    EXPECT_EQ(I.ObjectSize % 16, 0u);
+    Prev = I.ObjectSize;
+  }
+  EXPECT_EQ(sizeClassInfo(0).ObjectSize, 16u);
+  EXPECT_EQ(sizeClassInfo(kNumSizeClasses - 1).ObjectSize, 16384u);
+}
+
+TEST(SizeClassTest, SpanGeometryBounds) {
+  // Paper Section 4: spans contain between 8 and 256 objects of a
+  // fixed size and are whole pages.
+  for (int C = 0; C < kNumSizeClasses; ++C) {
+    const SizeClassInfo &I = sizeClassInfo(C);
+    EXPECT_GE(I.ObjectCount, kMinObjectsPerSpan) << "class " << C;
+    EXPECT_LE(I.ObjectCount, kMaxObjectsPerSpan) << "class " << C;
+    EXPECT_LE(static_cast<size_t>(I.ObjectCount) * I.ObjectSize,
+              pagesToBytes(I.SpanPages))
+        << "objects must fit in the span, class " << C;
+    // No more than one object's worth of tail waste.
+    EXPECT_GT(static_cast<size_t>(I.ObjectCount + 1) * I.ObjectSize,
+              pagesToBytes(I.SpanPages))
+        << "span should not waste a whole extra slot, class " << C;
+  }
+}
+
+TEST(SizeClassTest, MeshabilityCutoff) {
+  // Objects of 4 KiB and larger are not meshing candidates (Section 4).
+  for (int C = 0; C < kNumSizeClasses; ++C) {
+    const SizeClassInfo &I = sizeClassInfo(C);
+    EXPECT_EQ(I.Meshable, I.ObjectSize < 4096u) << "class " << C;
+  }
+}
+
+TEST(SizeClassTest, SmallestClassFillsOnePageExactly) {
+  const SizeClassInfo &I = sizeClassInfo(0);
+  EXPECT_EQ(I.SpanPages, 1u);
+  EXPECT_EQ(I.ObjectCount, 256u);
+  EXPECT_EQ(I.ObjectCount * I.ObjectSize, kPageSize);
+}
+
+TEST(SizeClassTest, LookupSmallestFit) {
+  // Paper: "objects of size 33-48 bytes are served from the 48-byte
+  // size class".
+  int Class = -1;
+  ASSERT_TRUE(sizeClassForSize(33, &Class));
+  EXPECT_EQ(objectSizeForClass(Class), 48u);
+  ASSERT_TRUE(sizeClassForSize(48, &Class));
+  EXPECT_EQ(objectSizeForClass(Class), 48u);
+  ASSERT_TRUE(sizeClassForSize(49, &Class));
+  EXPECT_EQ(objectSizeForClass(Class), 64u);
+}
+
+TEST(SizeClassTest, LookupEdgeCases) {
+  int Class = -1;
+  ASSERT_TRUE(sizeClassForSize(0, &Class));
+  EXPECT_EQ(objectSizeForClass(Class), 16u);
+  ASSERT_TRUE(sizeClassForSize(1, &Class));
+  EXPECT_EQ(objectSizeForClass(Class), 16u);
+  ASSERT_TRUE(sizeClassForSize(1024, &Class));
+  EXPECT_EQ(objectSizeForClass(Class), 1024u);
+  ASSERT_TRUE(sizeClassForSize(1025, &Class));
+  EXPECT_EQ(objectSizeForClass(Class), 2048u);
+  ASSERT_TRUE(sizeClassForSize(16384, &Class));
+  EXPECT_EQ(objectSizeForClass(Class), 16384u);
+}
+
+TEST(SizeClassTest, LargeObjectsRejected) {
+  int Class = -1;
+  EXPECT_FALSE(sizeClassForSize(16385, &Class));
+  EXPECT_FALSE(sizeClassForSize(1 << 20, &Class));
+}
+
+class SizeClassSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SizeClassSweep, EverySizeMapsToSmallestFittingClass) {
+  const size_t Size = GetParam();
+  int Class = -1;
+  ASSERT_TRUE(sizeClassForSize(Size, &Class));
+  const SizeClassInfo &I = sizeClassInfo(Class);
+  EXPECT_GE(I.ObjectSize, Size);
+  if (Class > 0)
+    EXPECT_LT(sizeClassInfo(Class - 1).ObjectSize, Size)
+        << "a smaller class would also fit size " << Size;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallSizes, SizeClassSweep,
+                         ::testing::Range(size_t{1}, size_t{16385},
+                                          size_t{7}));
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,24 @@
+//===- TestConfig.h - Shared test helpers ----------------------*- C++ -*-===//
+
+#ifndef MESH_TESTS_CORE_TESTCONFIG_H
+#define MESH_TESTS_CORE_TESTCONFIG_H
+
+#include "core/Options.h"
+
+namespace mesh {
+
+/// Deterministic, test-sized options: small arena, no rate limiting
+/// (meshing only happens when tests ask for it via meshNow), eager
+/// dirty-page return so committed-byte assertions are exact.
+inline MeshOptions testOptions(uint64_t Seed = 42) {
+  MeshOptions Opts;
+  Opts.ArenaBytes = size_t{512} * 1024 * 1024;
+  Opts.Seed = Seed;
+  Opts.MeshPeriodMs = ~uint64_t{0}; // never auto-mesh
+  Opts.MaxDirtyBytes = 0;           // free spans go straight to the OS
+  return Opts;
+}
+
+} // namespace mesh
+
+#endif // MESH_TESTS_CORE_TESTCONFIG_H

@@ -1,0 +1,148 @@
+//===- ThreadLocalHeapTest.cpp - Thread-local heap tests -------------------===//
+
+#include "core/ThreadLocalHeap.h"
+
+#include "TestConfig.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+TEST(ThreadLocalHeapTest, SmallAllocationBasics) {
+  GlobalHeap G(testOptions());
+  {
+    ThreadLocalHeap H(&G, 42);
+    void *P = H.malloc(100);
+    ASSERT_NE(P, nullptr);
+    memset(P, 0xEE, 100);
+    EXPECT_EQ(G.usableSize(P), 112u) << "100 bytes lands in the 112 class";
+    H.free(P);
+  }
+  EXPECT_EQ(G.committedBytes(), 0u) << "heap drains fully on destruction";
+}
+
+TEST(ThreadLocalHeapTest, DistinctPointersUnderChurn) {
+  GlobalHeap G(testOptions());
+  ThreadLocalHeap H(&G, 42);
+  std::set<void *> Live;
+  std::vector<void *> Order;
+  for (int I = 0; I < 5000; ++I) {
+    void *P = H.malloc(48);
+    ASSERT_TRUE(Live.insert(P).second);
+    Order.push_back(P);
+    if (I % 3 == 0) {
+      H.free(Order.back());
+      Live.erase(Order.back());
+      Order.pop_back();
+    }
+  }
+  for (void *P : Order)
+    H.free(P);
+  H.releaseAll();
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(ThreadLocalHeapTest, ExhaustedVectorRefillsFromFreshSpan) {
+  GlobalHeap G(testOptions());
+  ThreadLocalHeap H(&G, 42);
+  // The 16-byte class holds 256 objects per span: allocating 600 spans
+  // three spans.
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 600; ++I)
+    Ptrs.push_back(H.malloc(16));
+  std::set<void *> Unique(Ptrs.begin(), Ptrs.end());
+  EXPECT_EQ(Unique.size(), 600u);
+  for (void *P : Ptrs)
+    H.free(P);
+  H.releaseAll();
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(ThreadLocalHeapTest, LargeRequestsForwardToGlobal) {
+  GlobalHeap G(testOptions());
+  ThreadLocalHeap H(&G, 42);
+  void *P = H.malloc(1 << 20);
+  ASSERT_NE(P, nullptr);
+  memset(P, 1, 1 << 20);
+  EXPECT_EQ(G.usableSize(P), size_t{1} << 20);
+  H.free(P);
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(ThreadLocalHeapTest, NonLocalFreeFallsThroughToGlobal) {
+  GlobalHeap G(testOptions());
+  ThreadLocalHeap Alice(&G, 1);
+  ThreadLocalHeap Bob(&G, 2);
+  void *P = Alice.malloc(64);
+  // Bob frees Alice's pointer: remote free via the global heap, which
+  // clears the bitmap bit but leaves Alice's shuffle vector alone.
+  Bob.free(P);
+  MiniHeap *MH = G.miniheapFor(P);
+  ASSERT_NE(MH, nullptr);
+  EXPECT_TRUE(MH->isAttached()) << "span remains attached to Alice";
+  Alice.releaseAll();
+  Bob.releaseAll();
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(ThreadLocalHeapTest, RemoteFreedSlotIsReusedOnReattach) {
+  GlobalHeap G(testOptions());
+  ThreadLocalHeap Alice(&G, 1);
+  ThreadLocalHeap Bob(&G, 2);
+  // Fill one full span.
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 256; ++I)
+    Ptrs.push_back(Alice.malloc(16));
+  // Bob remote-frees half of them.
+  for (int I = 0; I < 256; I += 2)
+    Bob.free(Ptrs[I]);
+  // Alice keeps allocating: after her current vector refills, the
+  // remote-freed slots come back.
+  std::set<void *> Freed(Ptrs.begin(), Ptrs.end());
+  int Recycled = 0;
+  for (int I = 0; I < 512; ++I) {
+    void *P = Alice.malloc(16);
+    if (Freed.count(P))
+      ++Recycled;
+  }
+  EXPECT_GT(Recycled, 0) << "remote-freed slots must be recycled";
+}
+
+TEST(ThreadLocalHeapTest, EverySizeClassRoundTrips) {
+  GlobalHeap G(testOptions());
+  ThreadLocalHeap H(&G, 42);
+  for (int C = 0; C < kNumSizeClasses; ++C) {
+    const size_t Size = sizeClassInfo(C).ObjectSize;
+    void *P = H.malloc(Size);
+    ASSERT_NE(P, nullptr) << "class " << C;
+    memset(P, 0x3C, Size);
+    EXPECT_EQ(G.usableSize(P), Size);
+    H.free(P);
+  }
+  H.releaseAll();
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(ThreadLocalHeapTest, WritesLandInDistinctMemory) {
+  GlobalHeap G(testOptions());
+  ThreadLocalHeap H(&G, 42);
+  constexpr int N = 500;
+  std::vector<uint64_t *> Ptrs;
+  for (int I = 0; I < N; ++I) {
+    auto *P = static_cast<uint64_t *>(H.malloc(sizeof(uint64_t)));
+    *P = I;
+    Ptrs.push_back(P);
+  }
+  for (int I = 0; I < N; ++I)
+    ASSERT_EQ(*Ptrs[I], static_cast<uint64_t>(I));
+  for (auto *P : Ptrs)
+    H.free(P);
+}
+
+} // namespace
+} // namespace mesh

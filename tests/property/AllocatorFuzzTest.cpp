@@ -1,0 +1,122 @@
+//===- AllocatorFuzzTest.cpp - Randomized differential fuzzing -------------===//
+///
+/// Drives random malloc/free/realloc sequences against a shadow model
+/// (size -> fill pattern) across several heap configurations, with
+/// periodic forced meshing. Any divergence means heap corruption.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include "../core/TestConfig.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+struct Shadow {
+  char *Ptr;
+  size_t Size;
+  unsigned char Pattern;
+};
+
+void fill(Shadow &S) { memset(S.Ptr, S.Pattern, S.Size); }
+
+void check(const Shadow &S) {
+  for (size_t I = 0; I < S.Size; ++I)
+    ASSERT_EQ(static_cast<unsigned char>(S.Ptr[I]), S.Pattern)
+        << "byte " << I << " of " << S.Size << "-byte object corrupted";
+}
+
+struct FuzzConfig {
+  const char *Name;
+  bool Meshing;
+  bool Randomized;
+};
+
+class AllocatorFuzz : public ::testing::TestWithParam<FuzzConfig> {};
+
+TEST_P(AllocatorFuzz, DifferentialAgainstShadowModel) {
+  const FuzzConfig &Cfg = GetParam();
+  MeshOptions Opts = testOptions(0xF00D + Cfg.Meshing * 2 + Cfg.Randomized);
+  Opts.MeshingEnabled = Cfg.Meshing;
+  Opts.Randomized = Cfg.Randomized;
+  Runtime R(Opts);
+  Rng Driver(20240611);
+
+  std::vector<Shadow> Live;
+  unsigned char NextPattern = 1;
+  for (int Step = 0; Step < 60000; ++Step) {
+    const uint32_t Op = Driver.inRange(0, 99);
+    if (Live.empty() || Op < 45) {
+      // malloc: sizes biased small, occasionally large.
+      size_t Size;
+      const uint32_t Kind = Driver.inRange(0, 9);
+      if (Kind < 7)
+        Size = 1 + Driver.inRange(0, 1023);
+      else if (Kind < 9)
+        Size = 1024 + Driver.inRange(0, 15360);
+      else
+        Size = 16385 + Driver.inRange(0, 100000);
+      auto *P = static_cast<char *>(R.malloc(Size));
+      ASSERT_NE(P, nullptr);
+      Shadow S{P, Size, NextPattern};
+      NextPattern = NextPattern == 255 ? 1 : NextPattern + 1;
+      fill(S);
+      Live.push_back(S);
+    } else if (Op < 80) {
+      // free a random object (after verifying it).
+      const size_t Idx = Driver.inRange(0, Live.size() - 1);
+      check(Live[Idx]);
+      R.free(Live[Idx].Ptr);
+      Live[Idx] = Live.back();
+      Live.pop_back();
+    } else if (Op < 90) {
+      // realloc a random object.
+      const size_t Idx = Driver.inRange(0, Live.size() - 1);
+      check(Live[Idx]);
+      const size_t NewSize = 1 + Driver.inRange(0, 4095);
+      auto *P = static_cast<char *>(R.realloc(Live[Idx].Ptr, NewSize));
+      ASSERT_NE(P, nullptr);
+      const size_t Preserved =
+          NewSize < Live[Idx].Size ? NewSize : Live[Idx].Size;
+      for (size_t I = 0; I < Preserved; ++I)
+        ASSERT_EQ(static_cast<unsigned char>(P[I]), Live[Idx].Pattern);
+      Live[Idx].Ptr = P;
+      Live[Idx].Size = NewSize;
+      fill(Live[Idx]);
+    } else if (Op < 98) {
+      // verify a random survivor.
+      check(Live[Driver.inRange(0, Live.size() - 1)]);
+    } else {
+      // rotate spans to the global heap and force a mesh pass.
+      R.localHeap().releaseAll();
+      R.meshNow();
+    }
+  }
+  for (auto &S : Live) {
+    check(S);
+    R.free(S.Ptr);
+  }
+  R.localHeap().releaseAll();
+  EXPECT_EQ(R.committedBytes(), 0u)
+      << "all memory must return when every object is freed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AllocatorFuzz,
+    ::testing::Values(FuzzConfig{"full", true, true},
+                      FuzzConfig{"nomesh", false, true},
+                      FuzzConfig{"norand", true, false},
+                      FuzzConfig{"neither", false, false}),
+    [](const ::testing::TestParamInfo<FuzzConfig> &Info) {
+      return Info.param.Name;
+    });
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,117 @@
+//===- MeshInvariantPropertyTest.cpp - Whole-heap invariant sweeps ---------===//
+///
+/// Parameterized end-to-end sweeps: for every (size class, survival
+/// rate) combination, meshing must preserve contents and addresses and
+/// release a predictable amount of physical memory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include "../core/TestConfig.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+using Params = std::tuple<size_t /*ObjSize*/, int /*KeepOneIn*/>;
+
+class MeshInvariantSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(MeshInvariantSweep, ContentsSurviveAndMemoryShrinks) {
+  const auto [ObjSize, KeepOneIn] = GetParam();
+  Runtime R(testOptions(static_cast<uint64_t>(ObjSize * 31 + KeepOneIn)));
+
+  // Fill ~48 spans of this class, then keep 1-in-KeepOneIn objects.
+  int Class = -1;
+  ASSERT_TRUE(sizeClassForSize(ObjSize, &Class));
+  const uint32_t PerSpan = sizeClassInfo(Class).ObjectCount;
+  const int Total = static_cast<int>(48 * PerSpan);
+
+  std::vector<std::pair<char *, uint64_t>> Kept;
+  std::vector<char *> All;
+  Rng Stamps(9);
+  for (int I = 0; I < Total; ++I) {
+    auto *P = static_cast<char *>(R.malloc(ObjSize));
+    ASSERT_NE(P, nullptr);
+    const uint64_t Stamp = Stamps.next();
+    memcpy(P, &Stamp, sizeof(Stamp));
+    // Also stamp the tail byte to catch short/misdirected copies.
+    P[ObjSize - 1] = static_cast<char>(Stamp >> 56);
+    All.push_back(P);
+    if (I % KeepOneIn == 0)
+      Kept.push_back({P, Stamp});
+  }
+  for (int I = 0; I < Total; ++I)
+    if (I % KeepOneIn != 0)
+      R.free(All[I]);
+  R.localHeap().releaseAll();
+
+  const size_t Before = R.committedBytes();
+  const size_t Freed = R.meshNow();
+  EXPECT_EQ(R.committedBytes(), Before - Freed);
+
+  for (auto &[P, Stamp] : Kept) {
+    uint64_t Got;
+    memcpy(&Got, P, sizeof(Got));
+    ASSERT_EQ(Got, Stamp) << "header corrupted (size " << ObjSize << ")";
+    ASSERT_EQ(P[ObjSize - 1], static_cast<char>(Stamp >> 56))
+        << "tail corrupted (size " << ObjSize << ")";
+  }
+  // Sparse heaps must reclaim something; nearly-full ones may not.
+  if (KeepOneIn >= 8)
+    EXPECT_GT(Freed, 0u) << "no meshing on a sparse heap (size " << ObjSize
+                         << ", keep 1/" << KeepOneIn << ")";
+  for (auto &[P, Stamp] : Kept)
+    R.free(P);
+  R.localHeap().releaseAll();
+  EXPECT_EQ(R.committedBytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ClassAndSurvival, MeshInvariantSweep,
+    ::testing::Combine(::testing::Values(size_t{16}, size_t{48}, size_t{128},
+                                         size_t{256}, size_t{1024},
+                                         size_t{2048}),
+                       ::testing::Values(2, 8, 32)),
+    [](const ::testing::TestParamInfo<Params> &Info) {
+      return "size" + std::to_string(std::get<0>(Info.param)) + "_keep1in" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+TEST(MeshInvariantProperty, RobsonStyleAdversaryIsContained) {
+  // A Robson-style fragmentation adversary: allocate a dense block of
+  // small objects, free everything except one survivor per span-sized
+  // stride, repeat at growing sizes. Without compaction the heap keeps
+  // every span alive; with meshing the survivors consolidate.
+  Runtime R(testOptions(4242));
+  std::vector<char *> Survivors;
+  for (int Round = 0; Round < 6; ++Round) {
+    std::vector<char *> Block;
+    for (int I = 0; I < 32 * 256; ++I)
+      Block.push_back(static_cast<char *>(R.malloc(16)));
+    for (size_t I = 0; I < Block.size(); ++I) {
+      if (I % 256 == 17)
+        Survivors.push_back(Block[I]);
+      else
+        R.free(Block[I]);
+    }
+    R.localHeap().releaseAll();
+    R.meshNow();
+  }
+  // 6 rounds x 32 survivors of 16B = ~3 KiB live. Un-meshed this pins
+  // 6*32 pages = 768 KiB; meshing must do much better.
+  EXPECT_LT(R.committedBytes(), 300u * 1024)
+      << "adversarial survivors should consolidate onto few pages";
+  for (char *P : Survivors)
+    R.free(P);
+}
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,157 @@
+//===- ShuffleVectorPropertyTest.cpp - Randomness property tests ----------===//
+///
+/// Statistical properties behind Section 4.2/5: allocation order out of
+/// a shuffle vector is a uniform random permutation, and the
+/// free-then-swap maintenance step preserves uniformity. These are the
+/// properties the meshing probability analysis depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/MiniHeap.h"
+#include "core/ShuffleVector.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+class ShuffleUniformity : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ShuffleUniformity, FirstAllocationIsUniformOverOffsets) {
+  // Attach repeatedly and record which offset pops first; a chi-squared
+  // test checks uniformity across all slots.
+  const uint32_t ObjCount = GetParam();
+  const uint32_t ObjSize = kPageSize / ObjCount;
+  std::vector<char> Buffer(kPageSize);
+  Rng Random(GetParam() * 7919 + 3);
+  std::vector<int> Counts(ObjCount, 0);
+  const int Trials = 2000 * ObjCount / 16;
+  for (int T = 0; T < Trials; ++T) {
+    MiniHeap MH(0, 1, ObjSize, ObjCount, 0, true);
+    ShuffleVector V;
+    V.init(&Random, true);
+    V.attach(&MH, Buffer.data());
+    char *P = static_cast<char *>(V.malloc());
+    ++Counts[(P - Buffer.data()) / ObjSize];
+    V.detach();
+  }
+  const double Expected = static_cast<double>(Trials) / ObjCount;
+  double Chi2 = 0;
+  for (int C : Counts) {
+    const double D = C - Expected;
+    Chi2 += D * D / Expected;
+  }
+  // 99.9% critical values are ~2.6x dof for the sizes used here; use a
+  // generous 3x bound to keep flake probability negligible.
+  EXPECT_LT(Chi2, 3.0 * ObjCount)
+      << "first-allocation offsets not uniform for count " << ObjCount;
+}
+
+INSTANTIATE_TEST_SUITE_P(SpanSizes, ShuffleUniformity,
+                         ::testing::Values(16u, 32u, 64u, 128u, 256u));
+
+TEST(ShuffleVectorProperty, PermutationUniformityOverSmallSpan) {
+  // For a 4-slot span there are 24 permutations; each should appear
+  // with probability ~1/24.
+  std::vector<char> Buffer(kPageSize);
+  Rng Random(1234);
+  std::array<int, 256> PermCounts{}; // index = base-4 encoding
+  const int Trials = 48000;
+  for (int T = 0; T < Trials; ++T) {
+    MiniHeap MH(0, 1, 1024, 4, 19, true);
+    ShuffleVector V;
+    V.init(&Random, true);
+    V.attach(&MH, Buffer.data());
+    int Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char *P = static_cast<char *>(V.malloc());
+      Code = Code * 4 + static_cast<int>((P - Buffer.data()) / 1024);
+    }
+    ++PermCounts[Code];
+  }
+  int NonZero = 0;
+  double Chi2 = 0;
+  const double Expected = Trials / 24.0;
+  for (int Code = 0; Code < 256; ++Code) {
+    if (PermCounts[Code] == 0)
+      continue;
+    ++NonZero;
+    const double D = PermCounts[Code] - Expected;
+    Chi2 += D * D / Expected;
+  }
+  EXPECT_EQ(NonZero, 24) << "exactly the 24 valid permutations occur";
+  EXPECT_LT(Chi2, 2.0 * 23) << "permutations roughly equiprobable";
+}
+
+TEST(ShuffleVectorProperty, FreeSwapPreservesUniformity) {
+  // After a malloc/free churn phase, the *next* allocation must still
+  // be uniform over the free slots (the incremental Fisher-Yates step
+  // in free() is what guarantees this).
+  std::vector<char> Buffer(kPageSize);
+  Rng Random(777);
+  Rng Driver(888);
+  constexpr uint32_t ObjCount = 16;
+  constexpr uint32_t ObjSize = 256;
+  std::vector<int> Counts(ObjCount, 0);
+  const int Trials = 40000;
+  for (int T = 0; T < Trials; ++T) {
+    MiniHeap MH(0, 1, ObjSize, ObjCount, 11, true);
+    ShuffleVector V;
+    V.init(&Random, true);
+    V.attach(&MH, Buffer.data());
+    // Allocate everything, then free everything in a fixed order.
+    std::vector<void *> Ptrs;
+    while (!V.isExhausted())
+      Ptrs.push_back(V.malloc());
+    for (void *P : Ptrs)
+      V.free(P);
+    // Churn a little more.
+    for (int I = 0; I < 8; ++I)
+      V.free(V.malloc());
+    char *P = static_cast<char *>(V.malloc());
+    ++Counts[(P - Buffer.data()) / ObjSize];
+    V.detach();
+  }
+  const double Expected = static_cast<double>(Trials) / ObjCount;
+  double Chi2 = 0;
+  for (int C : Counts) {
+    const double D = C - Expected;
+    Chi2 += D * D / Expected;
+  }
+  EXPECT_LT(Chi2, 45.0) << "chi2(15 dof) 99.9% critical value is 37.7; "
+                           "allow slack for the churn pattern";
+}
+
+TEST(ShuffleVectorProperty, TwoSpansMeshWithExpectedProbability) {
+  // Section 2.2: two spans with n/2 random objects each mesh with a
+  // computable probability. For 16-slot spans with 4 objects each:
+  //   q = C(12,4)/C(16,4) = 495/1820 ~= 0.272.
+  std::vector<char> Buffer(2 * kPageSize);
+  Rng Random(31415);
+  const int Trials = 20000;
+  int Meshable = 0;
+  for (int T = 0; T < Trials; ++T) {
+    MiniHeap A(0, 1, 256, 16, 11, true);
+    MiniHeap B(1, 1, 256, 16, 11, true);
+    for (MiniHeap *MH : {&A, &B}) {
+      ShuffleVector V;
+      V.init(&Random, true);
+      V.attach(MH, Buffer.data());
+      // Allocate 4 random slots, then return the rest via detach.
+      for (int I = 0; I < 4; ++I)
+        V.malloc();
+      V.detach();
+    }
+    Meshable += A.bitmap().isMeshableWith(B.bitmap());
+  }
+  const double Rate = static_cast<double>(Meshable) / Trials;
+  EXPECT_NEAR(Rate, 495.0 / 1820.0, 0.02)
+      << "empirical mesh probability must match the combinatorial value";
+}
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,143 @@
+//===- SplitMesherPropertyTest.cpp - Lemma 5.3 statistical checks ----------===//
+///
+/// Lemma 5.3: with t = k/q probes, SplitMesher finds a matching of size
+/// at least n(1-e^-2k)/4 with probability approaching 1. We check the
+/// bound empirically across occupancies and candidate-set sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Mesher.h"
+
+#include "core/MiniHeap.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+/// Probability two random r-occupied b-slot spans mesh:
+/// q = C(b-r, r) / C(b, r).
+double pairMeshProbability(int B, int R) {
+  double Q = 1.0;
+  for (int I = 0; I < R; ++I)
+    Q *= static_cast<double>(B - R - I) / (B - I);
+  return Q;
+}
+
+std::vector<std::unique_ptr<MiniHeap>>
+randomSpans(int N, int B, int R, Rng &Random) {
+  std::vector<std::unique_ptr<MiniHeap>> Spans;
+  for (int I = 0; I < N; ++I) {
+    auto MH = std::make_unique<MiniHeap>(static_cast<uint32_t>(I), 1,
+                                         kPageSize / B, B, 0, true);
+    // Choose R distinct random offsets.
+    int Placed = 0;
+    while (Placed < R)
+      Placed += MH->bitmap().tryToSet(Random.inRange(0, B - 1));
+    Spans.push_back(std::move(MH));
+  }
+  return Spans;
+}
+
+using Params = std::tuple<int /*N*/, int /*B*/, int /*R*/>;
+
+class SplitMesherBound : public ::testing::TestWithParam<Params> {};
+
+TEST_P(SplitMesherBound, FindsLemmaSizedMatching) {
+  const auto [N, B, R] = GetParam();
+  const double Q = pairMeshProbability(B, R);
+  ASSERT_GT(Q, 0.0);
+  // t = k/q with k = 1.5 (so the lemma bound is n(1-e^-3)/4 ~ 0.237 n).
+  const double K = 1.5;
+  ASSERT_GE(N, 2.0 * K / Q)
+      << "parameter set violates the lemma precondition n >= 2k/q";
+  const auto T = static_cast<uint32_t>(std::ceil(K / Q));
+  const double LemmaBound = N * (1.0 - std::exp(-2.0 * K)) / 4.0;
+
+  Rng Random(N * 1000003 + B * 101 + R);
+  int Failures = 0;
+  constexpr int Trials = 10;
+  for (int Trial = 0; Trial < Trials; ++Trial) {
+    auto Spans = randomSpans(N, B, R, Random);
+    InternalVector<MiniHeap *> Candidates;
+    for (auto &S : Spans)
+      Candidates.push_back(S.get());
+    InternalVector<MeshPair> Pairs;
+    uint64_t Probes = 0;
+    splitMesher(Candidates, T, Random, Pairs, &Probes);
+    EXPECT_LE(Probes, static_cast<uint64_t>(T) * (N / 2))
+        << "probe budget exceeded";
+    if (static_cast<double>(Pairs.size()) < LemmaBound)
+      ++Failures;
+  }
+  // "With high probability": allow at most 2/10 trials below the bound
+  // (the lemma is asymptotic in n; these n are modest).
+  EXPECT_LE(Failures, 2) << "n=" << N << " b=" << B << " r=" << R
+                         << " q=" << Q << " bound=" << LemmaBound;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OccupancySweep, SplitMesherBound,
+    ::testing::Values(Params{64, 32, 4}, Params{128, 32, 4},
+                      Params{256, 32, 4}, Params{128, 64, 8},
+                      Params{128, 128, 16}, Params{256, 256, 16},
+                      Params{256, 64, 8}),
+    [](const ::testing::TestParamInfo<Params> &Info) {
+      return "n" + std::to_string(std::get<0>(Info.param)) + "_b" +
+             std::to_string(std::get<1>(Info.param)) + "_r" +
+             std::to_string(std::get<2>(Info.param));
+    });
+
+TEST(SplitMesherProperty, MatchQualityDegradesGracefullyWithOccupancy) {
+  // As occupancy rises past 50%, q -> 0 and matchings shrink; the
+  // algorithm must keep its probe budget and never pair overlapping
+  // spans regardless.
+  Rng Random(5150);
+  for (int R : {2, 6, 10, 14}) {
+    auto Spans = randomSpans(128, 32, R, Random);
+    InternalVector<MiniHeap *> Candidates;
+    for (auto &S : Spans)
+      Candidates.push_back(S.get());
+    InternalVector<MeshPair> Pairs;
+    splitMesher(Candidates, 64, Random, Pairs);
+    for (auto &[A, B] : Pairs)
+      ASSERT_TRUE(A->bitmap().isMeshableWith(B->bitmap()));
+  }
+}
+
+TEST(SplitMesherProperty, RuntimeScalesLinearlyInCandidates) {
+  // Section 5.3: O(n/q) — for fixed occupancy the probe count grows
+  // linearly with n, not quadratically.
+  Rng Random(2718);
+  uint64_t ProbesSmall = 0, ProbesLarge = 0;
+  for (int Rep = 0; Rep < 5; ++Rep) {
+    auto Small = randomSpans(100, 32, 10, Random);
+    InternalVector<MiniHeap *> C1;
+    for (auto &S : Small)
+      C1.push_back(S.get());
+    InternalVector<MeshPair> P1;
+    uint64_t Probes = 0;
+    splitMesher(C1, 16, Random, P1, &Probes);
+    ProbesSmall += Probes;
+
+    auto Large = randomSpans(400, 32, 10, Random);
+    InternalVector<MiniHeap *> C2;
+    for (auto &S : Large)
+      C2.push_back(S.get());
+    InternalVector<MeshPair> P2;
+    splitMesher(C2, 16, Random, P2, &Probes);
+    ProbesLarge += Probes;
+  }
+  // 4x the candidates => at most ~4x the probes (both capped by t*n/2).
+  EXPECT_LT(ProbesLarge, 6 * ProbesSmall)
+      << "probe growth should be linear in n";
+}
+
+} // namespace
+} // namespace mesh

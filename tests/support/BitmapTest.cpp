@@ -1,0 +1,132 @@
+//===- BitmapTest.cpp - Atomic bitmap unit tests -------------------------===//
+
+#include "support/Bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+TEST(BitmapTest, StartsEmpty) {
+  Bitmap B(256);
+  EXPECT_EQ(B.inUseCount(), 0u);
+  for (uint32_t I = 0; I < 256; ++I)
+    EXPECT_FALSE(B.isSet(I));
+}
+
+TEST(BitmapTest, TryToSetReportsTransition) {
+  Bitmap B(64);
+  EXPECT_TRUE(B.tryToSet(3));
+  EXPECT_FALSE(B.tryToSet(3)) << "second set of the same bit must fail";
+  EXPECT_TRUE(B.isSet(3));
+  EXPECT_EQ(B.inUseCount(), 1u);
+}
+
+TEST(BitmapTest, UnsetReportsTransition) {
+  Bitmap B(64);
+  B.tryToSet(10);
+  EXPECT_TRUE(B.unset(10));
+  EXPECT_FALSE(B.unset(10)) << "double free must be detectable";
+  EXPECT_EQ(B.inUseCount(), 0u);
+}
+
+TEST(BitmapTest, WordBoundaries) {
+  Bitmap B(256);
+  for (uint32_t I : {0u, 63u, 64u, 127u, 128u, 191u, 192u, 255u}) {
+    EXPECT_TRUE(B.tryToSet(I));
+    EXPECT_TRUE(B.isSet(I));
+  }
+  EXPECT_EQ(B.inUseCount(), 8u);
+}
+
+TEST(BitmapTest, ClearAllResets) {
+  Bitmap B(128);
+  for (uint32_t I = 0; I < 128; I += 3)
+    B.tryToSet(I);
+  B.clearAll();
+  EXPECT_EQ(B.inUseCount(), 0u);
+}
+
+TEST(BitmapTest, MeshableIffDisjoint) {
+  Bitmap A(16), B(16);
+  A.tryToSet(0);
+  A.tryToSet(5);
+  B.tryToSet(1);
+  B.tryToSet(6);
+  EXPECT_TRUE(A.isMeshableWith(B));
+  EXPECT_TRUE(B.isMeshableWith(A));
+  B.tryToSet(5); // now overlapping
+  EXPECT_FALSE(A.isMeshableWith(B));
+}
+
+TEST(BitmapTest, EmptyMeshesWithAnything) {
+  Bitmap Empty(256), Full(256);
+  for (uint32_t I = 0; I < 256; ++I)
+    Full.tryToSet(I);
+  EXPECT_TRUE(Empty.isMeshableWith(Full));
+}
+
+TEST(BitmapTest, MergeFromIsUnion) {
+  Bitmap A(32), B(32);
+  A.tryToSet(1);
+  A.tryToSet(2);
+  B.tryToSet(8);
+  B.tryToSet(9);
+  A.mergeFrom(B);
+  EXPECT_EQ(A.inUseCount(), 4u);
+  EXPECT_TRUE(A.isSet(8));
+  EXPECT_TRUE(A.isSet(9));
+  EXPECT_TRUE(A.isSet(1));
+}
+
+TEST(BitmapTest, ForEachSetVisitsInOrder) {
+  Bitmap B(256);
+  std::vector<uint32_t> Want = {0, 7, 63, 64, 100, 255};
+  for (uint32_t I : Want)
+    B.tryToSet(I);
+  std::vector<uint32_t> Got;
+  B.forEachSet([&](uint32_t I) { Got.push_back(I); });
+  EXPECT_EQ(Got, Want);
+}
+
+TEST(BitmapTest, ConcurrentTryToSetIsLinearizable) {
+  // 8 threads race to set all 256 bits; every bit must be won exactly
+  // once in total.
+  Bitmap B(256);
+  std::atomic<int> Wins{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 8; ++T)
+    Threads.emplace_back([&] {
+      int Local = 0;
+      for (uint32_t I = 0; I < 256; ++I)
+        Local += B.tryToSet(I);
+      Wins += Local;
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Wins.load(), 256);
+  EXPECT_EQ(B.inUseCount(), 256u);
+}
+
+TEST(BitmapTest, ConcurrentSetUnsetBalance) {
+  Bitmap B(64);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      for (int Round = 0; Round < 10000; ++Round) {
+        const uint32_t Bit = (T * 16 + Round) % 64;
+        if (B.tryToSet(Bit))
+          ASSERT_TRUE(B.unset(Bit));
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(B.inUseCount(), 0u);
+}
+
+} // namespace
+} // namespace mesh

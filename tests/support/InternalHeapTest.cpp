@@ -1,0 +1,102 @@
+//===- InternalHeapTest.cpp - Metadata allocator tests -------------------===//
+
+#include "support/InternalHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+TEST(InternalHeapTest, AllocAndFreeSmall) {
+  InternalHeap Heap;
+  void *P = Heap.alloc(24);
+  ASSERT_NE(P, nullptr);
+  memset(P, 0xAB, 24);
+  EXPECT_EQ(Heap.liveBytes(), 32u) << "24 rounds to the 32-byte class";
+  Heap.free(P, 24);
+  EXPECT_EQ(Heap.liveBytes(), 0u);
+}
+
+TEST(InternalHeapTest, ReusesFreedBlocks) {
+  InternalHeap Heap;
+  void *A = Heap.alloc(64);
+  Heap.free(A, 64);
+  void *B = Heap.alloc(64);
+  EXPECT_EQ(A, B) << "LIFO free list should hand back the same block";
+  Heap.free(B, 64);
+}
+
+TEST(InternalHeapTest, DistinctLiveAllocations) {
+  InternalHeap Heap;
+  std::set<void *> Seen;
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 1000; ++I) {
+    void *P = Heap.alloc(48);
+    ASSERT_TRUE(Seen.insert(P).second) << "duplicate live pointer";
+    Ptrs.push_back(P);
+  }
+  for (void *P : Ptrs)
+    Heap.free(P, 48);
+  EXPECT_EQ(Heap.liveBytes(), 0u);
+}
+
+TEST(InternalHeapTest, LargeAllocationsUseDedicatedMappings) {
+  InternalHeap Heap;
+  void *P = Heap.alloc(100 * 1024);
+  ASSERT_NE(P, nullptr);
+  memset(P, 0, 100 * 1024);
+  EXPECT_GE(Heap.liveBytes(), 100u * 1024);
+  Heap.free(P, 100 * 1024);
+  EXPECT_EQ(Heap.liveBytes(), 0u);
+}
+
+TEST(InternalHeapTest, MakeNewRunsConstructorAndDestructor) {
+  struct Probe {
+    explicit Probe(int *Flag) : Flag(Flag) { *Flag = 1; }
+    ~Probe() { *Flag = 2; }
+    int *Flag;
+  };
+  InternalHeap Heap;
+  int Flag = 0;
+  Probe *P = Heap.makeNew<Probe>(&Flag);
+  EXPECT_EQ(Flag, 1);
+  Heap.deleteObj(P);
+  EXPECT_EQ(Flag, 2);
+}
+
+TEST(InternalHeapTest, SixteenByteAlignment) {
+  InternalHeap Heap;
+  for (size_t Size : {1u, 17u, 100u, 4000u, 8192u}) {
+    void *P = Heap.alloc(Size);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % 16, 0u)
+        << "size " << Size << " not 16-byte aligned";
+    Heap.free(P, Size);
+  }
+}
+
+TEST(InternalHeapTest, ThreadSafety) {
+  InternalHeap Heap;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 8; ++T)
+    Threads.emplace_back([&Heap] {
+      std::vector<void *> Mine;
+      for (int I = 0; I < 2000; ++I) {
+        void *P = Heap.alloc(40);
+        memset(P, 0x5A, 40);
+        Mine.push_back(P);
+      }
+      for (void *P : Mine)
+        Heap.free(P, 40);
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Heap.liveBytes(), 0u);
+}
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,69 @@
+//===- MathUtilsTest.cpp - Arithmetic helper tests -----------------------===//
+
+#include "support/MathUtils.h"
+
+#include "support/Common.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mesh {
+namespace {
+
+TEST(MathUtilsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(2));
+  EXPECT_FALSE(isPowerOfTwo(3));
+  EXPECT_TRUE(isPowerOfTwo(4096));
+  EXPECT_FALSE(isPowerOfTwo(4097));
+  EXPECT_TRUE(isPowerOfTwo(size_t{1} << 63));
+}
+
+TEST(MathUtilsTest, RoundUpPow2Multiple) {
+  EXPECT_EQ(roundUpPow2Multiple(0, 16), 0u);
+  EXPECT_EQ(roundUpPow2Multiple(1, 16), 16u);
+  EXPECT_EQ(roundUpPow2Multiple(16, 16), 16u);
+  EXPECT_EQ(roundUpPow2Multiple(17, 16), 32u);
+  EXPECT_EQ(roundUpPow2Multiple(4095, 4096), 4096u);
+  EXPECT_EQ(roundUpPow2Multiple(4097, 4096), 8192u);
+}
+
+TEST(MathUtilsTest, RoundUpToPowerOfTwo) {
+  EXPECT_EQ(roundUpToPowerOfTwo(0), 1u);
+  EXPECT_EQ(roundUpToPowerOfTwo(1), 1u);
+  EXPECT_EQ(roundUpToPowerOfTwo(2), 2u);
+  EXPECT_EQ(roundUpToPowerOfTwo(3), 4u);
+  EXPECT_EQ(roundUpToPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(roundUpToPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(roundUpToPowerOfTwo(1025), 2048u);
+}
+
+TEST(MathUtilsTest, Log2Floor) {
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(2), 1u);
+  EXPECT_EQ(log2Floor(3), 1u);
+  EXPECT_EQ(log2Floor(4), 2u);
+  EXPECT_EQ(log2Floor(4096), 12u);
+}
+
+TEST(MathUtilsTest, PageConversionsRoundTrip) {
+  EXPECT_EQ(bytesToPages(0), 0u);
+  EXPECT_EQ(bytesToPages(1), 1u);
+  EXPECT_EQ(bytesToPages(4096), 1u);
+  EXPECT_EQ(bytesToPages(4097), 2u);
+  EXPECT_EQ(pagesToBytes(3), size_t{3} * 4096);
+}
+
+TEST(MathUtilsTest, GeometricMean) {
+  std::vector<double> V = {1.0, 4.0};
+  EXPECT_NEAR(geometricMean(V), 2.0, 1e-12);
+  std::vector<double> Identity = {5.0};
+  EXPECT_NEAR(geometricMean(Identity), 5.0, 1e-12);
+  std::vector<double> Empty;
+  EXPECT_EQ(geometricMean(Empty), 0.0);
+}
+
+} // namespace
+} // namespace mesh

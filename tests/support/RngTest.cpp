@@ -1,0 +1,97 @@
+//===- RngTest.cpp - PRNG unit tests -----------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 1000; ++I)
+    Same += (A.next() == B.next());
+  EXPECT_LT(Same, 5);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng A(77);
+  std::vector<uint64_t> First;
+  for (int I = 0; I < 16; ++I)
+    First.push_back(A.next());
+  A.seed(77);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(A.next(), First[I]);
+}
+
+TEST(RngTest, InRangeStaysInRange) {
+  Rng R(99);
+  for (int I = 0; I < 100000; ++I) {
+    const uint32_t V = R.inRange(10, 20);
+    ASSERT_GE(V, 10u);
+    ASSERT_LE(V, 20u);
+  }
+}
+
+TEST(RngTest, InRangeSingletonRange) {
+  Rng R(5);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(R.inRange(7, 7), 7u);
+}
+
+TEST(RngTest, InRangeCoversAllValues) {
+  Rng R(42);
+  std::set<uint32_t> Seen;
+  for (int I = 0; I < 10000; ++I)
+    Seen.insert(R.inRange(0, 15));
+  EXPECT_EQ(Seen.size(), 16u);
+}
+
+TEST(RngTest, InRangeRoughlyUniform) {
+  // Chi-squared test over 256 buckets; 99.9% critical value for 255
+  // degrees of freedom is ~330.5.
+  Rng R(1234);
+  constexpr int kBuckets = 256;
+  constexpr int kDraws = 256 * 1000;
+  std::vector<int> Counts(kBuckets, 0);
+  for (int I = 0; I < kDraws; ++I)
+    ++Counts[R.inRange(0, kBuckets - 1)];
+  const double Expected = static_cast<double>(kDraws) / kBuckets;
+  double Chi2 = 0;
+  for (int C : Counts) {
+    const double D = C - Expected;
+    Chi2 += D * D / Expected;
+  }
+  EXPECT_LT(Chi2, 330.5);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I < 100000; ++I) {
+    const double D = R.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+  }
+}
+
+TEST(RngTest, WithProbabilityMatchesRate) {
+  Rng R(8);
+  int Hits = 0;
+  constexpr int kDraws = 100000;
+  for (int I = 0; I < kDraws; ++I)
+    Hits += R.withProbability(0.25);
+  EXPECT_NEAR(static_cast<double>(Hits) / kDraws, 0.25, 0.01);
+}
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,54 @@
+//===- StaticVectorTest.cpp - Fixed-capacity vector tests ----------------===//
+
+#include "support/StaticVector.h"
+
+#include <gtest/gtest.h>
+
+namespace mesh {
+namespace {
+
+TEST(StaticVectorTest, PushPopBasics) {
+  StaticVector<int, 4> V;
+  EXPECT_TRUE(V.empty());
+  V.push_back(1);
+  V.push_back(2);
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V.back(), 2);
+  V.pop_back();
+  EXPECT_EQ(V.size(), 1u);
+}
+
+TEST(StaticVectorTest, FullAndClear) {
+  StaticVector<int, 3> V;
+  V.push_back(1);
+  V.push_back(2);
+  V.push_back(3);
+  EXPECT_TRUE(V.full());
+  V.clear();
+  EXPECT_TRUE(V.empty());
+}
+
+TEST(StaticVectorTest, SwapRemove) {
+  StaticVector<int, 8> V;
+  for (int I = 0; I < 5; ++I)
+    V.push_back(I);
+  V.swapRemove(1); // moves 4 into slot 1
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_EQ(V[1], 4);
+  V.swapRemove(3); // removes last element
+  EXPECT_EQ(V.size(), 3u);
+}
+
+TEST(StaticVectorTest, RangeBasedIteration) {
+  StaticVector<int, 8> V;
+  int Sum = 0;
+  for (int I = 1; I <= 4; ++I)
+    V.push_back(I);
+  for (int X : V)
+    Sum += X;
+  EXPECT_EQ(Sum, 10);
+}
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,78 @@
+//===- EvictionBiasTest.cpp - Sampled-LRU behavior tests -------------------===//
+///
+/// The Redis benchmark's fragmentation depends on *approximated* LRU
+/// eviction (random sampling, like Redis's maxmemory-samples). These
+/// tests pin the two properties the workload relies on: evictions are
+/// biased toward older entries, but scattered enough across insertion
+/// order to leave sparse spans behind.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KVStore.h"
+
+#include "baseline/SizeClassAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mesh {
+namespace {
+
+TEST(EvictionBiasTest, SampledEvictionFavorsOldEntries) {
+  SizeClassAllocator Heap(256 * 1024 * 1024, 0);
+  KVStore Store(Heap, 64 * 1024, /*EvictionSamples=*/5);
+  const std::string Value(100, 'v');
+  // Insert 2000 keys; the budget holds ~600.
+  for (int I = 0; I < 2000; ++I)
+    Store.set("key-" + std::to_string(I), Value);
+  // Count survivors in the oldest and newest quartile of insertions.
+  int OldAlive = 0, NewAlive = 0;
+  for (int I = 0; I < 500; ++I)
+    OldAlive += !Store.get("key-" + std::to_string(I)).empty();
+  for (int I = 1500; I < 2000; ++I)
+    NewAlive += !Store.get("key-" + std::to_string(I)).empty();
+  EXPECT_GT(NewAlive, OldAlive * 2)
+      << "sampling must still skew strongly toward evicting old entries";
+}
+
+TEST(EvictionBiasTest, SampledEvictionScattersAcrossInsertOrder) {
+  SizeClassAllocator Heap(256 * 1024 * 1024, 0);
+  KVStore Store(Heap, 64 * 1024, /*EvictionSamples=*/5);
+  const std::string Value(100, 'v');
+  for (int I = 0; I < 2000; ++I)
+    Store.set("key-" + std::to_string(I), Value);
+  // Strict LRU would leave one contiguous suffix alive. Sampled LRU
+  // must leave "holes": alive/dead transitions well above 1.
+  int Transitions = 0;
+  bool Prev = !Store.get("key-0").empty();
+  for (int I = 1; I < 2000; ++I) {
+    const bool Alive = !Store.get("key-" + std::to_string(I)).empty();
+    Transitions += (Alive != Prev);
+    Prev = Alive;
+  }
+  EXPECT_GT(Transitions, 20)
+      << "eviction pattern too contiguous to fragment spans";
+}
+
+TEST(EvictionBiasTest, StrictModeEvictsExactSuffix) {
+  SizeClassAllocator Heap(256 * 1024 * 1024, 0);
+  KVStore Store(Heap, 64 * 1024, /*EvictionSamples=*/0);
+  const std::string Value(100, 'v');
+  for (int I = 0; I < 2000; ++I)
+    Store.set("key-" + std::to_string(I), Value);
+  // With exact LRU, survivors are precisely the newest insertions.
+  bool SeenAlive = false;
+  for (int I = 0; I < 2000; ++I) {
+    const bool Alive = !Store.get("key-" + std::to_string(I)).empty();
+    if (Alive)
+      SeenAlive = true;
+    else
+      EXPECT_FALSE(SeenAlive)
+          << "dead entry after a live one under strict LRU at " << I;
+  }
+}
+
+} // namespace
+} // namespace mesh

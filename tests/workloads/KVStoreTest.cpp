@@ -1,0 +1,101 @@
+//===- KVStoreTest.cpp - Redis-like store tests ----------------------------===//
+
+#include "workloads/KVStore.h"
+
+#include "baseline/SizeClassAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mesh {
+namespace {
+
+class KVStoreTest : public ::testing::Test {
+protected:
+  KVStoreTest() : Heap(256 * 1024 * 1024, 0) {}
+  SizeClassAllocator Heap;
+};
+
+TEST_F(KVStoreTest, SetGetDelete) {
+  KVStore Store(Heap, 0);
+  Store.set("alpha", "one");
+  Store.set("beta", "two");
+  EXPECT_EQ(Store.get("alpha"), "one");
+  EXPECT_EQ(Store.get("beta"), "two");
+  EXPECT_EQ(Store.get("gamma"), "");
+  EXPECT_EQ(Store.entryCount(), 2u);
+  EXPECT_TRUE(Store.del("alpha"));
+  EXPECT_FALSE(Store.del("alpha"));
+  EXPECT_EQ(Store.get("alpha"), "");
+  EXPECT_EQ(Store.entryCount(), 1u);
+}
+
+TEST_F(KVStoreTest, OverwriteReplacesValue) {
+  KVStore Store(Heap, 0);
+  Store.set("key", "first");
+  Store.set("key", "second-longer-value");
+  EXPECT_EQ(Store.get("key"), "second-longer-value");
+  EXPECT_EQ(Store.entryCount(), 1u);
+  EXPECT_EQ(Store.payloadBytes(), 3 + 19u);
+}
+
+TEST_F(KVStoreTest, ManyKeysSurviveRehash) {
+  KVStore Store(Heap, 0);
+  for (int I = 0; I < 20000; ++I)
+    Store.set("key-" + std::to_string(I), "value-" + std::to_string(I));
+  EXPECT_EQ(Store.entryCount(), 20000u);
+  for (int I = 0; I < 20000; I += 97)
+    ASSERT_EQ(Store.get("key-" + std::to_string(I)),
+              "value-" + std::to_string(I));
+}
+
+TEST_F(KVStoreTest, LruEvictionRespectsBudget) {
+  KVStore Store(Heap, 10 * 1024, /*EvictionSamples=*/0);
+  const std::string Value(100, 'v');
+  for (int I = 0; I < 1000; ++I)
+    Store.set("key-" + std::to_string(I), Value);
+  EXPECT_LE(Store.payloadBytes(), 10u * 1024);
+  EXPECT_GT(Store.evictionCount(), 0u);
+  // Recently used keys survive; the oldest were evicted.
+  EXPECT_NE(Store.get("key-999"), "");
+  EXPECT_EQ(Store.get("key-0"), "");
+}
+
+TEST_F(KVStoreTest, GetRefreshesLruPosition) {
+  KVStore Store(Heap, 350, /*EvictionSamples=*/0);
+  const std::string Value(100, 'v');
+  Store.set("a", Value);
+  Store.set("b", Value);
+  Store.set("c", Value);
+  // Touch "a" so "b" is now least recently used; the next insert
+  // must evict "b", not "a".
+  EXPECT_NE(Store.get("a"), "");
+  Store.set("d", Value);
+  EXPECT_NE(Store.get("a"), "");
+  EXPECT_EQ(Store.get("b"), "");
+}
+
+TEST_F(KVStoreTest, ActiveDefragPreservesContents) {
+  KVStore Store(Heap, 0);
+  for (int I = 0; I < 5000; ++I)
+    Store.set("key-" + std::to_string(I), "value-" + std::to_string(I));
+  const size_t Moved = Store.activeDefrag();
+  EXPECT_GT(Moved, 0u);
+  for (int I = 0; I < 5000; I += 53)
+    ASSERT_EQ(Store.get("key-" + std::to_string(I)),
+              "value-" + std::to_string(I));
+}
+
+TEST_F(KVStoreTest, DrainsHeapOnDestruction) {
+  {
+    KVStore Store(Heap, 0);
+    for (int I = 0; I < 1000; ++I)
+      Store.set("key-" + std::to_string(I), std::string(200, 'x'));
+  }
+  EXPECT_EQ(Heap.committedBytes(), 0u)
+      << "the store must free everything it allocated";
+}
+
+} // namespace
+} // namespace mesh

@@ -1,0 +1,127 @@
+//===- WorkloadTest.cpp - Workload generator smoke + shape tests -----------===//
+///
+/// Scaled-down runs of each benchmark workload: they must complete,
+/// drain their heaps, and exhibit the fragmentation shape the full
+/// benchmarks rely on (Mesh reclaiming more than the non-compacting
+/// baseline under identical streams).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/BrowserWorkload.h"
+#include "workloads/MemoryMeter.h"
+#include "workloads/RedisWorkload.h"
+#include "workloads/RubyWorkload.h"
+#include "workloads/SpecWorkload.h"
+
+#include "baseline/FreeListAllocator.h"
+#include "baseline/SizeClassAllocator.h"
+
+#include <gtest/gtest.h>
+
+namespace mesh {
+namespace {
+
+MeshOptions benchMeshOptions(bool Meshing = true, bool Rand = true) {
+  MeshOptions Opts;
+  Opts.ArenaBytes = size_t{2} << 30;
+  Opts.MeshingEnabled = Meshing;
+  Opts.Randomized = Rand;
+  Opts.MeshPeriodMs = 10;
+  Opts.Seed = 7;
+  return Opts;
+}
+
+TEST(MemoryMeterTest, SamplesOnCadence) {
+  SizeClassAllocator Heap(256 * 1024 * 1024, 0);
+  MemoryMeter Meter(Heap, 10);
+  for (int I = 0; I < 100; ++I)
+    Meter.recordOp();
+  EXPECT_EQ(Meter.samples().size(), 11u) << "initial sample + 10 periodic";
+  EXPECT_EQ(Meter.peakCommittedBytes(), 0u);
+  void *P = Heap.malloc(100000);
+  Meter.sampleNow();
+  EXPECT_GT(Meter.peakCommittedBytes(), 0u);
+  EXPECT_GT(Meter.meanCommittedBytes(), 0.0);
+  Heap.free(P);
+}
+
+TEST(RedisWorkloadTest, ScaledRunCompletes) {
+  RedisWorkloadConfig Config;
+  Config.Scale = 0.02; // 14k + 3.4k keys, 2 MB budget
+  Config.IdleRounds = 4;
+  MeshBackend Backend(benchMeshOptions());
+  MemoryMeter Meter(Backend, 5000);
+  const RedisWorkloadResult Result =
+      runRedisWorkload(Backend, Meter, Config);
+  EXPECT_GT(Result.Evictions, 0u) << "the LRU budget must bind";
+  EXPECT_GT(Result.FinalEntries, 0u);
+  EXPECT_GT(Result.InsertSeconds, 0.0);
+  EXPECT_GT(Meter.samples().size(), 4u);
+}
+
+TEST(RedisWorkloadTest, ActiveDefragPathRuns) {
+  RedisWorkloadConfig Config;
+  Config.Scale = 0.02;
+  Config.IdleRounds = 3;
+  Config.UseActiveDefrag = true;
+  SizeClassAllocator Backend(512 * 1024 * 1024, 0);
+  MemoryMeter Meter(Backend, 5000);
+  const RedisWorkloadResult Result =
+      runRedisWorkload(Backend, Meter, Config);
+  EXPECT_GT(Result.DefragMovedBytes, 0u);
+  EXPECT_GT(Result.MaintenanceSeconds, 0.0);
+}
+
+TEST(RubyWorkloadTest, MeshReclaimsMoreThanBaseline) {
+  RubyWorkloadConfig Config;
+  Config.BytesPerRound = 2 * 1024 * 1024;
+  Config.Rounds = 5;
+  Config.OpsPerSample = 4096;
+
+  SizeClassAllocator Baseline(512 * 1024 * 1024, 0);
+  MemoryMeter BaselineMeter(Baseline, Config.OpsPerSample);
+  const RubyWorkloadResult BaseResult =
+      runRubyWorkload(Baseline, BaselineMeter, Config);
+
+  MeshBackend Meshy(benchMeshOptions());
+  MemoryMeter MeshMeter(Meshy, Config.OpsPerSample);
+  const RubyWorkloadResult MeshResult =
+      runRubyWorkload(Meshy, MeshMeter, Config);
+
+  EXPECT_EQ(BaseResult.FinalLiveBytes, MeshResult.FinalLiveBytes)
+      << "same workload stream";
+  EXPECT_LT(MeshResult.FinalCommittedBytes, BaseResult.FinalCommittedBytes)
+      << "Mesh must end the Ruby workload with a smaller footprint";
+}
+
+TEST(BrowserWorkloadTest, ScaledRunCompletesAndDrains) {
+  BrowserWorkloadConfig Config;
+  Config.Episodes = 4;
+  Config.AllocsPerEpisode = 4000;
+  Config.CooldownRounds = 3;
+  MeshBackend Backend(benchMeshOptions());
+  MemoryMeter Meter(Backend, 4096);
+  const BrowserWorkloadResult Result =
+      runBrowserWorkload(Backend, Meter, Config);
+  EXPECT_GT(Result.Score, 0.0);
+  EXPECT_GT(Meter.samples().size(), 4u);
+  Backend.flush();
+}
+
+TEST(SpecWorkloadTest, AllBenchmarksRunOnBothAllocators) {
+  for (size_t I = 0; I < specBenchmarkNames().size(); ++I) {
+    FreeListAllocator Glibc;
+    const SpecBenchResult BaseResult =
+        runSpecBenchmark(I, Glibc, /*Scale=*/0.02);
+    EXPECT_GT(BaseResult.PeakBytes, 0u) << BaseResult.Name;
+
+    MeshBackend Meshy(benchMeshOptions());
+    const SpecBenchResult MeshResult =
+        runSpecBenchmark(I, Meshy, /*Scale=*/0.02);
+    EXPECT_GT(MeshResult.PeakBytes, 0u) << MeshResult.Name;
+    EXPECT_STREQ(BaseResult.Name, MeshResult.Name);
+  }
+}
+
+} // namespace
+} // namespace mesh
