@@ -5,11 +5,44 @@
 
 #include "core/Options.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace mesh {
 
 inline double toMiB(double Bytes) { return Bytes / (1024.0 * 1024.0); }
+
+/// True after benchInit saw --smoke: the ctest registrations run every
+/// benchmark in this mode so CI catches bench rot without paying for
+/// full measurement runs. Numbers printed under --smoke are not
+/// paper-comparable.
+inline bool &benchSmokeMode() {
+  static bool Smoke = false;
+  return Smoke;
+}
+
+/// Parses benchmark argv (currently just --smoke). Call first in main.
+/// Unrecognized arguments are an error: a typoed --smoke silently
+/// running the full measurement workload would defeat the ctest smoke
+/// registrations.
+inline void benchInit(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--smoke") == 0) {
+      benchSmokeMode() = true;
+    } else {
+      fprintf(stderr, "%s: unknown argument '%s' (supported: --smoke)\n",
+              argv[0], argv[I]);
+      exit(2);
+    }
+  }
+}
+
+/// Divides an iteration count by \p Divisor in smoke mode (floor 1).
+inline size_t benchScaled(size_t N, size_t Divisor = 8) {
+  return benchSmokeMode() ? std::max<size_t>(1, N / Divisor) : N;
+}
 
 /// Mesh configured for benchmarking: the paper's default 100 ms mesh
 /// rate limit (Section 4.5).

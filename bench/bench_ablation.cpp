@@ -29,12 +29,12 @@ MeshOptions ablationOptions() {
   return Opts;
 }
 
-/// Builds the standard fragmented image: 64 spans of 16-byte objects,
-/// 1-in-8 survivors, spans rotated to the global heap.
-std::vector<void *> buildFragmentedHeap(Runtime &R) {
+/// Builds the standard fragmented image: \p Spans spans of 16-byte
+/// objects, 1-in-8 survivors, spans rotated to the global heap.
+std::vector<void *> buildFragmentedHeap(Runtime &R, int Spans) {
   std::vector<void *> Kept;
   std::vector<void *> Toss;
-  for (int I = 0; I < 64 * 256; ++I) {
+  for (int I = 0; I < Spans * 256; ++I) {
     void *P = R.malloc(16);
     (I % 8 == 0 ? Kept : Toss).push_back(P);
   }
@@ -46,48 +46,55 @@ std::vector<void *> buildFragmentedHeap(Runtime &R) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchInit(argc, argv);
   printHeader("Ablations", "probe budget t, write barrier, randomization");
+  const int Runs = benchSmokeMode() ? 2 : 5;
+  const int SpanCount = static_cast<int>(benchScaled(64));
 
   // --- t sweep: pages released and pass time per budget. ---
-  printf("t-sweep on the 64-span 1/8-occupancy image (5 runs each):\n");
+  printf("t-sweep on the %d-span 1/8-occupancy image (%d runs each):\n",
+         SpanCount, Runs);
   printf("%6s %12s %12s %12s\n", "t", "freed_KiB", "probes", "pass_us");
   for (uint32_t T : {1u, 4u, 16u, 64u, 256u}) {
     size_t Freed = 0;
     uint64_t Probes = 0, Ns = 0;
-    for (int Run = 0; Run < 5; ++Run) {
+    for (int Run = 0; Run < Runs; ++Run) {
       MeshOptions Opts = ablationOptions();
       Opts.MeshProbes = T;
       Opts.Seed = 100 + Run;
       Runtime R(Opts);
-      auto Kept = buildFragmentedHeap(R);
+      auto Kept = buildFragmentedHeap(R, SpanCount);
       Freed += R.meshNow();
       Probes += R.global().stats().MeshProbeCount.load();
       Ns += R.global().stats().TotalMeshNs.load();
       for (void *P : Kept)
         R.free(P);
     }
-    printf("%6u %12.1f %12llu %12.1f\n", T, Freed / 5.0 / 1024.0,
-           static_cast<unsigned long long>(Probes / 5), Ns / 5 / 1000.0);
+    printf("%6u %12.1f %12llu %12.1f\n", T,
+           static_cast<double>(Freed) / Runs / 1024.0,
+           static_cast<unsigned long long>(Probes / Runs),
+           static_cast<double>(Ns) / Runs / 1000.0);
   }
 
   // --- Write barrier cost per mesh pass. ---
   for (bool Barrier : {true, false}) {
     uint64_t Ns = 0;
     size_t Freed = 0;
-    for (int Run = 0; Run < 5; ++Run) {
+    for (int Run = 0; Run < Runs; ++Run) {
       MeshOptions Opts = ablationOptions();
       Opts.BarrierEnabled = Barrier;
       Opts.Seed = 200 + Run;
       Runtime R(Opts);
-      auto Kept = buildFragmentedHeap(R);
+      auto Kept = buildFragmentedHeap(R, SpanCount);
       Freed += R.meshNow();
       Ns += R.global().stats().TotalMeshNs.load();
       for (void *P : Kept)
         R.free(P);
     }
     printf("RESULT mesh_pass_us_barrier_%s %.1f (freed %.0f KiB avg)\n",
-           Barrier ? "on" : "off", Ns / 5 / 1000.0, Freed / 5.0 / 1024.0);
+           Barrier ? "on" : "off", static_cast<double>(Ns) / Runs / 1000.0,
+           static_cast<double>(Freed) / Runs / 1024.0);
   }
 
   // --- Randomization under a REGULAR allocation pattern. ---
@@ -100,7 +107,7 @@ int main() {
     Opts.Randomized = Rand;
     Runtime R(Opts);
     std::vector<void *> All;
-    for (int I = 0; I < 64 * 256; ++I)
+    for (int I = 0; I < SpanCount * 256; ++I)
       All.push_back(R.malloc(16));
     std::vector<void *> Kept;
     for (size_t I = 0; I < All.size(); ++I) {

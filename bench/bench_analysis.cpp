@@ -22,7 +22,8 @@
 using namespace mesh;
 using namespace mesh::analysis;
 
-int main() {
+int main(int argc, char **argv) {
+  benchInit(argc, argv);
   printHeader("Sections 2.2 / 5.2", "analytic quantities + Monte Carlo");
 
   // --- Section 1: Robson bound. ---
@@ -43,8 +44,9 @@ int main() {
 
   // --- Monte Carlo validation of the dependent model. ---
   Rng Random(424242);
-  const unsigned N = 1000, B = 32, R = 10;
-  const int Trials = 5;
+  const unsigned N = static_cast<unsigned>(benchScaled(1000, 4));
+  const unsigned B = 32, R = 10;
+  const int Trials = benchSmokeMode() ? 1 : 5;
   double TotalTriangles = 0, TotalEdges = 0;
   for (int T = 0; T < Trials; ++T) {
     auto Spans = randomSpans(N, B, R, Random);

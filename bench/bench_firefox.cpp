@@ -27,6 +27,11 @@ struct RunOutput {
 
 RunOutput runOne(HeapBackend &Backend, const char *Label) {
   BrowserWorkloadConfig Config;
+  if (benchSmokeMode()) {
+    Config.Episodes = 6;
+    Config.AllocsPerEpisode = benchScaled(Config.AllocsPerEpisode);
+    Config.CooldownRounds = 3;
+  }
   MemoryMeter Meter(Backend, Config.OpsPerSample);
   const BrowserWorkloadResult Result =
       runBrowserWorkload(Backend, Meter, Config);
@@ -37,7 +42,8 @@ RunOutput runOne(HeapBackend &Backend, const char *Label) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchInit(argc, argv);
   printHeader("Figure 6",
               "Firefox/Speedometer stand-in: RSS over time, two configs");
 

@@ -31,6 +31,10 @@ RunOutput runOne(HeapBackend &Backend, const char *Label,
                  bool UseActiveDefrag) {
   RedisWorkloadConfig Config;
   Config.UseActiveDefrag = UseActiveDefrag;
+  if (benchSmokeMode()) {
+    Config.Scale = 0.05;
+    Config.IdleRounds = 3;
+  }
   MemoryMeter Meter(Backend, Config.OpsPerSample);
   const RedisWorkloadResult Result =
       runRedisWorkload(Backend, Meter, Config);
@@ -42,7 +46,8 @@ RunOutput runOne(HeapBackend &Backend, const char *Label,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchInit(argc, argv);
   printHeader("Figure 7",
               "Redis LRU-cache benchmark: RSS over time, three configs");
 

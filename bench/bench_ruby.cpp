@@ -27,6 +27,7 @@ struct RunOutput {
 
 RunOutput runOne(HeapBackend &Backend, const char *Label) {
   RubyWorkloadConfig Config;
+  Config.BytesPerRound = benchScaled(Config.BytesPerRound, 16);
   MemoryMeter Meter(Backend, Config.OpsPerSample);
   const RubyWorkloadResult Result = runRubyWorkload(Backend, Meter, Config);
   Meter.printSeries(Label);
@@ -35,7 +36,8 @@ RunOutput runOne(HeapBackend &Backend, const char *Label) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchInit(argc, argv);
   printHeader("Figure 8", "Ruby string-churn microbenchmark, four configs");
 
   SizeClassAllocator Jemalloc(size_t{4} << 30);

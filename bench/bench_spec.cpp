@@ -19,7 +19,9 @@
 
 using namespace mesh;
 
-int main() {
+int main(int argc, char **argv) {
+  benchInit(argc, argv);
+  const double Scale = benchSmokeMode() ? 0.1 : 0.5;
   printHeader("Section 6.2.3 table",
               "SPECint-style suite: glibc-like baseline vs Mesh");
 
@@ -30,7 +32,7 @@ int main() {
   double PerlTime = 0, PerlMem = 0;
   for (size_t I = 0; I < specBenchmarkNames().size(); ++I) {
     FreeListAllocator Glibc;
-    const SpecBenchResult Base = runSpecBenchmark(I, Glibc, /*Scale=*/0.5);
+    const SpecBenchResult Base = runSpecBenchmark(I, Glibc, Scale);
 
     // Scale adjustment: real SPEC runs take minutes, so the 100 ms
     // mesh period amounts to continuous background compaction; our
@@ -39,7 +41,7 @@ int main() {
     MeshOptions Opts = benchMeshOptions();
     Opts.MeshPeriodMs = 1;
     MeshBackend Mesh(Opts);
-    const SpecBenchResult Ours = runSpecBenchmark(I, Mesh, /*Scale=*/0.5);
+    const SpecBenchResult Ours = runSpecBenchmark(I, Mesh, Scale);
 
     const double TimeRatio = Ours.Seconds / Base.Seconds;
     const double MemRatio = static_cast<double>(Ours.PeakBytes) /

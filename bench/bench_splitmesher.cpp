@@ -54,7 +54,8 @@ toGraph(const std::vector<std::unique_ptr<MiniHeap>> &Spans, uint32_t B) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchInit(argc, argv);
   printHeader("Lemma 5.3", "SplitMesher matching quality and probe budget");
 
   // --- Quality vs occupancy at fixed t=64 (the shipped default). ---
@@ -63,7 +64,7 @@ int main() {
   Rng Random(5);
   const uint32_t B = 32;
   for (uint32_t R : {2u, 4u, 6u, 8u, 10u, 12u}) {
-    const size_t N = 1000;
+    const size_t N = benchScaled(1000, 4);
     const double Q = analysis::pairMeshProbability(B, R, R);
     auto Spans = randomMiniHeaps(N, B, R, Random);
     InternalVector<MiniHeap *> Candidates;
@@ -83,7 +84,8 @@ int main() {
   // --- Runtime scaling: probes grow linearly in n (O(n/q)). ---
   printf("\nprobe scaling at r=10/32 (q ~ 0.01), t = 64:\n");
   printf("%8s %12s %14s\n", "n", "probes", "probes/n");
-  for (size_t N : {250u, 500u, 1000u, 2000u, 4000u}) {
+  for (size_t Full : {250u, 500u, 1000u, 2000u, 4000u}) {
+    const size_t N = benchScaled(Full, 4);
     auto Spans = randomMiniHeaps(N, B, 10, Random);
     InternalVector<MiniHeap *> Candidates;
     for (auto &S : Spans)
@@ -97,9 +99,11 @@ int main() {
   }
 
   // --- Quality vs exact optimum on small instances. ---
-  printf("\nSplitMesher vs exact maximum matching (n=20, 30 trials):\n");
+  const int Trials = benchSmokeMode() ? 5 : 30;
+  printf("\nSplitMesher vs exact maximum matching (n=20, %d trials):\n",
+         Trials);
   size_t SplitTotal = 0, ExactTotal = 0;
-  for (int Trial = 0; Trial < 30; ++Trial) {
+  for (int Trial = 0; Trial < Trials; ++Trial) {
     auto Spans = randomMiniHeaps(20, B, 8, Random);
     InternalVector<MiniHeap *> Candidates;
     for (auto &S : Spans)

@@ -66,11 +66,13 @@ void runTrace(const char *Name, const AllocTrace &Trace) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchInit(argc, argv);
   printHeader("Trace replay", "identical streams across four allocators");
-  runTrace("churn", AllocTrace::churn(400000, 20000, 16, 2048, 101));
-  runTrace("fragmented", AllocTrace::fragmented(64 * 256, 16, 16));
+  runTrace("churn", AllocTrace::churn(benchScaled(400000), benchScaled(20000),
+                                      16, 2048, 101));
+  runTrace("fragmented", AllocTrace::fragmented(benchScaled(64 * 256), 16, 16));
   runTrace("generational",
-           AllocTrace::generational(16, 30000, 16, 512, 103));
+           AllocTrace::generational(16, benchScaled(30000), 16, 512, 103));
   return 0;
 }

@@ -36,7 +36,7 @@ MemfdArena::~MemfdArena() {
     close(Fd);
 }
 
-void MemfdArena::commit(size_t PageOff, size_t Pages) {
+void MemfdArena::commit([[maybe_unused]] size_t PageOff, size_t Pages) {
   assert(PageOff + Pages <= arenaPages() && "commit beyond arena");
   Committed.fetch_add(Pages, std::memory_order_relaxed);
 }

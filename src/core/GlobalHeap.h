@@ -102,17 +102,19 @@ public:
   /// binned for \p SizeClass.
   size_t binnedCount(int SizeClass) const;
 
-private:
   static constexpr int kOccupancyBins = 4;
 
+  /// Maps an occupancy fraction to its bin. Quartiles are left-closed:
+  /// bin 0 holds (0%, 25%), bin 1 [25%, 50%), bin 2 [50%, 75%), bin 3
+  /// [75%, 100%] (the clamp folds 100% in, though full and empty spans
+  /// are never binned). Public so tests can pin the boundary math.
   static int occupancyBin(uint32_t InUse, uint32_t Count) {
-    // Bin 3 holds (75%, 100%), bin 0 holds (0%, 25%]; full and empty
-    // spans are never binned.
     const int Bin = static_cast<int>(
         (static_cast<uint64_t>(InUse) * kOccupancyBins) / Count);
     return Bin >= kOccupancyBins ? kOccupancyBins - 1 : Bin;
   }
 
+private:
   void insertIntoBinLocked(MiniHeap *MH);
   void removeFromBinLocked(MiniHeap *MH);
   void rebinOrDestroyLocked(MiniHeap *MH);

@@ -141,7 +141,7 @@ public:
   const uint8_t *cachedEnd() const { return List + MaxCount; }
 
 private:
-  uint8_t List[kMaxObjectsPerSpan];
+  uint8_t List[kMaxObjectsPerSpan] = {};
   uint16_t Head = 0;
   uint16_t MaxCount = 0;
   size_t ObjSize = 0;

@@ -134,7 +134,11 @@ TEST(EdgeCaseDeathTest, ForeignSegfaultStillDies) {
   Runtime R(Opts); // installs the handler
   EXPECT_DEATH(
       {
-        volatile int *Wild = reinterpret_cast<int *>(0x40);
+        // Launder the address through a volatile so the optimizer
+        // cannot classify the store as an out-of-bounds access to a
+        // known object (-Warray-bounds under -O2).
+        volatile uintptr_t Addr = 0x40;
+        volatile int *Wild = reinterpret_cast<volatile int *>(Addr);
         *Wild = 7;
       },
       "");

@@ -1,0 +1,118 @@
+//===- FreeValidationTest.cpp - Invalid-free and bin-boundary tests --------===//
+///
+/// Regression tests for the global free path's detect-and-discard
+/// behavior (GlobalHeap.h: "Invalid and double frees are detected and
+/// discarded with a warning") and for occupancyBin's boundary math at
+/// exactly 25/50/75/100% occupancy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/GlobalHeap.h"
+
+#include "TestConfig.h"
+
+#include <gtest/gtest.h>
+
+namespace mesh {
+namespace {
+
+/// Sets exactly \p Count bits in \p MH's bitmap (from offset 0).
+void setLive(MiniHeap *MH, uint32_t Count) {
+  for (uint32_t I = 0; I < Count; ++I)
+    MH->bitmap().tryToSet(I);
+}
+
+TEST(FreeValidationTest, NonHeapPointerIsDiscarded) {
+  GlobalHeap G(testOptions());
+  int Local = 0;
+  const size_t Before = G.committedBytes();
+  G.free(&Local);          // stack pointer: outside the arena
+  G.free(reinterpret_cast<void *>(0x1000)); // arbitrary non-heap address
+  EXPECT_EQ(G.committedBytes(), Before)
+      << "a rejected free must not alter heap state";
+}
+
+TEST(FreeValidationTest, UnallocatedArenaPointerIsDiscarded) {
+  GlobalHeap G(testOptions());
+  // Inside the arena's reservation, but no span has been allocated
+  // there, so the page table has no owner for it.
+  G.free(G.arenaBase() + pagesToBytes(4));
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(FreeValidationTest, InteriorPointerIsDiscarded) {
+  GlobalHeap G(testOptions());
+  MiniHeap *MH = G.allocMiniHeapForClass(0); // 16-byte objects
+  setLive(MH, 16);
+  G.releaseMiniHeap(MH);
+  char *Span = G.arenaBase() + pagesToBytes(MH->physicalSpanOffset());
+  G.free(Span + 8); // not a multiple of the object size
+  EXPECT_EQ(MH->inUseCount(), 16u)
+      << "interior-pointer free must not clear any bitmap bit";
+  // Drain so the heap closes clean.
+  for (uint32_t I = 0; I < 16; ++I)
+    G.free(Span + I * 16);
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(FreeValidationTest, DoubleFreeIsDiscarded) {
+  GlobalHeap G(testOptions());
+  MiniHeap *MH = G.allocMiniHeapForClass(0);
+  setLive(MH, 2);
+  G.releaseMiniHeap(MH);
+  char *Span = G.arenaBase() + pagesToBytes(MH->physicalSpanOffset());
+  G.free(Span); // frees object 0
+  ASSERT_EQ(MH->inUseCount(), 1u);
+  G.free(Span); // double free: bit already clear, must be discarded
+  EXPECT_EQ(MH->inUseCount(), 1u)
+      << "double free must not free a second object";
+  EXPECT_EQ(G.binnedCount(0), 1u) << "span must survive a double free";
+  G.free(Span + 16);
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(FreeValidationTest, LargeDoubleFreeIsDiscarded) {
+  GlobalHeap G(testOptions());
+  void *P = G.largeAlloc(64 * 1024);
+  ASSERT_NE(P, nullptr);
+  G.free(P);
+  EXPECT_EQ(G.committedBytes(), 0u);
+  // The singleton MiniHeap is gone; a second free must hit the
+  // unallocated-pointer path, not crash or corrupt state.
+  G.free(P);
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(OccupancyBinTest, ExactQuartileBoundaries) {
+  // Quartiles are left-closed (see GlobalHeap::occupancyBin): exactly
+  // 25/50/75% open their bins; 100% clamps into the top bin.
+  const uint32_t Count = 256;
+  EXPECT_EQ(GlobalHeap::occupancyBin(64, Count), 1);  // exactly 25%
+  EXPECT_EQ(GlobalHeap::occupancyBin(128, Count), 2); // exactly 50%
+  EXPECT_EQ(GlobalHeap::occupancyBin(192, Count), 3); // exactly 75%
+  EXPECT_EQ(GlobalHeap::occupancyBin(256, Count), 3); // 100% clamps
+}
+
+TEST(OccupancyBinTest, JustBelowBoundariesStayInLowerBin) {
+  const uint32_t Count = 256;
+  EXPECT_EQ(GlobalHeap::occupancyBin(1, Count), 0);
+  EXPECT_EQ(GlobalHeap::occupancyBin(63, Count), 0);
+  EXPECT_EQ(GlobalHeap::occupancyBin(127, Count), 1);
+  EXPECT_EQ(GlobalHeap::occupancyBin(191, Count), 2);
+  EXPECT_EQ(GlobalHeap::occupancyBin(255, Count), 3);
+}
+
+TEST(OccupancyBinTest, SmallCountsNeverOverflowTopBin) {
+  // Spans with few objects (large size classes) must still land in
+  // [0, kOccupancyBins).
+  for (uint32_t Count : {2u, 3u, 5u, 8u}) {
+    for (uint32_t InUse = 0; InUse <= Count; ++InUse) {
+      const int Bin = GlobalHeap::occupancyBin(InUse, Count);
+      EXPECT_GE(Bin, 0);
+      EXPECT_LT(Bin, GlobalHeap::kOccupancyBins);
+    }
+  }
+}
+
+} // namespace
+} // namespace mesh

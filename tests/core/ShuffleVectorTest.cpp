@@ -91,8 +91,9 @@ TEST_F(ShuffleVectorTest, NoRandModeIsBumpPointer) {
   char *Prev = nullptr;
   while (!V.isExhausted()) {
     char *P = static_cast<char *>(V.malloc());
-    if (Prev != nullptr)
+    if (Prev != nullptr) {
       ASSERT_EQ(P, Prev + 16) << "no-rand mode must allocate sequentially";
+    }
     Prev = P;
   }
 }

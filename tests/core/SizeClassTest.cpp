@@ -92,9 +92,10 @@ TEST_P(SizeClassSweep, EverySizeMapsToSmallestFittingClass) {
   ASSERT_TRUE(sizeClassForSize(Size, &Class));
   const SizeClassInfo &I = sizeClassInfo(Class);
   EXPECT_GE(I.ObjectSize, Size);
-  if (Class > 0)
+  if (Class > 0) {
     EXPECT_LT(sizeClassInfo(Class - 1).ObjectSize, Size)
         << "a smaller class would also fit size " << Size;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSmallSizes, SizeClassSweep,

@@ -88,9 +88,10 @@ TEST(ArenaPropertyTest, CleanSpansAlwaysReadZero) {
     const uint32_t Pages = 1u << Driver.inRange(0, 4);
     const uint32_t Off = Arena.allocSpan(Pages, &Clean);
     char *P = Arena.arenaBase() + pagesToBytes(Off);
-    if (Clean)
+    if (Clean) {
       for (size_t I = 0; I < pagesToBytes(Pages); I += 509)
         ASSERT_EQ(P[I], 0) << "clean span has stale bytes";
+    }
     memset(P, 0xEE, pagesToBytes(Pages));
     Arena.freeReleasedSpan(Off, Pages); // punched: must be zero on reuse
   }

@@ -65,9 +65,10 @@ TEST_P(MeshInvariantSweep, ContentsSurviveAndMemoryShrinks) {
         << "tail corrupted (size " << ObjSize << ")";
   }
   // Sparse heaps must reclaim something; nearly-full ones may not.
-  if (KeepOneIn >= 8)
+  if (KeepOneIn >= 8) {
     EXPECT_GT(Freed, 0u) << "no meshing on a sparse heap (size " << ObjSize
                          << ", keep 1/" << KeepOneIn << ")";
+  }
   for (auto &[P, Stamp] : Kept)
     R.free(P);
   R.localHeap().releaseAll();

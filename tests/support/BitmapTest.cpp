@@ -119,8 +119,9 @@ TEST(BitmapTest, ConcurrentSetUnsetBalance) {
     Threads.emplace_back([&, T] {
       for (int Round = 0; Round < 10000; ++Round) {
         const uint32_t Bit = (T * 16 + Round) % 64;
-        if (B.tryToSet(Bit))
+        if (B.tryToSet(Bit)) {
           ASSERT_TRUE(B.unset(Bit));
+        }
       }
     });
   for (auto &Th : Threads)
