@@ -23,7 +23,15 @@ inline bool &benchSmokeMode() {
   return Smoke;
 }
 
-/// Parses benchmark argv (currently just --smoke). Call first in main.
+/// True after benchInit saw --json: each measured configuration also
+/// emits one machine-readable result line (see benchReportJson), so CI
+/// can append the perf trajectory to BENCH_*.json files.
+inline bool &benchJsonMode() {
+  static bool Json = false;
+  return Json;
+}
+
+/// Parses benchmark argv (--smoke, --json). Call first in main.
 /// Unrecognized arguments are an error: a typoed --smoke silently
 /// running the full measurement workload would defeat the ctest smoke
 /// registrations.
@@ -31,12 +39,44 @@ inline void benchInit(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--smoke") == 0) {
       benchSmokeMode() = true;
+    } else if (std::strcmp(argv[I], "--json") == 0) {
+      benchJsonMode() = true;
     } else {
-      fprintf(stderr, "%s: unknown argument '%s' (supported: --smoke)\n",
+      fprintf(stderr,
+              "%s: unknown argument '%s' (supported: --smoke, --json)\n",
               argv[0], argv[I]);
       exit(2);
     }
   }
+}
+
+/// One metric in a JSON result line. Values are doubles; counts and
+/// byte totals fit exactly up to 2^53.
+struct BenchMetric {
+  const char *Key;
+  double Value;
+};
+
+/// Emits one line of machine-readable results when --json is active:
+///
+///   {"bench":"bench_redis","config":"Mesh","ops_per_sec":1.2e6,...}
+///
+/// \p Config distinguishes multiple measurements within one binary
+/// (allocator under test, workload mix); pass "" for single-config
+/// benches. Call once per measured configuration.
+inline void benchReportJson(const char *Bench, const char *Config,
+                            std::initializer_list<BenchMetric> Metrics) {
+  if (!benchJsonMode())
+    return;
+  printf("{\"bench\":\"%s\"", Bench);
+  if (Config != nullptr && Config[0] != '\0')
+    printf(",\"config\":\"%s\"", Config);
+  if (benchSmokeMode())
+    printf(",\"smoke\":true");
+  for (const BenchMetric &M : Metrics)
+    printf(",\"%s\":%.17g", M.Key, M.Value);
+  printf("}\n");
+  fflush(stdout);
 }
 
 /// Divides an iteration count by \p Divisor in smoke mode (floor 1).

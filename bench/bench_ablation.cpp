@@ -75,6 +75,12 @@ int main(int argc, char **argv) {
            static_cast<double>(Freed) / Runs / 1024.0,
            static_cast<unsigned long long>(Probes / Runs),
            static_cast<double>(Ns) / Runs / 1000.0);
+    char Config[32];
+    snprintf(Config, sizeof(Config), "t=%u", T);
+    benchReportJson("bench_ablation", Config,
+                    {{"freed_kib", static_cast<double>(Freed) / Runs / 1024.0},
+                     {"probes", static_cast<double>(Probes / Runs)},
+                     {"pass_us", static_cast<double>(Ns) / Runs / 1000.0}});
   }
 
   // --- Write barrier cost per mesh pass. ---
@@ -95,6 +101,10 @@ int main(int argc, char **argv) {
     printf("RESULT mesh_pass_us_barrier_%s %.1f (freed %.0f KiB avg)\n",
            Barrier ? "on" : "off", static_cast<double>(Ns) / Runs / 1000.0,
            static_cast<double>(Freed) / Runs / 1024.0);
+    benchReportJson("bench_ablation", Barrier ? "barrier=on" : "barrier=off",
+                    {{"pass_us", static_cast<double>(Ns) / Runs / 1000.0},
+                     {"freed_kib",
+                      static_cast<double>(Freed) / Runs / 1024.0}});
   }
 
   // --- Randomization under a REGULAR allocation pattern. ---
@@ -122,6 +132,8 @@ int main(int argc, char **argv) {
       Freed += R.meshNow();
     printf("RESULT regular_pattern_freed_KiB_rand_%s %.1f\n",
            Rand ? "on" : "off", Freed / 1024.0);
+    benchReportJson("bench_ablation", Rand ? "rand=on" : "rand=off",
+                    {{"freed_kib", Freed / 1024.0}});
     for (void *P : Kept)
       R.free(P);
   }

@@ -60,6 +60,14 @@ int main(int argc, char **argv) {
   printf("RESULT montecarlo_edges %.0f (expected n(n-1)/2*q = %.0f)\n",
          TotalEdges / Trials, N * (N - 1) / 2.0 * Q);
 
+  benchReportJson(
+      "bench_analysis", "",
+      {{"robson_factor", robsonFactor(16, 128 * 1024)},
+       {"expected_triangles_dependent", Dependent},
+       {"expected_triangles_independent", Independent},
+       {"montecarlo_triangles", TotalTriangles / Trials},
+       {"montecarlo_edges", TotalEdges / Trials}});
+
   // --- Mesh probability table across occupancy (context for t=64). ---
   printf("\noccupancy sweep for b=256 (probability two spans mesh):\n");
   printf("%8s %12s %14s\n", "live", "occupancy", "q");

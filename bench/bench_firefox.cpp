@@ -59,6 +59,16 @@ int main(int argc, char **argv) {
   printf("Mesh          %7.2f  %8.0f  %8.1f  %8.1f\n", Mesh.Result.Seconds,
          Mesh.Result.Score, Mesh.MeanMiB, Mesh.PeakMiB);
 
+  auto EmitJson = [](const char *Config, const RunOutput &O) {
+    benchReportJson("bench_firefox", Config,
+                    {{"seconds", O.Result.Seconds},
+                     {"score", O.Result.Score},
+                     {"mean_rss_mib", O.MeanMiB},
+                     {"peak_rss_mib", O.PeakMiB}});
+  };
+  EmitJson("mozjemalloc", Base);
+  EmitJson("Mesh", Mesh);
+
   printf("\nRESULT firefox_final_footprint_reduction_pct %.1f "
          "(after the cooldown tail)\n",
          100.0 * (1.0 - static_cast<double>(

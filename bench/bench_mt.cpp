@@ -1,0 +1,236 @@
+//===- bench_mt.cpp - Multi-threaded hot-path benchmark ---------------------===//
+///
+/// The paper's core speed claim (Sections 4.3-4.4): malloc and free
+/// complete without locks in the common case, and a non-local free is
+/// one atomic bitmap update. This harness measures exactly those two
+/// regimes:
+///
+///   - local  mix: every thread allocates and frees its own objects —
+///     the pure thread-local fast path.
+///   - cross  mix: allocator threads hand 90% of their objects to
+///     dedicated freeing threads over SPSC rings — the lock-free
+///     remote-free path under maximum cross-thread pressure.
+///
+/// Reports aggregate ops/sec (mallocs + frees) and sampled p99 per-op
+/// latency for each mix. This is the regression guard for the TLS heap
+/// cache, the page-table free dispatch, and the epoch-protected remote
+/// free; run before/after any hot-path change.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Runtime.h"
+#include "support/Rng.h"
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace mesh;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Single-producer single-consumer pointer ring. The producer is an
+/// allocator thread, the consumer a freeing thread.
+class Ring {
+public:
+  static constexpr size_t kSlots = 4096;
+
+  bool tryPush(void *Ptr) {
+    const size_t Tail = TailIdx.load(std::memory_order_relaxed);
+    if (Tail - HeadIdx.load(std::memory_order_acquire) == kSlots)
+      return false;
+    Slots[Tail % kSlots].store(Ptr, std::memory_order_relaxed);
+    TailIdx.store(Tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  void *tryPop() {
+    const size_t Head = HeadIdx.load(std::memory_order_relaxed);
+    if (Head == TailIdx.load(std::memory_order_acquire))
+      return nullptr;
+    void *Ptr = Slots[Head % kSlots].load(std::memory_order_relaxed);
+    HeadIdx.store(Head + 1, std::memory_order_release);
+    return Ptr;
+  }
+
+private:
+  std::atomic<void *> Slots[kSlots] = {};
+  alignas(64) std::atomic<size_t> HeadIdx{0};
+  alignas(64) std::atomic<size_t> TailIdx{0};
+};
+
+struct MixResult {
+  double OpsPerSec = 0;
+  double P99MallocNs = 0;
+  double P99FreeNs = 0;
+  double PeakRssMiB = 0;
+};
+
+constexpr int kAllocThreads = 4;
+constexpr int kFreeThreads = 4;
+constexpr int kLatencySampleEvery = 64;
+
+double p99(std::vector<uint64_t> &Samples) {
+  if (Samples.empty())
+    return 0;
+  const size_t Idx = Samples.size() * 99 / 100;
+  std::nth_element(Samples.begin(), Samples.begin() + Idx, Samples.end());
+  return static_cast<double>(Samples[Idx]);
+}
+
+/// One benchmark configuration: \p RemotePermille of allocations are
+/// handed to a freeing thread (0 = local-only mix).
+MixResult runMix(const char *Name, uint32_t RemotePermille,
+                 size_t OpsPerThread) {
+  Runtime R(benchMeshOptions());
+  Ring Rings[kAllocThreads];
+  std::atomic<int> ProducersDone{0};
+  std::atomic<uint64_t> TotalOps{0};
+  std::vector<uint64_t> MallocSamples[kAllocThreads];
+  std::vector<uint64_t> FreeSamples[kAllocThreads + kFreeThreads];
+
+  const uint64_t Start = nowNs();
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < kAllocThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Rng Driver(9000 + T);
+      auto &Mallocs = MallocSamples[T];
+      auto &Frees = FreeSamples[T];
+      Mallocs.reserve(OpsPerThread / kLatencySampleEvery + 1);
+      Frees.reserve(OpsPerThread / kLatencySampleEvery + 1);
+      uint64_t Ops = 0;
+      std::vector<void *> Local;
+      Local.reserve(128);
+      for (size_t I = 0; I < OpsPerThread; ++I) {
+        const size_t Size = 16 << Driver.inRange(0, 5); // 16B..512B
+        void *P;
+        if (I % kLatencySampleEvery == 0) {
+          const uint64_t T0 = nowNs();
+          P = R.malloc(Size);
+          Mallocs.push_back(nowNs() - T0);
+        } else {
+          P = R.malloc(Size);
+        }
+        static_cast<char *>(P)[0] = static_cast<char>(I);
+        ++Ops;
+        const bool Remote = Driver.inRange(0, 999) < RemotePermille;
+        if (Remote) {
+          // Block until the consumer drains: the cross mix must
+          // actually measure remote frees, not silently degrade to
+          // local ones when the ring fills. Yield rather than spin so
+          // oversubscribed machines hand the CPU to the consumer.
+          while (!Rings[T].tryPush(P))
+            std::this_thread::yield();
+          continue; // Freed (and counted) by a freeing thread.
+        }
+        Local.push_back(P);
+        if (Local.size() >= 64) {
+          // Free in shuffled batches so the local mix still exercises
+          // non-LIFO frees.
+          for (void *Q : Local) {
+            if (Ops % kLatencySampleEvery == 0) {
+              const uint64_t T0 = nowNs();
+              R.free(Q);
+              Frees.push_back(nowNs() - T0);
+            } else {
+              R.free(Q);
+            }
+            ++Ops;
+          }
+          Local.clear();
+        }
+      }
+      for (void *Q : Local) {
+        R.free(Q);
+        ++Ops;
+      }
+      R.localHeap().releaseAll();
+      TotalOps.fetch_add(Ops);
+      ProducersDone.fetch_add(1);
+    });
+
+  for (int T = 0; T < kFreeThreads; ++T)
+    Threads.emplace_back([&, T] {
+      auto &Frees = FreeSamples[kAllocThreads + T];
+      uint64_t Ops = 0;
+      for (;;) {
+        bool Idle = true;
+        for (int Src = T; Src < kAllocThreads; Src += kFreeThreads) {
+          while (void *P = Rings[Src].tryPop()) {
+            Idle = false;
+            if (Ops % kLatencySampleEvery == 0) {
+              const uint64_t T0 = nowNs();
+              R.free(P);
+              Frees.push_back(nowNs() - T0);
+            } else {
+              R.free(P);
+            }
+            ++Ops;
+          }
+        }
+        if (Idle) {
+          if (ProducersDone.load() == kAllocThreads)
+            break;
+          std::this_thread::yield();
+        }
+      }
+      TotalOps.fetch_add(Ops);
+    });
+
+  for (auto &Th : Threads)
+    Th.join();
+
+  const double Seconds = static_cast<double>(nowNs() - Start) / 1e9;
+
+  MixResult Result;
+  Result.OpsPerSec = static_cast<double>(TotalOps.load()) / Seconds;
+  Result.PeakRssMiB = toMiB(static_cast<double>(pagesToBytes(
+      R.global().stats().PeakCommittedPages.load())));
+  std::vector<uint64_t> AllMallocs, AllFrees;
+  for (auto &S : MallocSamples)
+    AllMallocs.insert(AllMallocs.end(), S.begin(), S.end());
+  for (auto &S : FreeSamples)
+    AllFrees.insert(AllFrees.end(), S.begin(), S.end());
+  Result.P99MallocNs = p99(AllMallocs);
+  Result.P99FreeNs = p99(AllFrees);
+
+  printf("  %-12s %10.2f Mops/s   p99 malloc %7.0f ns   p99 free %7.0f ns"
+         "   peak RSS %7.1f MiB\n",
+         Name, Result.OpsPerSec / 1e6, Result.P99MallocNs, Result.P99FreeNs,
+         Result.PeakRssMiB);
+  benchReportJson("bench_mt", Name,
+                  {{"alloc_threads", kAllocThreads},
+                   {"free_threads", kFreeThreads},
+                   {"ops_per_sec", Result.OpsPerSec},
+                   {"p99_malloc_ns", Result.P99MallocNs},
+                   {"p99_free_ns", Result.P99FreeNs},
+                   {"peak_rss_mib", Result.PeakRssMiB}});
+  return Result;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchInit(argc, argv);
+  printHeader("MT hot paths",
+              "lock-free malloc/free under cross-thread pressure");
+  printf("%d allocator threads, %d freeing threads, sizes 16B-512B\n\n",
+         kAllocThreads, kFreeThreads);
+  const size_t Ops = benchScaled(2000000, 64);
+  runMix("local", /*RemotePermille=*/0, Ops);
+  runMix("cross", /*RemotePermille=*/900, Ops);
+  return 0;
+}

@@ -75,6 +75,28 @@ int main(int argc, char **argv) {
          NoMeshOut.Result.MaintenanceSeconds, NoMeshOut.MeanMiB,
          NoMeshOut.PeakMiB, NoMeshOut.FinalMiB);
 
+  auto EmitJson = [](const char *Config, const RunOutput &O,
+                     double MaxPauseNs) {
+    // Mirror runOne's scaling so --smoke --json reports honest
+    // throughput, not the full-scale op count over a smoke-sized run.
+    RedisWorkloadConfig Defaults;
+    const double Scale = benchSmokeMode() ? 0.05 : Defaults.Scale;
+    const double Ops =
+        (Defaults.Phase1Keys + Defaults.Phase2Keys) * Scale;
+    benchReportJson(
+        "bench_redis", Config,
+        {{"ops_per_sec", Ops / (O.Result.InsertSeconds + 1e-9)},
+         {"insert_s", O.Result.InsertSeconds},
+         {"maint_s", O.Result.MaintenanceSeconds},
+         {"mean_rss_mib", O.MeanMiB},
+         {"peak_rss_mib", O.PeakMiB},
+         {"final_rss_mib", O.FinalMiB},
+         {"max_pause_ns", MaxPauseNs}});
+  };
+  EmitJson("jemalloc+activedefrag", Defrag, 0);
+  EmitJson("Mesh", WithMesh, static_cast<double>(Stats.MaxMeshPassNs.load()));
+  EmitJson("Mesh-nomesh", NoMeshOut, 0);
+
   const double Reduction =
       100.0 * (1.0 - WithMesh.FinalMiB / NoMeshOut.FinalMiB);
   printf("\nRESULT redis_heap_reduction_vs_nomesh_pct %.1f (paper: 39)\n",

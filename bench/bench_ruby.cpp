@@ -62,6 +62,19 @@ int main(int argc, char **argv) {
   Row("Mesh (no mesh)", NoMeshOut);
   Row("Mesh (no rand)", NoRandOut);
 
+  auto EmitJson = [](const char *Config, const RunOutput &O) {
+    benchReportJson(
+        "bench_ruby", Config,
+        {{"seconds", O.Result.Seconds},
+         {"mean_rss_mib", O.MeanMiB},
+         {"final_rss_mib",
+          toMiB(static_cast<double>(O.Result.FinalCommittedBytes))}});
+  };
+  EmitJson("jemalloc", Base);
+  EmitJson("Mesh", Mesh);
+  EmitJson("Mesh-nomesh", NoMeshOut);
+  EmitJson("Mesh-norand", NoRandOut);
+
   printf("\nRESULT ruby_mesh_final_footprint_reduction_pct %.1f "
          "(robust metric; paper's fig-8 gap at end of run is ~19)\n",
          100.0 * (1.0 - static_cast<double>(

@@ -28,9 +28,16 @@ void BM_ShuffleVectorMallocFree(benchmark::State &State) {
   std::vector<char> Buffer(kPageSize);
   Rng Random(1);
   MiniHeap MH(0, 1, 16, 256, 0, true);
-  ShuffleVector V;
-  V.init(&Random, true);
-  V.attach(&MH, Buffer.data());
+  ShuffleVector VStorage;
+  VStorage.init(&Random, true);
+  VStorage.attach(&MH, Buffer.data());
+  // Measure through an opaque reference. Without this, the optimizer
+  // can scalarize the whole vector and constant-fold the span geometry
+  // (16-byte objects become a shift) — a specialization no real call
+  // site gets, since MiniHeaps arrive from the global heap at runtime.
+  ShuffleVector *VP = &VStorage;
+  benchmark::DoNotOptimize(VP);
+  ShuffleVector &V = *VP;
   // Run at the occupancy given by the benchmark argument (percent).
   const size_t Target = 256 - 256 * State.range(0) / 100;
   std::vector<void *> Live;

@@ -57,6 +57,12 @@ int main(int argc, char **argv) {
            toMiB(static_cast<double>(Base.PeakBytes)),
            toMiB(static_cast<double>(Ours.PeakBytes)),
            100.0 * (MemRatio - 1.0));
+    benchReportJson(
+        "bench_spec", Base.Name,
+        {{"glibc_s", Base.Seconds},
+         {"mesh_s", Ours.Seconds},
+         {"glibc_peak_mib", toMiB(static_cast<double>(Base.PeakBytes))},
+         {"mesh_peak_mib", toMiB(static_cast<double>(Ours.PeakBytes))}});
   }
 
   printf("\nRESULT spec_geomean_memory_delta_pct %.1f (paper: -2.4)\n",

@@ -116,5 +116,8 @@ int main(int argc, char **argv) {
   printf("RESULT splitmesher_vs_exact_pct %.1f (Lemma guarantees ~50 "
          "with t=k/q; t=64 lands well above it)\n",
          100.0 * SplitTotal / (ExactTotal ? ExactTotal : 1));
+  benchReportJson("bench_splitmesher", "",
+                  {{"splitmesher_vs_exact_pct",
+                    100.0 * SplitTotal / (ExactTotal ? ExactTotal : 1)}});
   return 0;
 }

@@ -36,6 +36,13 @@ void runTrace(const char *Name, const AllocTrace &Trace) {
            R.LiveBytesAtEnd
                ? static_cast<double>(Final) / R.LiveBytesAtEnd
                : 0.0);
+    char Config[64];
+    snprintf(Config, sizeof(Config), "%s/%s", Name, Backend.name());
+    benchReportJson(
+        "bench_trace", Config,
+        {{"ops_per_sec", Trace.ops().size() / R.Seconds},
+         {"peak_rss_mib", toMiB(static_cast<double>(R.PeakCommittedBytes))},
+         {"final_rss_mib", toMiB(static_cast<double>(Final))}});
   };
 
   // All span-based allocators get the same dirty-page budget, and the

@@ -38,6 +38,13 @@ GlobalHeap::GlobalHeap(const MeshOptions &Options)
 }
 
 GlobalHeap::~GlobalHeap() {
+  // Reap the pending stash first: it may hold dead MiniHeaps (spans
+  // already released, metadata awaiting the drain) that the page-table
+  // walk below cannot see.
+  {
+    std::lock_guard<SpinLock> Guard(Lock);
+    drainPendingLocked();
+  }
   // Destroy every surviving MiniHeap so its metadata returns to the
   // internal heap (which is shared process-wide and outlives us).
   const size_t Frontier = Arena.frontierPages();
@@ -53,9 +60,13 @@ GlobalHeap::~GlobalHeap() {
     WriteBarrier::instance().unregisterArena(Arena.arenaBase());
 }
 
-void GlobalHeap::insertIntoBinLocked(MiniHeap *MH) {
+void GlobalHeap::insertIntoBinLocked(MiniHeap *MH, uint32_t InUse) {
+  // InUse is the caller's snapshot: lock-free remote frees may clear
+  // more bits at any moment, so re-reading here could disagree with the
+  // caller's bin-or-destroy decision. A stale (too-high) bin is benign;
+  // the free that lowered it has queued MH on the pending stash, and
+  // the next drain re-bins.
   assert(!MH->isInBin() && "double bin insertion");
-  const uint32_t InUse = MH->inUseCount();
   assert(InUse > 0 && InUse < MH->objectCount() &&
          "only partially full spans are binned");
   const int Bin = occupancyBin(InUse, MH->objectCount());
@@ -84,7 +95,7 @@ void GlobalHeap::rebinOrDestroyLocked(MiniHeap *MH) {
     return;
   }
   if (InUse < MH->objectCount())
-    insertIntoBinLocked(MH);
+    insertIntoBinLocked(MH, InUse);
   // Full spans float unbinned; the page table still references them and
   // the next free re-bins them.
 }
@@ -98,20 +109,84 @@ void GlobalHeap::destroyMiniHeapLocked(MiniHeap *MH) {
     Arena.setOwner(Spans[I], Pages, nullptr);
   // Span 0 is the identity-mapped physical span; later entries are
   // virtual spans meshed onto it whose own file pages are already
-  // holes.
+  // holes. Releasing the pages immediately is safe: epoch readers only
+  // dereference MiniHeap *metadata*, never span contents, and a stale
+  // reader's bitmap update on this (empty) bitmap is a detected double
+  // free. Only the metadata delete must wait for the epoch — batched
+  // in reapRetiredLocked so a drain destroying many spans pays one
+  // synchronize, not one per span.
   if (MH->isLargeAlloc() || !MH->isMeshable())
     Arena.freeReleasedSpan(Spans[0], Pages);
   else
     Arena.freeDirtySpan(Spans[0], Pages);
   for (uint32_t I = 1; I < Spans.size(); ++I)
     Arena.freeAliasSpan(Spans[I], Pages);
-  InternalHeap::global().deleteObj(MH);
+  RetiredList.push_back(MH);
+}
+
+void GlobalHeap::reapRetiredLocked() {
+  if (RetiredList.empty())
+    return;
+  // One epoch advance covers every retiree: after it, no reader can
+  // still hold a pointer resolved before the page table was cleared
+  // (or retargeted, for meshed-away sources).
+  MiniHeapEpoch.synchronize();
+  for (MiniHeap *MH : RetiredList) {
+    if (MH->pendingFrees() != 0) {
+      // A waited-out remote free pushed MH onto the stash (its bitmap
+      // update lost to the destruction, which is fine — the object was
+      // already gone). The metadata must survive until the drain pops
+      // the stale entry; mark it so the drain performs the delete.
+      MH->markDead();
+    } else {
+      InternalHeap::global().deleteObj(MH);
+    }
+  }
+  RetiredList.clear();
+}
+
+void GlobalHeap::pushPending(MiniHeap *MH) {
+  MiniHeap *Head = PendingStash.load(std::memory_order_acquire);
+  do {
+    MH->setNextPending(Head);
+  } while (!PendingStash.compare_exchange_weak(Head, MH,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire));
+}
+
+void GlobalHeap::drainPendingLocked() {
+  MiniHeap *MH = PendingStash.exchange(nullptr, std::memory_order_acq_rel);
+  while (MH != nullptr) {
+    MiniHeap *Next = MH->nextPending();
+    MH->setNextPending(nullptr);
+    if (MH->isDead()) {
+      // Destroyed while stashed; this was the last reference.
+      InternalHeap::global().deleteObj(MH);
+    } else {
+      MH->takePendingFrees();
+      // Attached spans stay with their owner thread — the cleared bits
+      // are picked up at the next attach (Section 4.4.4). A racer that
+      // frees after takePendingFrees re-pushes MH for the next drain.
+      if (!MH->isAttached())
+        rebinOrDestroyLocked(MH);
+    }
+    MH = Next;
+  }
+  reapRetiredLocked();
 }
 
 MiniHeap *GlobalHeap::allocMiniHeapForClass(int SizeClass) {
   assert(SizeClass >= 0 && SizeClass < kNumSizeClasses &&
          "size class out of range");
   std::lock_guard<SpinLock> Guard(Lock);
+  // Fold queued remote frees into the bins first: a span another thread
+  // just emptied out may be exactly the reuse candidate we want. Also
+  // the meshing trigger: remote frees no longer take the lock, so the
+  // refill path is where a free-heavy steady state (partially-full
+  // spans that never empty) gets its rate-limited mesh passes — the
+  // role every locked free used to play.
+  drainPendingLocked();
+  maybeMeshLocked();
   // Scan bins by decreasing occupancy and choose a random span from the
   // first non-empty bin (Section 3.1): maximizes utilization while
   // preserving the randomness the analysis relies on.
@@ -145,9 +220,10 @@ void GlobalHeap::releaseMiniHeap(MiniHeap *MH) {
   std::lock_guard<SpinLock> Guard(Lock);
   MH->setAttached(false);
   rebinOrDestroyLocked(MH);
+  reapRetiredLocked();
 }
 
-void *GlobalHeap::largeAlloc(size_t Bytes) {
+void *GlobalHeap::largeAllocZeroed(size_t Bytes, bool *WasZeroed) {
   const size_t Pages = bytesToPages(Bytes == 0 ? 1 : Bytes);
   std::lock_guard<SpinLock> Guard(Lock);
   bool IsClean = false;
@@ -157,7 +233,40 @@ void *GlobalHeap::largeAlloc(size_t Bytes) {
       Off, static_cast<uint32_t>(Pages), Bytes);
   Arena.setOwner(Off, static_cast<uint32_t>(Pages), MH);
   Stats.updatePeak(Arena.committedPages());
+  if (WasZeroed != nullptr)
+    *WasZeroed = IsClean;
   return Arena.arenaBase() + pagesToBytes(Off);
+}
+
+bool GlobalHeap::tryFreeUnlocked(void *Ptr, bool *BecameEmpty) {
+  Epoch::Section Section(MiniHeapEpoch);
+  // Checked inside the epoch: a mesh pass flags itself and then waits
+  // out this epoch, so either we see the flag and divert, or the pass
+  // waits for this free to finish before touching any bitmap.
+  if (MeshInProgress.load(std::memory_order_seq_cst))
+    return false;
+  MiniHeap *MH = Arena.ownerOf(Ptr);
+  if (MH == nullptr) {
+    logWarning("ignoring free of unallocated pointer %p", Ptr);
+    return true;
+  }
+  if (MH->isLargeAlloc())
+    return false; // Span release needs the lock.
+  uint32_t Off = 0;
+  if (!MH->offsetOfAligned(Ptr, Arena.arenaBase(), &Off)) {
+    logWarning("ignoring free of interior pointer %p", Ptr);
+    return true;
+  }
+  if (!MH->bitmap().unset(Off)) {
+    logWarning("ignoring double free of %p", Ptr);
+    return true;
+  }
+  FreedSinceLastMesh.store(true, std::memory_order_relaxed);
+  // First pending free queues MH for the next lock-held drain.
+  if (MH->notePendingFree() == 0)
+    pushPending(MH);
+  *BecameEmpty = MH->isEmpty();
+  return true;
 }
 
 void GlobalHeap::free(void *Ptr) {
@@ -167,15 +276,32 @@ void GlobalHeap::free(void *Ptr) {
     logWarning("ignoring free of non-heap pointer %p", Ptr);
     return;
   }
+  bool BecameEmpty = false;
+  if (tryFreeUnlocked(Ptr, &BecameEmpty)) {
+    // The free itself is complete: one epoch-protected lookup and one
+    // atomic bitmap update, the paper's cost model. Re-binning is
+    // deferred to the next allocation refill or mesh pass, both of
+    // which drain the pending stash under the lock. Only the
+    // empty-span transition warrants maintenance now — its pages
+    // should go back to the arena promptly — and even then a
+    // contended lock means someone else is already in there and will
+    // drain on our behalf.
+    if (BecameEmpty && Lock.try_lock()) {
+      std::lock_guard<SpinLock> Guard(Lock, std::adopt_lock);
+      drainPendingLocked();
+      maybeMeshLocked();
+    }
+    return;
+  }
+  // Large object, or a mesh pass is consolidating spans: serialize.
   std::lock_guard<SpinLock> Guard(Lock);
-  // Look the owner up under the lock: a concurrent mesh may retarget
-  // the page-table entry.
   MiniHeap *MH = Arena.ownerOf(Ptr);
   if (MH == nullptr) {
     logWarning("ignoring free of unallocated pointer %p", Ptr);
     return;
   }
   freeLocked(MH, Ptr);
+  reapRetiredLocked();
   maybeMeshLocked();
 }
 
@@ -189,7 +315,7 @@ void GlobalHeap::freeLocked(MiniHeap *MH, void *Ptr) {
     logWarning("ignoring double free of %p", Ptr);
     return;
   }
-  FreedSinceLastMesh = true;
+  FreedSinceLastMesh.store(true, std::memory_order_relaxed);
   if (MH->isLargeAlloc()) {
     destroyMiniHeapLocked(MH);
     return;
@@ -201,6 +327,7 @@ void GlobalHeap::freeLocked(MiniHeap *MH, void *Ptr) {
 }
 
 size_t GlobalHeap::usableSize(const void *Ptr) const {
+  Epoch::Section Section(MiniHeapEpoch);
   const MiniHeap *MH = Arena.ownerOf(Ptr);
   if (MH == nullptr)
     return 0;
@@ -220,6 +347,7 @@ void GlobalHeap::maybeMesh() {
   if (!Opts.MeshingEnabled)
     return;
   std::lock_guard<SpinLock> Guard(Lock);
+  drainPendingLocked();
   maybeMeshLocked();
 }
 
@@ -231,18 +359,22 @@ void GlobalHeap::maybeMeshLocked() {
     return;
   // Hysteresis (Section 4.5): after an ineffective pass, wait for
   // another global free before re-arming.
-  if (LastMeshReleased < Opts.MeshEffectiveBytes && !FreedSinceLastMesh)
+  if (LastMeshReleased < Opts.MeshEffectiveBytes &&
+      !FreedSinceLastMesh.load(std::memory_order_relaxed))
     return;
   performMeshingLocked();
 }
 
 size_t GlobalHeap::flushDirtyPages() {
   std::lock_guard<SpinLock> Guard(Lock);
+  // Destroy queued-up empty spans first so their pages flush too.
+  drainPendingLocked();
   return pagesToBytes(Arena.flushDirty());
 }
 
-size_t GlobalHeap::binnedCount(int SizeClass) const {
+size_t GlobalHeap::binnedCount(int SizeClass) {
   std::lock_guard<SpinLock> Guard(Lock);
+  drainPendingLocked();
   size_t Count = 0;
   for (int Bin = 0; Bin < kOccupancyBins; ++Bin)
     Count += Bins[SizeClass][Bin].size();
@@ -251,6 +383,14 @@ size_t GlobalHeap::binnedCount(int SizeClass) const {
 
 size_t GlobalHeap::performMeshingLocked() {
   InMeshPass = true;
+  // Quiesce the lock-free free path: raise the flag, then wait out
+  // every free already past the flag check. From here until the flag
+  // drops, remote frees serialize on the lock (they queue behind this
+  // pass), so bitmaps only change under our feet through attached
+  // shuffle vectors — which never cover meshing candidates.
+  MeshInProgress.store(true, std::memory_order_seq_cst);
+  MiniHeapEpoch.synchronize();
+  drainPendingLocked();
   const uint64_t Start = monotonicNs();
   size_t PagesReleased = 0;
   uint32_t MeshedThisPass = 0;
@@ -294,21 +434,42 @@ size_t GlobalHeap::performMeshingLocked() {
   // *or whenever meshing is invoked* — a pass is already paying for
   // page-table work, so piggyback the dirty-page flush.
   Arena.flushDirty();
+  reapRetiredLocked();
 
   const uint64_t Elapsed = monotonicNs() - Start;
   Stats.recordPass(Elapsed);
   LastMeshMs = monotonicMs();
   LastMeshReleased = pagesToBytes(PagesReleased);
-  FreedSinceLastMesh = false;
+  FreedSinceLastMesh.store(false, std::memory_order_relaxed);
+  MeshInProgress.store(false, std::memory_order_seq_cst);
   InMeshPass = false;
   return pagesToBytes(PagesReleased);
+}
+
+// The consolidation copy reads (and writes) application objects that
+// concurrent threads may touch; serialization is physical — the spans
+// are mprotect'ed read-only and a racing writer faults into the
+// SIGSEGV write barrier, which waits the pass out. TSan cannot see
+// page-protection ordering, so this lives in its own noinline
+// function and tsan.supp suppresses exactly this symbol; everything
+// else in a mesh pass stays under TSan.
+__attribute__((noinline)) size_t
+GlobalHeap::meshCopyBarrierProtected(MiniHeap *Dst, MiniHeap *Src,
+                                     char *Base) {
+  const size_t ObjSize = Src->objectSize();
+  size_t Copied = 0;
+  Src->bitmap().forEachSet([&](uint32_t Off) {
+    memcpy(Dst->ptrForOffset(Off, Base), Src->ptrForOffset(Off, Base),
+           ObjSize);
+    Copied += ObjSize;
+  });
+  return Copied;
 }
 
 size_t GlobalHeap::meshPairLocked(MiniHeap *Dst, MiniHeap *Src) {
   assert(canMeshPair(Dst, Src) && "meshing an unmeshable pair");
   char *Base = Arena.arenaBase();
   const uint32_t Pages = Src->spanPages();
-  const size_t ObjSize = Src->objectSize();
   WriteBarrier &Barrier = WriteBarrier::instance();
 
   // 1. Write barrier: mark every virtual span of the source read-only
@@ -324,12 +485,7 @@ size_t GlobalHeap::meshPairLocked(MiniHeap *Dst, MiniHeap *Src) {
 
   // 2. Consolidate: copy live source objects into the keeper's holes.
   //    Offsets are preserved, so virtual addresses never change.
-  size_t Copied = 0;
-  Src->bitmap().forEachSet([&](uint32_t Off) {
-    memcpy(Dst->ptrForOffset(Off, Base), Src->ptrForOffset(Off, Base),
-           ObjSize);
-    Copied += ObjSize;
-  });
+  const size_t Copied = meshCopyBarrierProtected(Dst, Src, Base);
   Dst->bitmap().mergeFrom(Src->bitmap());
 
   // 3. Retarget page-table entries so frees of source-span pointers
@@ -346,14 +502,18 @@ size_t GlobalHeap::meshPairLocked(MiniHeap *Dst, MiniHeap *Src) {
   Arena.vm().release(SrcPhys, Pages);
 
   // 5. Bookkeeping: the keeper absorbs the source's virtual spans and
-  //    moves to its new occupancy bin; the source MiniHeap dies.
+  //    moves to its new occupancy bin; the source MiniHeap dies. A
+  //    page-table reader may still hold the stale resolution to Src
+  //    (local fast-path lookups don't divert on MeshInProgress), so
+  //    its metadata is retired, not deleted — the pass-end reap
+  //    advances the epoch once and waits those readers out.
   removeFromBinLocked(Src);
   removeFromBinLocked(Dst);
   Dst->takeSpansFrom(*Src);
   const uint32_t InUse = Dst->inUseCount();
   if (InUse > 0 && InUse < Dst->objectCount())
-    insertIntoBinLocked(Dst);
-  InternalHeap::global().deleteObj(Src);
+    insertIntoBinLocked(Dst, InUse);
+  RetiredList.push_back(Src);
 
   if (Opts.BarrierEnabled)
     Barrier.endEpoch();

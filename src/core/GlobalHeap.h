@@ -6,13 +6,15 @@
 /// allocations via singleton MiniHeaps, performs non-local frees, and
 /// coordinates meshing.
 ///
-/// Locking discipline: one spin lock guards all structural state (bins,
-/// span bins, page-table writes, MiniHeap lifetime). The paper performs
-/// non-local frees with only atomic bitmap updates; we take the lock on
-/// the global free path as well, which closes the race between a remote
-/// free and a concurrent mesh consolidating the same span at the cost
-/// of some contention (local frees — the common case — remain
-/// lock-free). DESIGN.md discusses the trade-off.
+/// Locking discipline: one spin lock guards structural state (bins,
+/// span bins, page-table writes). Non-local frees follow the paper's
+/// design: an epoch-protected page-table read plus one atomic bitmap
+/// update, no lock. Re-binning and empty-span destruction are deferred
+/// to a lock-held drain of a pending-free stash; MiniHeap destruction
+/// advances the epoch and waits out in-flight readers, which closes the
+/// lookup/mesh/destroy race the previous locked design worked around.
+/// DESIGN.md ("the global-free locking trade-off, retired") has the
+/// full protocol.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,10 +26,12 @@
 #include "core/MiniHeap.h"
 #include "core/Options.h"
 #include "core/SizeClass.h"
+#include "support/Epoch.h"
 #include "support/InternalVector.h"
 #include "support/Rng.h"
 #include "support/SpinLock.h"
 
+#include <atomic>
 #include <cstddef>
 
 namespace mesh {
@@ -57,19 +61,34 @@ public:
 
   /// Large-object allocation (> 16 KiB): rounds up to whole pages and
   /// tracks the span with a singleton MiniHeap (Section 4.4.3).
-  void *largeAlloc(size_t Bytes);
+  void *largeAlloc(size_t Bytes) { return largeAllocZeroed(Bytes, nullptr); }
 
-  /// Non-local free (Section 4.4.4): constant-time owner lookup, then
-  /// bitmap update and bin/lifetime maintenance under the lock. Invalid
-  /// and double frees are detected and discarded with a warning.
+  /// Like largeAlloc, but additionally reports whether the span is
+  /// known demand-zero (freshly committed memfd pages, never dirtied) —
+  /// the calloc path skips its memset when \p WasZeroed comes back
+  /// true. \p WasZeroed may be null.
+  void *largeAllocZeroed(size_t Bytes, bool *WasZeroed);
+
+  /// Non-local free (Section 4.4.4): epoch-protected constant-time
+  /// owner lookup plus one atomic bitmap update — no lock in the common
+  /// case. Re-binning and empty-span destruction are queued on the
+  /// pending stash and drained opportunistically (try-lock here, or by
+  /// the next allocation/mesh pass). Large-object frees and frees that
+  /// race a mesh pass fall back to the locked path. Invalid and double
+  /// frees are detected and discarded with a warning.
   void free(void *Ptr);
 
   /// Usable size of \p Ptr (its size-class size, or the whole span for
   /// large objects); 0 when \p Ptr is not a live Mesh pointer.
   size_t usableSize(const void *Ptr) const;
 
-  /// Owning MiniHeap, or nullptr (lock-free page-table read).
+  /// Owning MiniHeap, or nullptr (lock-free page-table read). Callers
+  /// that dereference the result without holding the lock must be
+  /// inside a miniheapEpoch() section, which holds off destruction.
   MiniHeap *miniheapFor(const void *Ptr) const { return Arena.ownerOf(Ptr); }
+
+  /// The epoch guarding MiniHeap metadata lifetime (see free()).
+  Epoch &miniheapEpoch() const { return MiniHeapEpoch; }
 
   /// Runs a meshing pass immediately, ignoring the rate limiter.
   /// \returns bytes of physical memory released.
@@ -99,8 +118,10 @@ public:
   bool randomized() const { return Opts.Randomized; }
 
   /// Test hook: number of detached, partially-full MiniHeaps currently
-  /// binned for \p SizeClass.
-  size_t binnedCount(int SizeClass) const;
+  /// binned for \p SizeClass. Non-const on purpose: it drains the
+  /// pending-free stash first (re-binning, possibly destroying empty
+  /// spans) so the count reflects every completed remote free.
+  size_t binnedCount(int SizeClass);
 
   static constexpr int kOccupancyBins = 4;
 
@@ -115,26 +136,55 @@ public:
   }
 
 private:
-  void insertIntoBinLocked(MiniHeap *MH);
+  void insertIntoBinLocked(MiniHeap *MH, uint32_t InUse);
   void removeFromBinLocked(MiniHeap *MH);
   void rebinOrDestroyLocked(MiniHeap *MH);
   void destroyMiniHeapLocked(MiniHeap *MH);
   void freeLocked(MiniHeap *MH, void *Ptr);
+  /// The lock-free small-object free. Returns true when \p Ptr was
+  /// fully handled (freed, or diagnosed and discarded); false when the
+  /// caller must retry under the lock (large object, or a mesh pass is
+  /// running). \p BecameEmpty reports that this free cleared the
+  /// span's last live bit — the one case where maintenance (span
+  /// destruction) should not wait for the next allocation.
+  bool tryFreeUnlocked(void *Ptr, bool *BecameEmpty);
+  /// Pushes \p MH onto the pending stash (MPSC; lock-free callers).
+  void pushPending(MiniHeap *MH);
+  /// Pops the whole pending stash and re-bins / destroys / reaps each
+  /// entry according to its current state.
+  void drainPendingLocked();
+  /// Deletes retired MiniHeap metadata after one batched epoch
+  /// advance (see destroyMiniHeapLocked).
+  void reapRetiredLocked();
   size_t performMeshingLocked();
   size_t meshPairLocked(MiniHeap *Dst, MiniHeap *Src);
+  /// The write-barrier-serialized object copy of a mesh, isolated so
+  /// the TSan suppression covers it and nothing else (see tsan.supp).
+  static size_t meshCopyBarrierProtected(MiniHeap *Dst, MiniHeap *Src,
+                                         char *Base);
   void maybeMeshLocked();
 
   MeshOptions Opts;
   MeshableArena Arena;
   MeshStats Stats;
   mutable SpinLock Lock;
+  mutable Epoch MiniHeapEpoch;
   Rng Random;
 
   InternalVector<MiniHeap *> Bins[kNumSizeClasses][kOccupancyBins];
 
+  /// Intrusive MPSC stack of MiniHeaps with un-drained remote frees.
+  std::atomic<MiniHeap *> PendingStash{nullptr};
+  /// Destroyed MiniHeaps whose metadata awaits the batched epoch
+  /// advance before deletion (lock-held access only).
+  InternalVector<MiniHeap *> RetiredList;
+  /// True while a mesh pass is consolidating spans; lock-free frees
+  /// divert to the locked path so bitmap merges see a quiesced heap.
+  std::atomic<bool> MeshInProgress{false};
+
   uint64_t LastMeshMs = 0;
   size_t LastMeshReleased = 0;
-  bool FreedSinceLastMesh = false;
+  std::atomic<bool> FreedSinceLastMesh{false};
   bool InMeshPass = false;
 };
 

@@ -15,6 +15,7 @@
 
 #include "support/Bitmap.h"
 #include "support/Common.h"
+#include "support/MathUtils.h"
 #include "support/StaticVector.h"
 
 #include <atomic>
@@ -23,6 +24,8 @@
 #include <cstdint>
 
 namespace mesh {
+
+class ThreadLocalHeap;
 
 /// Metadata for one span (or one large allocation).
 ///
@@ -39,6 +42,9 @@ public:
            uint32_t ObjCount, int8_t SizeClass, bool Meshable)
       : Bits(ObjCount), ObjectSize(ObjSize), SpanPageCount(SpanPages),
         ObjectCount(ObjCount), SizeClassIndex(SizeClass),
+        ObjectShift(isPowerOfTwo(ObjSize)
+                        ? static_cast<int8_t>(log2Floor(ObjSize))
+                        : int8_t{-1}),
         MeshableFlag(Meshable) {
     VirtualSpans.push_back(SpanPageOff);
   }
@@ -49,6 +55,9 @@ public:
   MiniHeap(uint32_t SpanPageOff, uint32_t SpanPages, size_t RequestedBytes)
       : Bits(1), ObjectSize(pagesToBytes(SpanPages)),
         SpanPageCount(SpanPages), ObjectCount(1), SizeClassIndex(-1),
+        ObjectShift(isPowerOfTwo(ObjectSize)
+                        ? static_cast<int8_t>(log2Floor(ObjectSize))
+                        : int8_t{-1}),
         MeshableFlag(false) {
     (void)RequestedBytes;
     VirtualSpans.push_back(SpanPageOff);
@@ -94,6 +103,51 @@ public:
     Attached.store(Value, std::memory_order_release);
   }
 
+  /// Fast-path ownership tag: the thread-local heap this MiniHeap's
+  /// shuffle vector currently lives in, or nullptr. Written only by the
+  /// owning thread (set after attach, cleared before detach), so a
+  /// thread comparing the tag against itself gets a coherent answer in
+  /// O(1) — the page-table free dispatch relies on this (Section 4.3).
+  /// Distinct from the Attached lifecycle bit, which is flipped under
+  /// the global lock and keeps a just-allocated span out of meshing
+  /// before its owner publishes the tag.
+  ThreadLocalHeap *attachedOwner() const {
+    return Owner.load(std::memory_order_acquire);
+  }
+  void setAttachedOwner(ThreadLocalHeap *Heap) {
+    Owner.store(Heap, std::memory_order_release);
+  }
+
+  /// Lock-free remote-free bookkeeping (Section 4.4.4): a remote free
+  /// clears the bitmap bit without the global lock, then bumps this
+  /// counter. The first increment (0 -> 1) tells the caller to push
+  /// this MiniHeap onto the global pending stash; the lock-held drain
+  /// exchanges the counter back to zero and re-bins or destroys.
+  uint32_t notePendingFree() {
+    return PendingFrees.fetch_add(1, std::memory_order_acq_rel);
+  }
+  uint32_t takePendingFrees() {
+    return PendingFrees.exchange(0, std::memory_order_acq_rel);
+  }
+  uint32_t pendingFrees() const {
+    return PendingFrees.load(std::memory_order_acquire);
+  }
+
+  /// Intrusive link for the global pending-free stash (an MPSC stack;
+  /// a MiniHeap is in at most one stash generation at a time).
+  MiniHeap *nextPending() const {
+    return NextPending.load(std::memory_order_acquire);
+  }
+  void setNextPending(MiniHeap *Next) {
+    NextPending.store(Next, std::memory_order_release);
+  }
+
+  /// A dead MiniHeap has released its spans and page-table entries but
+  /// still sits in the pending stash; the drain performs the final
+  /// delete when it pops it (see GlobalHeap::destroyMiniHeapLocked).
+  bool isDead() const { return Dead.load(std::memory_order_acquire); }
+  void markDead() { Dead.store(true, std::memory_order_release); }
+
   uint32_t inUseCount() const { return Bits.inUseCount(); }
   bool isEmpty() const { return inUseCount() == 0; }
   bool isFull() const { return inUseCount() == ObjectCount; }
@@ -133,6 +187,31 @@ public:
         ArenaBase + pagesToBytes(VirtualSpans[Span]));
     return static_cast<uint32_t>(
         (reinterpret_cast<uintptr_t>(Ptr) - SpanStart) / ObjectSize);
+  }
+
+  /// Single-walk combination of isAligned + offsetOf for the free hot
+  /// path: true iff \p Ptr is exactly the start of an object slot, in
+  /// which case \p Off receives its object index. Power-of-two classes
+  /// (11 of 24, including every size the paper's workloads stress)
+  /// take the shift path instead of an integer division.
+  bool offsetOfAligned(const void *Ptr, const char *ArenaBase,
+                       uint32_t *Off) const {
+    const int Span = spanIndexOf(Ptr, ArenaBase);
+    if (Span < 0)
+      return false;
+    const uintptr_t SpanStart = reinterpret_cast<uintptr_t>(
+        ArenaBase + pagesToBytes(VirtualSpans[Span]));
+    const uintptr_t Delta = reinterpret_cast<uintptr_t>(Ptr) - SpanStart;
+    if (ObjectShift >= 0) {
+      if ((Delta & (ObjectSize - 1)) != 0)
+        return false;
+      *Off = static_cast<uint32_t>(Delta >> ObjectShift);
+      return true;
+    }
+    if (Delta % ObjectSize != 0)
+      return false;
+    *Off = static_cast<uint32_t>(Delta / ObjectSize);
+    return true;
   }
 
   /// True iff \p Ptr is exactly the start of an object slot.
@@ -179,8 +258,15 @@ private:
   uint32_t SpanPageCount;
   uint32_t ObjectCount;
   int8_t SizeClassIndex;
+  /// log2(ObjectSize) when it is a power of two, else -1 (the free
+  /// path's offset computation shifts instead of dividing).
+  int8_t ObjectShift;
   bool MeshableFlag;
   std::atomic<bool> Attached{false};
+  std::atomic<ThreadLocalHeap *> Owner{nullptr};
+  std::atomic<uint32_t> PendingFrees{0};
+  std::atomic<MiniHeap *> NextPending{nullptr};
+  std::atomic<bool> Dead{false};
   int8_t BinIdx = -1;
   uint32_t BinSlot = 0;
 };

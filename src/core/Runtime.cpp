@@ -6,13 +6,33 @@
 #include "support/Log.h"
 #include "support/MathUtils.h"
 
+#include <atomic>
 #include <cassert>
 #include <cerrno>
 #include <cstring>
 
 namespace mesh {
 
-Runtime::Runtime(const MeshOptions &Opts) : Global(Opts) {
+namespace {
+
+/// TLS heap cache: the last (runtime id, heap) pair this thread
+/// resolved. initial-exec so the accesses themselves can never
+/// allocate (they run inside malloc). Runtime ids are never reused, so
+/// a Runtime constructed at a recycled address cannot alias a stale
+/// entry; a dead runtime's id simply never matches again.
+__thread uint64_t CachedRuntimeId
+    __attribute__((tls_model("initial-exec"))) = 0;
+__thread ThreadLocalHeap *CachedHeap
+    __attribute__((tls_model("initial-exec"))) = nullptr;
+
+/// Id 0 is reserved as "no cache".
+std::atomic<uint64_t> NextRuntimeId{1};
+
+} // namespace
+
+Runtime::Runtime(const MeshOptions &Opts)
+    : Global(Opts),
+      Id(NextRuntimeId.fetch_add(1, std::memory_order_relaxed)) {
   if (pthread_key_create(&HeapKey, destroyThreadHeap) != 0)
     fatalError("pthread_key_create failed");
 }
@@ -25,6 +45,10 @@ Runtime::~Runtime() {
   if (auto *Heap = static_cast<ThreadLocalHeap *>(
           pthread_getspecific(HeapKey))) {
     pthread_setspecific(HeapKey, nullptr);
+    if (CachedHeap == Heap) {
+      CachedRuntimeId = 0;
+      CachedHeap = nullptr;
+    }
     InternalHeap::global().deleteObj(Heap);
   }
   pthread_key_delete(HeapKey);
@@ -32,10 +56,23 @@ Runtime::~Runtime() {
 
 void Runtime::destroyThreadHeap(void *Arg) {
   auto *Heap = static_cast<ThreadLocalHeap *>(Arg);
+  // Runs on the exiting thread, so this clears that thread's own
+  // cache. A later-round TSD destructor that allocates again simply
+  // takes the slow path and builds a fresh heap.
+  if (CachedHeap == Heap) {
+    CachedRuntimeId = 0;
+    CachedHeap = nullptr;
+  }
   InternalHeap::global().deleteObj(Heap);
 }
 
 ThreadLocalHeap &Runtime::localHeap() {
+  if (CachedRuntimeId == Id)
+    return *CachedHeap;
+  return localHeapSlow();
+}
+
+ThreadLocalHeap &Runtime::localHeapSlow() {
   auto *Heap = static_cast<ThreadLocalHeap *>(pthread_getspecific(HeapKey));
   if (Heap == nullptr) {
     Heap = InternalHeap::global().makeNew<ThreadLocalHeap>(
@@ -43,6 +80,8 @@ ThreadLocalHeap &Runtime::localHeap() {
                      reinterpret_cast<uintptr_t>(pthread_self()));
     pthread_setspecific(HeapKey, Heap);
   }
+  CachedRuntimeId = Id;
+  CachedHeap = Heap;
   return *Heap;
 }
 
@@ -54,6 +93,17 @@ void *Runtime::calloc(size_t Count, size_t Size) {
   if (Count != 0 && Size > SIZE_MAX / Count)
     return nullptr; // Multiplication would overflow.
   const size_t Bytes = Count * Size;
+  int SizeClass;
+  if (!sizeClassForSize(Bytes, &SizeClass)) {
+    // Large allocations served from a freshly committed span are
+    // demand-zero memfd pages; only recycled dirty spans need the
+    // memset.
+    bool Zeroed = false;
+    void *Ptr = Global.largeAllocZeroed(Bytes, &Zeroed);
+    if (Ptr != nullptr && !Zeroed)
+      memset(Ptr, 0, Bytes);
+    return Ptr;
+  }
   void *Ptr = malloc(Bytes);
   if (Ptr != nullptr)
     memset(Ptr, 0, Bytes);

@@ -1,11 +1,18 @@
 //===- Runtime.h - Per-heap runtime facade ----------------------*- C++ -*-===//
 ///
 /// \file
-/// A Runtime ties together one global heap, per-thread local heaps
-/// (managed through a pthread key so arbitrary threads can allocate),
+/// A Runtime ties together one global heap, per-thread local heaps,
 /// and the malloc/free/realloc surface. The interposition shim owns a
 /// process-wide default Runtime; tests and benchmarks construct
 /// independent Runtimes with their own options and arenas.
+///
+/// The calling thread's heap is cached in a `__thread` pointer, so the
+/// malloc/free hot path costs one TLS load and one compare — no
+/// pthread_getspecific (paper Section 4.3: allocation is entirely
+/// thread-local in the common case). The pthread key survives solely
+/// to run the heap destructor at thread exit. Because the cache is
+/// keyed by a never-reused runtime id, tests that stack-allocate
+/// Runtimes back to back cannot alias a stale cache entry.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,7 +58,9 @@ public:
   /// Forces a meshing pass; returns bytes released.
   size_t meshNow() { return Global.meshNow(); }
 
-  /// The calling thread's local heap, created on first use.
+  /// The calling thread's local heap, created on first use. The fast
+  /// path is a `__thread` cache hit; the slow path falls back to the
+  /// pthread key and refreshes the cache.
   ThreadLocalHeap &localHeap();
 
   /// jemalloc-flavoured control interface (paper Section 4.5 mentions
@@ -62,9 +71,13 @@ public:
 
 private:
   static void destroyThreadHeap(void *Arg);
+  ThreadLocalHeap &localHeapSlow();
 
   GlobalHeap Global;
   pthread_key_t HeapKey;
+  /// Process-unique, never reused; the TLS heap cache is valid only
+  /// while its recorded id matches this runtime's.
+  uint64_t Id;
 };
 
 } // namespace mesh

@@ -4,10 +4,55 @@
 
 namespace mesh {
 
-// Header-only; compile-time checks live here. One shuffle vector exists
-// per size class per thread (24 x ~280 bytes = under 8 KiB per thread,
-// matching the paper's "roughly 2.8K per thread" order of magnitude).
+// One shuffle vector exists per size class per thread (24 x ~320 bytes
+// = under 8 KiB per thread, matching the paper's "roughly 2.8K per
+// thread" order of magnitude).
 static_assert(sizeof(ShuffleVector) <= 320,
               "shuffle vector should remain compact");
+
+uint32_t ShuffleVector::attach(MiniHeap *NewMH, char *ArenaBase) {
+  assert(MH == nullptr && "attach over a live attachment");
+  assert(NewMH != nullptr && "cannot attach null MiniHeap");
+  MH = NewMH;
+  MaxCount = static_cast<uint16_t>(MH->objectCount());
+  ObjSize = MH->objectSize();
+  SpanStart = ArenaBase + pagesToBytes(MH->physicalSpanOffset());
+  SpanLen = MH->spanBytes();
+  // Claimed offsets arrive ascending; lay them out ascending from the
+  // head so that, without randomization, allocation proceeds in
+  // bump-pointer order from offset 0 upward.
+  uint8_t Claimed[kMaxObjectsPerSpan];
+  uint32_t N = 0;
+  MH->bitmap().claimUnsetBits(
+      [&](uint32_t I) { Claimed[N++] = static_cast<uint8_t>(I); });
+  Head = static_cast<uint16_t>(MaxCount - N);
+  for (uint32_t I = 0; I < N; ++I)
+    List[Head + I] = Claimed[I];
+  const uint32_t Pulled = length();
+  if (Randomize && Pulled > 1) {
+    // Knuth-Fisher-Yates over the cached range.
+    for (uint32_t I = MaxCount - 1; I > Head; --I) {
+      const uint32_t J = Random->inRange(Head, I);
+      std::swap(List[I], List[J]);
+    }
+  }
+  return Pulled;
+}
+
+MiniHeap *ShuffleVector::detach() {
+  MiniHeap *Old = MH;
+  if (Old == nullptr)
+    return nullptr;
+  Bitmap &Bits = Old->bitmap();
+  for (uint32_t I = Head; I < MaxCount; ++I) {
+    const bool WasSet = Bits.unset(List[I]);
+    assert(WasSet && "cached offset must own its bitmap bit");
+    (void)WasSet;
+  }
+  Head = MaxCount;
+  MH = nullptr;
+  SpanStart = nullptr;
+  return Old;
+}
 
 } // namespace mesh

@@ -56,52 +56,17 @@ public:
   uint32_t length() const { return MaxCount - Head; }
 
   /// Attaches to \p NewMH: reserves every free slot by atomically
-  /// setting its bitmap bit and caching its offset. Returns the number
-  /// of offsets pulled.
-  uint32_t attach(MiniHeap *NewMH, char *ArenaBase) {
-    assert(MH == nullptr && "attach over a live attachment");
-    assert(NewMH != nullptr && "cannot attach null MiniHeap");
-    MH = NewMH;
-    MaxCount = static_cast<uint16_t>(MH->objectCount());
-    ObjSize = MH->objectSize();
-    SpanStart = ArenaBase + pagesToBytes(MH->physicalSpanOffset());
-    Head = MaxCount;
-    Bitmap &Bits = MH->bitmap();
-    // Walk offsets descending so the cached order is ascending from the
-    // head; without randomization, allocation then proceeds in
-    // bump-pointer order from offset 0 upward.
-    for (int I = static_cast<int>(MaxCount) - 1; I >= 0; --I)
-      if (Bits.tryToSet(static_cast<uint32_t>(I)))
-        List[--Head] = static_cast<uint8_t>(I);
-    const uint32_t Pulled = length();
-    if (Randomize && Pulled > 1) {
-      // Knuth-Fisher-Yates over the cached range.
-      for (uint32_t I = MaxCount - 1; I > Head; --I) {
-        const uint32_t J = Random->inRange(Head, I);
-        std::swap(List[I], List[J]);
-      }
-    }
-    return Pulled;
-  }
+  /// setting its bitmap bits word-at-a-time (kWords fetch_ors, not one
+  /// CAS attempt per object) and caching the claimed offsets. Returns
+  /// the number of offsets pulled. Out of line: this is the refill
+  /// path, and inlining its scratch buffer bloats every caller's frame
+  /// while the per-op malloc/free neighbours want tight codegen.
+  uint32_t attach(MiniHeap *NewMH, char *ArenaBase);
 
   /// Detaches from the current MiniHeap, returning leftover cached
   /// offsets to the bitmap (unsetting their bits). Returns the MiniHeap
   /// so the caller can hand it back to the global heap.
-  MiniHeap *detach() {
-    MiniHeap *Old = MH;
-    if (Old == nullptr)
-      return nullptr;
-    Bitmap &Bits = Old->bitmap();
-    for (uint32_t I = Head; I < MaxCount; ++I) {
-      const bool WasSet = Bits.unset(List[I]);
-      assert(WasSet && "cached offset must own its bitmap bit");
-      (void)WasSet;
-    }
-    Head = MaxCount;
-    MH = nullptr;
-    SpanStart = nullptr;
-    return Old;
-  }
+  MiniHeap *detach();
 
   /// Pops the next randomized offset. Requires !isExhausted().
   void *malloc() {
@@ -111,12 +76,14 @@ public:
   }
 
   /// True iff \p Ptr belongs to the attached span's primary range.
+  /// Uses only the vector's own cached fields (no MiniHeap metadata
+  /// dereference): the free fast path runs this on every operation.
   bool contains(const void *Ptr) const {
     if (MH == nullptr)
       return false;
     const auto P = reinterpret_cast<uintptr_t>(Ptr);
     const auto S = reinterpret_cast<uintptr_t>(SpanStart);
-    return P >= S && P < S + MH->spanBytes();
+    return P >= S && P < S + SpanLen;
   }
 
   /// Frees \p Ptr (which must satisfy contains()): pushes its offset at
@@ -145,6 +112,7 @@ private:
   uint16_t Head = 0;
   uint16_t MaxCount = 0;
   size_t ObjSize = 0;
+  size_t SpanLen = 0;
   char *SpanStart = nullptr;
   MiniHeap *MH = nullptr;
   Rng *Random = nullptr;

@@ -16,9 +16,14 @@ ThreadLocalHeap::ThreadLocalHeap(GlobalHeap *GlobalHeapPtr, uint64_t Seed)
 ThreadLocalHeap::~ThreadLocalHeap() { releaseAll(); }
 
 void ThreadLocalHeap::releaseAll() {
-  for (auto &V : Vectors) {
+  LastFreed = nullptr;
+  for (int Class = 0; Class < kNumSizeClasses; ++Class) {
+    ShuffleVector &V = Vectors[Class];
     if (!V.isAttached())
       continue;
+    AttachedMH[Class] = nullptr;
+    --AttachedCount;
+    V.miniheap()->setAttachedOwner(nullptr);
     MiniHeap *MH = V.detach();
     Global->releaseMiniHeap(MH);
   }
@@ -31,12 +36,20 @@ void *ThreadLocalHeap::malloc(size_t Bytes) {
 
   ShuffleVector &V = Vectors[SizeClass];
   while (V.isExhausted()) {
-    if (V.isAttached())
+    if (V.isAttached()) {
+      AttachedMH[SizeClass] = nullptr;
+      --AttachedCount;
+      V.miniheap()->setAttachedOwner(nullptr);
       Global->releaseMiniHeap(V.detach());
+    }
     MiniHeap *MH = Global->allocMiniHeapForClass(SizeClass);
     const uint32_t Pulled = V.attach(MH, Global->arenaBase());
     assert(Pulled > 0 && "global heap returned a full span");
     (void)Pulled;
+    // Publish the fast-path tags last, once the vector is consistent.
+    MH->setAttachedOwner(this);
+    AttachedMH[SizeClass] = MH;
+    ++AttachedCount;
   }
   return V.malloc();
 }
@@ -44,12 +57,38 @@ void *ThreadLocalHeap::malloc(size_t Bytes) {
 void ThreadLocalHeap::free(void *Ptr) {
   if (Ptr == nullptr)
     return;
-  // Local-free fast path: scan this thread's attached spans (at most
-  // one range check per size class, no locks or atomics).
-  for (auto &V : Vectors) {
-    if (V.contains(Ptr)) {
-      V.free(Ptr);
-      return;
+  // Hottest path: repeated frees into the span that served the last
+  // one — pure thread-local state, no atomics at all.
+  if (LastFreed != nullptr && LastFreed->contains(Ptr)) {
+    LastFreed->free(Ptr);
+    return;
+  }
+  // O(1) dispatch: one page-table read resolves the owning MiniHeap,
+  // then the is-it-mine check compares that pointer against this
+  // thread's attached set (the dense mirror of each vector's
+  // attachedOwner tag). Pointer equality never dereferences MH, so a
+  // MiniHeap concurrently retired by a mesh pass cannot be touched —
+  // the remote path below re-resolves under the epoch.
+  if (MiniHeap *MH = AttachedCount > 0 ? Global->miniheapFor(Ptr)
+                                       : nullptr) {
+    for (int Class = 0; Class < kNumSizeClasses; ++Class) {
+      if (AttachedMH[Class] != MH)
+        continue;
+      ShuffleVector &V = Vectors[Class];
+      // A mirror hit means MH is attached to us, so dereferencing it
+      // is safe — the tag and the mirror must agree.
+      assert(MH->attachedOwner() == this &&
+             "AttachedMH mirror out of sync with the owner tag");
+      // Validates the span range: rejects frees into meshed-in alias
+      // spans (those go global, exactly as the per-class scan used to
+      // route them) and the stale page-table read whose MiniHeap
+      // address was recycled into a new attachment of ours.
+      if (V.contains(Ptr)) {
+        V.free(Ptr);
+        LastFreed = &V;
+        return;
+      }
+      break;
     }
   }
   Global->free(Ptr);

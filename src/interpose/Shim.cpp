@@ -65,9 +65,19 @@ void *calloc(size_t Count, size_t Size) {
   if (Count != 0 && Size > SIZE_MAX / Count)
     return nullptr;
   const size_t Bytes = Count * Size;
-  void *Ptr = shimMalloc(Bytes);
-  if (Ptr != nullptr)
-    memset(Ptr, 0, Bytes);
+  mesh::Runtime &R = mesh::defaultRuntime();
+  if (Busy) {
+    // Nested request from heap setup: serve it directly and zero it.
+    void *Ptr = R.global().largeAlloc(Bytes == 0 ? 1 : Bytes);
+    if (Ptr != nullptr)
+      memset(Ptr, 0, Bytes);
+    return Ptr;
+  }
+  Busy = true;
+  // Runtime::calloc skips the memset for large allocations on pristine
+  // (never-dirtied) spans — those memfd pages are already zero.
+  void *Ptr = R.calloc(Count, Size);
+  Busy = false;
   return Ptr;
 }
 

@@ -61,6 +61,66 @@ public:
     return (Old & Mask) != 0;
   }
 
+  /// Atomically claims the lowest unset bit at or above \p From,
+  /// scanning word-at-a-time (one fetch_or per attempt instead of one
+  /// per bit). Returns true and stores the claimed index in \p Index,
+  /// or false when no unset bit remains. The single-slot companion of
+  /// claimUnsetBits (the refill path's bulk claim) for callers that
+  /// reserve incrementally; currently exercised by the unit suite.
+  bool setFirstUnset(uint32_t *Index, uint32_t From = 0) {
+    assert(Index != nullptr);
+    for (uint32_t W = From / 64; W < kWords; ++W) {
+      const uint64_t Range = rangeMask(W);
+      uint64_t Lead = W == From / 64 ? ~((uint64_t{1} << (From % 64)) - 1)
+                                     : ~uint64_t{0};
+      for (;;) {
+        const uint64_t Free =
+            ~Words[W].load(std::memory_order_acquire) & Range & Lead;
+        if (Free == 0)
+          break;
+        const uint32_t Bit = __builtin_ctzll(Free);
+        const uint64_t Mask = uint64_t{1} << Bit;
+        const uint64_t Old =
+            Words[W].fetch_or(Mask, std::memory_order_acq_rel);
+        if ((Old & Mask) == 0) {
+          *Index = W * 64 + Bit;
+          return true;
+        }
+        // Lost the race for this bit; retry the word without it.
+        Lead &= ~Mask;
+      }
+    }
+    return false;
+  }
+
+  /// Atomically claims *every* unset bit with one fetch_or per word and
+  /// invokes \p Fn(index) for each claimed bit in increasing order.
+  /// This is the refill-path primitive: reserving a whole span's free
+  /// slots costs kWords read-modify-writes, not one per object.
+  /// Returns the number of bits claimed. Bits concurrently cleared by
+  /// remote frees after the word is read are simply left unclaimed.
+  template <typename Callable> uint32_t claimUnsetBits(Callable Fn) {
+    uint32_t Claimed = 0;
+    for (uint32_t W = 0; W < kWords; ++W) {
+      const uint64_t Range = rangeMask(W);
+      if (Range == 0)
+        break;
+      const uint64_t Free =
+          ~Words[W].load(std::memory_order_acquire) & Range;
+      if (Free == 0)
+        continue;
+      const uint64_t Old = Words[W].fetch_or(Free, std::memory_order_acq_rel);
+      uint64_t Won = Free & ~Old;
+      while (Won != 0) {
+        const uint32_t Bit = __builtin_ctzll(Won);
+        Fn(W * 64 + Bit);
+        ++Claimed;
+        Won &= Won - 1;
+      }
+    }
+    return Claimed;
+  }
+
   bool isSet(uint32_t I) const {
     assert(I < NumBits && "bit index out of range");
     return (Words[I / 64].load(std::memory_order_acquire) &
@@ -126,6 +186,15 @@ public:
   }
 
 private:
+  /// Mask of valid (in-range) bits for word \p W.
+  uint64_t rangeMask(uint32_t W) const {
+    if ((W + 1) * 64 <= NumBits)
+      return ~uint64_t{0};
+    if (W * 64 >= NumBits)
+      return 0;
+    return (uint64_t{1} << (NumBits % 64)) - 1;
+  }
+
   std::atomic<uint64_t> Words[kWords];
   uint32_t NumBits;
 };

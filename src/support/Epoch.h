@@ -1,0 +1,152 @@
+//===- Epoch.h - Striped epoch-based reclamation guard ----------*- C++ -*-===//
+///
+/// \file
+/// The atomic lifetime primitive behind Mesh's lock-free global-free
+/// path (paper Section 4.4.4). Readers that resolve a pointer through
+/// the page table and then dereference the owning MiniHeap enter a
+/// short critical section; a writer that is about to destroy (or
+/// consolidate) a MiniHeap advances the epoch and waits until every
+/// reader that might still hold a stale pointer has left.
+///
+/// The scheme is a two-slot epoch with striped reader counters:
+///
+///   - enter(): pick the counter stripe for this thread, increment the
+///     slot selected by the current epoch's parity, then re-check the
+///     epoch. If it moved, back out and retry — this closes the window
+///     where a reader increments a slot the writer already drained.
+///   - exit(): decrement the slot recorded at enter().
+///   - synchronize(): flip the epoch parity, then spin until the old
+///     parity's counters are all zero. New readers land in the new
+///     slot, so the wait is bounded by the readers already in flight.
+///
+/// Counters are striped across cache-line-padded slots indexed by a
+/// per-thread token, so concurrent readers on different cores do not
+/// bounce one cache line (the enter/exit pair must stay cheap: it sits
+/// on every free that consults the page table).
+///
+/// synchronize() callers must be serialized externally (Mesh runs it
+/// under the global heap lock). Readers must not block on anything a
+/// synchronize() caller holds while inside the critical section.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_EPOCH_H
+#define MESH_SUPPORT_EPOCH_H
+
+#include "support/SpinLock.h" // cpuRelax
+
+#include <atomic>
+#include <cstdint>
+#include <sched.h>
+
+namespace mesh {
+
+class Epoch {
+public:
+  static constexpr uint32_t kStripes = 16;
+
+  Epoch() = default;
+  Epoch(const Epoch &) = delete;
+  Epoch &operator=(const Epoch &) = delete;
+
+  /// Opaque handle for one reader critical section.
+  struct Guard {
+    uint32_t Stripe;
+    uint32_t Parity;
+  };
+
+  /// Begins a reader critical section. MiniHeaps reachable through the
+  /// page table at (or after) this point stay alive until exit().
+  Guard enter() {
+    const uint32_t Stripe = stripeForThisThread();
+    for (;;) {
+      const uint64_t E = Era.load(std::memory_order_acquire);
+      const uint32_t Parity = static_cast<uint32_t>(E & 1);
+      // The increment and the re-validation, like the writer's flip
+      // and counter scan, must be seq_cst: this is a store-buffering
+      // (Dekker) pattern, and with acquire/release alone both sides
+      // may miss each other's write — the reader validating a stale
+      // era while synchronize() reads its slot as zero. (On x86 the
+      // locked RMW makes this free; the loads compile to plain movs.)
+      Readers[Parity][Stripe].Count.fetch_add(1,
+                                              std::memory_order_seq_cst);
+      // Re-validate: if the era advanced between the load and the
+      // increment, the writer may already have drained our slot.
+      if (Era.load(std::memory_order_seq_cst) == E)
+        return Guard{Stripe, Parity};
+      Readers[Parity][Stripe].Count.fetch_sub(1,
+                                              std::memory_order_release);
+      cpuRelax();
+    }
+  }
+
+  void exit(Guard G) {
+    Readers[G.Parity][G.Stripe].Count.fetch_sub(1,
+                                                std::memory_order_release);
+  }
+
+  /// Advances the era and waits until every reader that entered under
+  /// the previous era has exited. On return, memory published before
+  /// the call is safe to reclaim. Callers must be serialized.
+  void synchronize() {
+    // seq_cst pairing with enter(); see the comment there.
+    const uint64_t Old = Era.fetch_add(1, std::memory_order_seq_cst);
+    const uint32_t Parity = static_cast<uint32_t>(Old & 1);
+    for (uint32_t S = 0; S < kStripes; ++S) {
+      int Spins = 0;
+      while (Readers[Parity][S].Count.load(std::memory_order_seq_cst) !=
+             0) {
+        // Reader sections are a handful of instructions; a non-zero
+        // count that persists means the reader was descheduled — hand
+        // it the CPU instead of pause-spinning the slice away.
+        if (++Spins < 64)
+          cpuRelax();
+        else {
+          sched_yield();
+          Spins = 0;
+        }
+      }
+    }
+  }
+
+  /// RAII wrapper for reader sections.
+  class Section {
+  public:
+    explicit Section(Epoch &E) : Parent(E), G(E.enter()) {}
+    ~Section() { Parent.exit(G); }
+    Section(const Section &) = delete;
+    Section &operator=(const Section &) = delete;
+
+  private:
+    Epoch &Parent;
+    Guard G;
+  };
+
+private:
+  struct alignas(64) PaddedCounter {
+    std::atomic<uint32_t> Count{0};
+  };
+
+  static uint32_t stripeForThisThread() {
+    // Round-robin stripe assignment, cached per thread: guarantees the
+    // first kStripes threads never share a counter cache line (an
+    // address-hash scheme collides with high probability well below
+    // that). initial-exec TLS so the access can never allocate (this
+    // runs inside malloc/free). Stripe 0 doubles as "unassigned", so
+    // slot 0 is simply shared by thread #0 and any wrap-arounds.
+    static std::atomic<uint32_t> NextStripe{1};
+    static __thread uint32_t Assigned
+        __attribute__((tls_model("initial-exec"))) = 0;
+    if (Assigned == 0)
+      Assigned =
+          1 + NextStripe.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return Assigned - 1;
+  }
+
+  std::atomic<uint64_t> Era{0};
+  PaddedCounter Readers[2][kStripes];
+};
+
+} // namespace mesh
+
+#endif // MESH_SUPPORT_EPOCH_H

@@ -12,6 +12,7 @@
 #define MESH_SUPPORT_SPINLOCK_H
 
 #include <atomic>
+#include <sched.h>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -38,8 +39,19 @@ public:
     for (;;) {
       if (!Locked.exchange(true, std::memory_order_acquire))
         return;
-      while (Locked.load(std::memory_order_relaxed))
-        cpuRelax();
+      // Bounded pause-spin, then yield: if the holder is descheduled
+      // (oversubscribed machine, or a mesh pass on another core),
+      // burning the rest of this timeslice in _mm_pause only delays
+      // the holder further.
+      int Spins = 0;
+      while (Locked.load(std::memory_order_relaxed)) {
+        if (++Spins < 64)
+          cpuRelax();
+        else {
+          sched_yield();
+          Spins = 0;
+        }
+      }
     }
   }
 

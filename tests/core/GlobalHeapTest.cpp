@@ -79,6 +79,37 @@ TEST(GlobalHeapTest, LargeAllocRoundTrip) {
       << "large-object pages are freed directly to the OS";
 }
 
+TEST(GlobalHeapTest, LargeAllocZeroedReportsSpanCleanliness) {
+  // The calloc zero-skip hook: pristine spans (frontier, or punched
+  // holes) report zeroed; spans recycled through the dirty bins do not.
+  MeshOptions Opts = testOptions();
+  Opts.MaxDirtyBytes = 64 * 1024 * 1024; // Keep freed spans dirty.
+  GlobalHeap G(Opts);
+
+  bool Zeroed = false;
+  void *A = G.largeAllocZeroed(100 * 1024, &Zeroed);
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(Zeroed) << "frontier span is demand-zero";
+
+  // Retire a dirtied meshable span (2048-byte class: 4-page spans) to
+  // the dirty bins.
+  int Class = -1;
+  ASSERT_TRUE(sizeClassForSize(2048, &Class));
+  MiniHeap *MH = G.allocMiniHeapForClass(Class);
+  ASSERT_EQ(MH->spanPages(), 4u);
+  char *Span = G.arenaBase() + pagesToBytes(MH->physicalSpanOffset());
+  memset(Span, 0xEE, pagesToBytes(MH->spanPages()));
+  G.releaseMiniHeap(MH); // Empty: destroyed, span cached dirty.
+
+  // A 16 KiB large allocation takes a 4-page span; the dirty one is
+  // preferred and must be reported unclean.
+  void *B = G.largeAllocZeroed(16 * 1024, &Zeroed);
+  EXPECT_EQ(B, Span) << "dirty span should be reused first";
+  EXPECT_FALSE(Zeroed) << "recycled dirty span must demand a memset";
+  G.free(A);
+  G.free(B);
+}
+
 TEST(GlobalHeapTest, FreeOfDetachedObjectRebins) {
   GlobalHeap G(testOptions());
   MiniHeap *MH = G.allocMiniHeapForClass(0);

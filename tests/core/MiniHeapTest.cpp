@@ -2,6 +2,8 @@
 
 #include "core/MiniHeap.h"
 
+#include "core/SizeClass.h"
+
 #include <gtest/gtest.h>
 
 namespace mesh {
@@ -72,6 +74,31 @@ TEST(MiniHeapTest, PointerMath) {
   EXPECT_TRUE(MH.isAligned(SpanStart + 128, Base));
   EXPECT_FALSE(MH.isAligned(SpanStart + 129, Base));
   EXPECT_EQ(MH.ptrForOffset(3, Base), SpanStart + 192);
+}
+
+TEST(MiniHeapTest, OffsetOfAlignedMatchesDivisionForEveryClass) {
+  // The free hot path computes object offsets with a shift for
+  // power-of-two classes and a division otherwise; both must agree
+  // with the reference math for every byte delta in the span.
+  for (int Class = 0; Class < kNumSizeClasses; ++Class) {
+    const SizeClassInfo &Info = sizeClassInfo(Class);
+    MiniHeap MH(/*SpanPageOff=*/0, Info.SpanPages, Info.ObjectSize,
+                Info.ObjectCount, static_cast<int8_t>(Class),
+                Info.Meshable);
+    char *Base = fakeBase();
+    const size_t Coverage =
+        static_cast<size_t>(Info.ObjectSize) * Info.ObjectCount;
+    for (size_t Delta = 0; Delta < Coverage; Delta += 8) {
+      uint32_t Off = ~0u;
+      const bool Aligned = MH.offsetOfAligned(Base + Delta, Base, &Off);
+      ASSERT_EQ(Aligned, Delta % Info.ObjectSize == 0)
+          << "class " << Class << " delta " << Delta;
+      if (Aligned) {
+        ASSERT_EQ(Off, Delta / Info.ObjectSize)
+            << "class " << Class << " delta " << Delta;
+      }
+    }
+  }
 }
 
 TEST(MiniHeapTest, TakeSpansFromMergesLists) {

@@ -45,6 +45,36 @@ TEST(RuntimeTest, CallocZeroesRecycledDirtyMemory) {
   R.free(Q);
 }
 
+TEST(RuntimeTest, CallocLargeIsZeroOnPristineSpans) {
+  // Large callocs served by freshly committed memfd pages skip the
+  // memset; the pages must still read as zero.
+  Runtime R(testOptions());
+  constexpr size_t kBytes = 128 * 1024;
+  auto *P = static_cast<unsigned char *>(R.calloc(1, kBytes));
+  ASSERT_NE(P, nullptr);
+  for (size_t I = 0; I < kBytes; ++I)
+    ASSERT_EQ(P[I], 0) << "byte " << I << " not zeroed";
+  R.free(P);
+}
+
+TEST(RuntimeTest, CallocLargeIsZeroOnRecycledSpans) {
+  // Large frees punch their pages immediately, so a recycled large
+  // span is demand-zero again; the zero-skip must still hold after the
+  // span has been dirtied, freed, and reused.
+  Runtime R(testOptions());
+  constexpr size_t kBytes = 16 * kPageSize; // Binnable power-of-two span.
+  auto *P = static_cast<unsigned char *>(R.malloc(kBytes));
+  ASSERT_NE(P, nullptr);
+  memset(P, 0xAB, kBytes);
+  R.free(P);
+  auto *Q = static_cast<unsigned char *>(R.calloc(1, kBytes));
+  ASSERT_NE(Q, nullptr);
+  EXPECT_EQ(Q, P) << "expected the punched span to be recycled in place";
+  for (size_t I = 0; I < kBytes; ++I)
+    ASSERT_EQ(Q[I], 0) << "recycled byte " << I << " not zeroed";
+  R.free(Q);
+}
+
 TEST(RuntimeTest, ReallocSemantics) {
   Runtime R(testOptions());
   auto *P = static_cast<char *>(R.malloc(32));

@@ -74,6 +74,43 @@ TEST(ThreadLocalHeapTest, LargeRequestsForwardToGlobal) {
   EXPECT_EQ(G.committedBytes(), 0u);
 }
 
+TEST(ThreadLocalHeapTest, AttachedOwnerTagTracksAttachment) {
+  // The O(1) free dispatch recognizes "my span" via the MiniHeap's
+  // attachedOwner tag; it must be set while attached and cleared once
+  // the span returns to the global heap.
+  GlobalHeap G(testOptions());
+  ThreadLocalHeap Alice(&G, 1);
+  ThreadLocalHeap Bob(&G, 2);
+  void *P = Alice.malloc(64);
+  MiniHeap *MH = G.miniheapFor(P);
+  ASSERT_NE(MH, nullptr);
+  EXPECT_EQ(MH->attachedOwner(), &Alice);
+  EXPECT_NE(MH->attachedOwner(), &Bob);
+  Alice.free(P);
+  Alice.releaseAll();
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
+TEST(ThreadLocalHeapTest, FreeDispatchAcrossManyClasses) {
+  // Interleaved frees across every size class land in the right
+  // shuffle vector through the page-table dispatch (no per-class scan
+  // to fall back on anymore).
+  GlobalHeap G(testOptions());
+  ThreadLocalHeap H(&G, 42);
+  std::vector<std::pair<void *, size_t>> Ptrs;
+  for (int Round = 0; Round < 64; ++Round)
+    for (size_t Size = 16; Size <= 16384; Size *= 2) {
+      void *P = H.malloc(Size);
+      memset(P, 0x3C, Size);
+      Ptrs.push_back({P, Size});
+    }
+  // Free in a different order than allocation (by class, descending).
+  for (auto It = Ptrs.rbegin(); It != Ptrs.rend(); ++It)
+    H.free(It->first);
+  H.releaseAll();
+  EXPECT_EQ(G.committedBytes(), 0u);
+}
+
 TEST(ThreadLocalHeapTest, NonLocalFreeFallsThroughToGlobal) {
   GlobalHeap G(testOptions());
   ThreadLocalHeap Alice(&G, 1);

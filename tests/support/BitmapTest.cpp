@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -110,6 +112,84 @@ TEST(BitmapTest, ConcurrentTryToSetIsLinearizable) {
     Th.join();
   EXPECT_EQ(Wins.load(), 256);
   EXPECT_EQ(B.inUseCount(), 256u);
+}
+
+TEST(BitmapTest, SetFirstUnsetClaimsAscending) {
+  Bitmap B(130); // Spans three words, last one partial.
+  uint32_t Idx = ~0u;
+  for (uint32_t Expected = 0; Expected < 130; ++Expected) {
+    ASSERT_TRUE(B.setFirstUnset(&Idx));
+    EXPECT_EQ(Idx, Expected);
+  }
+  EXPECT_FALSE(B.setFirstUnset(&Idx)) << "full bitmap claimed a bit";
+  EXPECT_EQ(B.inUseCount(), 130u);
+}
+
+TEST(BitmapTest, SetFirstUnsetSkipsSetBitsAndHonorsFrom) {
+  Bitmap B(256);
+  for (uint32_t I = 0; I < 256; I += 2)
+    B.tryToSet(I); // Even bits taken.
+  uint32_t Idx = 0;
+  ASSERT_TRUE(B.setFirstUnset(&Idx));
+  EXPECT_EQ(Idx, 1u);
+  ASSERT_TRUE(B.setFirstUnset(&Idx, 100));
+  EXPECT_EQ(Idx, 101u);
+  ASSERT_TRUE(B.setFirstUnset(&Idx, 101)); // 101 now set; next odd is 103.
+  EXPECT_EQ(Idx, 103u);
+  ASSERT_TRUE(B.setFirstUnset(&Idx, 255));
+  EXPECT_EQ(Idx, 255u);
+  EXPECT_FALSE(B.setFirstUnset(&Idx, 255));
+}
+
+TEST(BitmapTest, ClaimUnsetBitsTakesEverythingFreeInOrder) {
+  Bitmap B(200);
+  B.tryToSet(0);
+  B.tryToSet(63);
+  B.tryToSet(64);
+  B.tryToSet(199);
+  std::vector<uint32_t> Got;
+  const uint32_t N = B.claimUnsetBits([&](uint32_t I) { Got.push_back(I); });
+  EXPECT_EQ(N, 196u);
+  EXPECT_EQ(Got.size(), 196u);
+  EXPECT_TRUE(std::is_sorted(Got.begin(), Got.end()));
+  EXPECT_EQ(Got.front(), 1u);
+  EXPECT_EQ(Got.back(), 198u);
+  EXPECT_EQ(B.inUseCount(), 200u);
+  // A second claim finds nothing.
+  EXPECT_EQ(B.claimUnsetBits([](uint32_t) {}), 0u);
+}
+
+TEST(BitmapTest, ClaimUnsetBitsRespectsCapacity) {
+  Bitmap B(10);
+  uint32_t Claimed = 0;
+  B.claimUnsetBits([&](uint32_t I) {
+    EXPECT_LT(I, 10u);
+    ++Claimed;
+  });
+  EXPECT_EQ(Claimed, 10u);
+  // Out-of-range bits must stay zero (the meshability predicate relies
+  // on it).
+  EXPECT_EQ(B.word(0) >> 10, 0u);
+}
+
+TEST(BitmapTest, ConcurrentSetFirstUnsetNeverDoubleClaims) {
+  Bitmap B(256);
+  std::atomic<int> Claims{0};
+  std::array<std::atomic<int>, 256> PerBit{};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 8; ++T)
+    Threads.emplace_back([&] {
+      uint32_t Idx;
+      while (B.setFirstUnset(&Idx)) {
+        PerBit[Idx].fetch_add(1);
+        Claims.fetch_add(1);
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  EXPECT_EQ(Claims.load(), 256);
+  for (uint32_t I = 0; I < 256; ++I)
+    EXPECT_EQ(PerBit[I].load(), 1) << "bit " << I << " double-claimed";
 }
 
 TEST(BitmapTest, ConcurrentSetUnsetBalance) {
