@@ -10,6 +10,13 @@
 ///   - cross  mix: allocator threads hand 90% of their objects to
 ///     dedicated freeing threads over SPSC rings — the lock-free
 ///     remote-free path under maximum cross-thread pressure.
+///   - multiclass mix: the cross mix spread uniformly over all 24 size
+///     classes, so refills and remote frees from different threads land
+///     on *different* per-class shards of the global heap concurrently.
+///     The large span geometry of the top classes (8 objects per span)
+///     makes refills frequent: this mix measures the sharded
+///     allocation path, where the old design serialized every refill,
+///     re-bin, and pending-free drain on one global lock.
 ///
 /// Reports aggregate ops/sec (mallocs + frees) and sampled p99 per-op
 /// latency for each mix. This is the regression guard for the TLS heap
@@ -20,6 +27,7 @@
 
 #include "BenchUtil.h"
 #include "core/Runtime.h"
+#include "core/SizeClass.h"
 #include "support/Rng.h"
 #include <algorithm>
 #include <atomic>
@@ -91,9 +99,12 @@ double p99(std::vector<uint64_t> &Samples) {
 }
 
 /// One benchmark configuration: \p RemotePermille of allocations are
-/// handed to a freeing thread (0 = local-only mix).
+/// handed to a freeing thread (0 = local-only mix). \p AllClasses
+/// draws sizes uniformly from every size class instead of the 16B-512B
+/// band, spreading the load across the global heap's per-class
+/// structures.
 MixResult runMix(const char *Name, uint32_t RemotePermille,
-                 size_t OpsPerThread) {
+                 size_t OpsPerThread, bool AllClasses = false) {
   Runtime R(benchMeshOptions());
   Ring Rings[kAllocThreads];
   std::atomic<int> ProducersDone{0};
@@ -115,7 +126,11 @@ MixResult runMix(const char *Name, uint32_t RemotePermille,
       std::vector<void *> Local;
       Local.reserve(128);
       for (size_t I = 0; I < OpsPerThread; ++I) {
-        const size_t Size = 16 << Driver.inRange(0, 5); // 16B..512B
+        const size_t Size =
+            AllClasses
+                ? objectSizeForClass(
+                      static_cast<int>(Driver.inRange(0, kNumSizeClasses - 1)))
+                : 16 << Driver.inRange(0, 5); // 16B..512B
         void *P;
         if (I % kLatencySampleEvery == 0) {
           const uint64_t T0 = nowNs();
@@ -232,5 +247,9 @@ int main(int argc, char **argv) {
   const size_t Ops = benchScaled(2000000, 64);
   runMix("local", /*RemotePermille=*/0, Ops);
   runMix("cross", /*RemotePermille=*/900, Ops);
+  // Multi-class spread keeps span sizes large (up to 16 KiB objects at
+  // 8 per span), so this mix is refill-dominated; scale it down to keep
+  // the default run time comparable to the other mixes.
+  runMix("multiclass", /*RemotePermille=*/900, Ops / 4, /*AllClasses=*/true);
   return 0;
 }

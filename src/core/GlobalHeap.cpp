@@ -25,11 +25,30 @@ uint64_t monotonicNs() {
 
 uint64_t monotonicMs() { return monotonicNs() / 1000000ULL; }
 
+#ifndef NDEBUG
+/// Shard-lock ordering enforcement: the bits of every shard index this
+/// thread currently holds. Acquiring shard i while any bit >= i is set
+/// violates the ascending-order discipline (the mesh-pass rendezvous
+/// relies on it) and aborts. Process-wide rather than per-heap: no
+/// in-tree path holds one heap's shard lock while calling into another
+/// heap, so cross-heap false positives cannot occur.
+__thread uint32_t HeldShardMask = 0;
+
+bool shardOrderViolated(int ShardIdx) {
+  return (HeldShardMask >> ShardIdx) != 0;
+}
+#endif
+
 } // namespace
 
 GlobalHeap::GlobalHeap(const MeshOptions &Options)
     : Opts(Options), Arena(Options.ArenaBytes, Options.MaxDirtyBytes),
-      Random(Options.Seed) {
+      MeshRandom(Options.Seed) {
+  // Independent bin-selection streams per shard: refills of different
+  // classes draw concurrently under different locks, so they cannot
+  // share the mesher's generator.
+  for (int I = 0; I < kNumShards; ++I)
+    Shards[I].Random.seed(Options.Seed ^ (0x517CC1B727220A95ULL * (I + 1)));
   if (Opts.BarrierEnabled) {
     WriteBarrier::instance().ensureHandlerInstalled();
     WriteBarrier::instance().registerArena(Arena.arenaBase(),
@@ -38,13 +57,10 @@ GlobalHeap::GlobalHeap(const MeshOptions &Options)
 }
 
 GlobalHeap::~GlobalHeap() {
-  // Reap the pending stash first: it may hold dead MiniHeaps (spans
-  // already released, metadata awaiting the drain) that the page-table
-  // walk below cannot see.
-  {
-    std::lock_guard<SpinLock> Guard(Lock);
-    drainPendingLocked();
-  }
+  // Reap every shard's pending stash first: it may hold dead MiniHeaps
+  // (spans already released, metadata awaiting the drain) that the
+  // page-table walk below cannot see.
+  drainAllShards();
   // Destroy every surviving MiniHeap so its metadata returns to the
   // internal heap (which is shared process-wide and outlives us).
   const size_t Frontier = Arena.frontierPages();
@@ -60,7 +76,26 @@ GlobalHeap::~GlobalHeap() {
     WriteBarrier::instance().unregisterArena(Arena.arenaBase());
 }
 
-void GlobalHeap::insertIntoBinLocked(MiniHeap *MH, uint32_t InUse) {
+void GlobalHeap::lockShard(int ShardIdx) {
+  assert(ShardIdx >= 0 && ShardIdx < kNumShards && "shard out of range");
+  assert(!shardOrderViolated(ShardIdx) &&
+         "shard locks must be acquired in ascending index order");
+  Shards[ShardIdx].Lock.lock();
+#ifndef NDEBUG
+  HeldShardMask |= uint32_t{1} << ShardIdx;
+#endif
+}
+
+void GlobalHeap::unlockShard(int ShardIdx) {
+#ifndef NDEBUG
+  assert((HeldShardMask & (uint32_t{1} << ShardIdx)) != 0 &&
+         "unlocking a shard this thread does not hold");
+  HeldShardMask &= ~(uint32_t{1} << ShardIdx);
+#endif
+  Shards[ShardIdx].Lock.unlock();
+}
+
+void GlobalHeap::insertIntoBinLocked(Shard &S, MiniHeap *MH, uint32_t InUse) {
   // InUse is the caller's snapshot: lock-free remote frees may clear
   // more bits at any moment, so re-reading here could disagree with the
   // caller's bin-or-destroy decision. A stale (too-high) bin is benign;
@@ -70,15 +105,15 @@ void GlobalHeap::insertIntoBinLocked(MiniHeap *MH, uint32_t InUse) {
   assert(InUse > 0 && InUse < MH->objectCount() &&
          "only partially full spans are binned");
   const int Bin = occupancyBin(InUse, MH->objectCount());
-  auto &B = Bins[MH->sizeClass()][Bin];
+  auto &B = S.Bins[Bin];
   MH->setBin(static_cast<int8_t>(Bin), static_cast<uint32_t>(B.size()));
   B.push_back(MH);
 }
 
-void GlobalHeap::removeFromBinLocked(MiniHeap *MH) {
+void GlobalHeap::removeFromBinLocked(Shard &S, MiniHeap *MH) {
   if (!MH->isInBin())
     return;
-  auto &B = Bins[MH->sizeClass()][MH->binIndex()];
+  auto &B = S.Bins[MH->binIndex()];
   const uint32_t Slot = MH->binSlot();
   assert(Slot < B.size() && B[Slot] == MH && "bin bookkeeping corrupt");
   B[Slot] = B.back();
@@ -87,26 +122,24 @@ void GlobalHeap::removeFromBinLocked(MiniHeap *MH) {
   MH->clearBin();
 }
 
-void GlobalHeap::rebinOrDestroyLocked(MiniHeap *MH) {
-  removeFromBinLocked(MH);
+void GlobalHeap::rebinOrDestroyLocked(Shard &S, MiniHeap *MH) {
+  removeFromBinLocked(S, MH);
   const uint32_t InUse = MH->inUseCount();
   if (InUse == 0) {
-    destroyMiniHeapLocked(MH);
+    destroyMiniHeapLocked(S, MH);
     return;
   }
   if (InUse < MH->objectCount())
-    insertIntoBinLocked(MH, InUse);
+    insertIntoBinLocked(S, MH, InUse);
   // Full spans float unbinned; the page table still references them and
   // the next free re-bins them.
 }
 
-void GlobalHeap::destroyMiniHeapLocked(MiniHeap *MH) {
+void GlobalHeap::destroyMiniHeapLocked(Shard &S, MiniHeap *MH) {
   assert(MH->isEmpty() && "destroying a MiniHeap with live objects");
   assert(!MH->isInBin() && "destroying a binned MiniHeap");
   const uint32_t Pages = MH->spanPages();
   const auto &Spans = MH->spans();
-  for (uint32_t I = 0; I < Spans.size(); ++I)
-    Arena.setOwner(Spans[I], Pages, nullptr);
   // Span 0 is the identity-mapped physical span; later entries are
   // virtual spans meshed onto it whose own file pages are already
   // holes. Releasing the pages immediately is safe: epoch readers only
@@ -115,47 +148,90 @@ void GlobalHeap::destroyMiniHeapLocked(MiniHeap *MH) {
   // free. Only the metadata delete must wait for the epoch — batched
   // in reapRetiredLocked so a drain destroying many spans pays one
   // synchronize, not one per span.
-  if (MH->isLargeAlloc() || !MH->isMeshable())
-    Arena.freeReleasedSpan(Spans[0], Pages);
-  else
-    Arena.freeDirtySpan(Spans[0], Pages);
-  for (uint32_t I = 1; I < Spans.size(); ++I)
-    Arena.freeAliasSpan(Spans[I], Pages);
-  RetiredList.push_back(MH);
+  {
+    std::lock_guard<SpinLock> Guard(ArenaLock);
+    for (uint32_t I = 0; I < Spans.size(); ++I)
+      Arena.setOwner(Spans[I], Pages, nullptr);
+    if (MH->isLargeAlloc() || !MH->isMeshable())
+      Arena.freeReleasedSpan(Spans[0], Pages);
+    else
+      Arena.freeDirtySpan(Spans[0], Pages);
+    for (uint32_t I = 1; I < Spans.size(); ++I)
+      Arena.freeAliasSpan(Spans[I], Pages);
+  }
+  S.RetiredList.push_back(MH);
 }
 
-void GlobalHeap::reapRetiredLocked() {
-  if (RetiredList.empty())
-    return;
-  // One epoch advance covers every retiree: after it, no reader can
-  // still hold a pointer resolved before the page table was cleared
-  // (or retargeted, for meshed-away sources).
+void GlobalHeap::epochSynchronize() {
+  std::lock_guard<SpinLock> Guard(EpochSyncLock);
   MiniHeapEpoch.synchronize();
-  for (MiniHeap *MH : RetiredList) {
+}
+
+void GlobalHeap::deleteRetired(InternalVector<MiniHeap *> &Retired) {
+  for (MiniHeap *MH : Retired) {
     if (MH->pendingFrees() != 0) {
-      // A waited-out remote free pushed MH onto the stash (its bitmap
-      // update lost to the destruction, which is fine — the object was
-      // already gone). The metadata must survive until the drain pops
-      // the stale entry; mark it so the drain performs the delete.
+      // A waited-out remote free pushed MH onto its shard's stash (its
+      // bitmap update lost to the destruction, which is fine — the
+      // object was already gone). The metadata must survive until the
+      // drain pops the stale entry; mark it so the drain performs the
+      // delete.
       MH->markDead();
     } else {
       InternalHeap::global().deleteObj(MH);
     }
   }
-  RetiredList.clear();
+  Retired.clear();
 }
 
-void GlobalHeap::pushPending(MiniHeap *MH) {
-  MiniHeap *Head = PendingStash.load(std::memory_order_acquire);
+void GlobalHeap::reapRetiredLocked(Shard &S) {
+  if (S.RetiredList.empty())
+    return;
+  // One epoch advance covers every retiree: after it, no reader can
+  // still hold a pointer resolved before the page table was cleared
+  // (or retargeted, for meshed-away sources), so each pending-free
+  // count deleteRetired consults is final.
+  epochSynchronize();
+  deleteRetired(S.RetiredList);
+}
+
+void GlobalHeap::pushPending(Shard &S, MiniHeap *MH) {
+  MiniHeap *Head = S.PendingStash.load(std::memory_order_acquire);
   do {
     MH->setNextPending(Head);
-  } while (!PendingStash.compare_exchange_weak(Head, MH,
-                                               std::memory_order_acq_rel,
-                                               std::memory_order_acquire));
+  } while (!S.PendingStash.compare_exchange_weak(Head, MH,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_acquire));
 }
 
-void GlobalHeap::drainPendingLocked() {
-  MiniHeap *MH = PendingStash.exchange(nullptr, std::memory_order_acq_rel);
+void GlobalHeap::drainAllShards() {
+  // Stop-the-world over the shard map: hold every shard lock
+  // (ascending — the one place the full rendezvous is exercised), fold
+  // in all pending frees, then pay ONE epoch synchronize for all
+  // retirees instead of one per shard. The locks stay held across the
+  // reap on purpose: releasing a shard between its drain and the
+  // delete-or-markDead hand-off would let a concurrent drain pop a
+  // stale stash entry before markDead runs and destroy the span twice.
+  // (The mesh pass avoids holding multiple locks only because
+  // MeshInProgress keeps new pushes out; no such shield exists here.)
+  // Rare path: dirty-page flushes and teardown.
+  for (int I = 0; I < kNumShards; ++I) {
+    lockShard(I);
+    drainStashLocked(Shards[I]);
+  }
+  bool AnyRetired = false;
+  for (int I = 0; I < kNumShards && !AnyRetired; ++I)
+    AnyRetired = !Shards[I].RetiredList.empty();
+  if (AnyRetired) {
+    epochSynchronize();
+    for (int I = 0; I < kNumShards; ++I)
+      deleteRetired(Shards[I].RetiredList);
+  }
+  for (int I = kNumShards - 1; I >= 0; --I)
+    unlockShard(I);
+}
+
+void GlobalHeap::drainStashLocked(Shard &S) {
+  MiniHeap *MH = S.PendingStash.exchange(nullptr, std::memory_order_acq_rel);
   while (MH != nullptr) {
     MiniHeap *Next = MH->nextPending();
     MH->setNextPending(nullptr);
@@ -168,64 +244,83 @@ void GlobalHeap::drainPendingLocked() {
       // are picked up at the next attach (Section 4.4.4). A racer that
       // frees after takePendingFrees re-pushes MH for the next drain.
       if (!MH->isAttached())
-        rebinOrDestroyLocked(MH);
+        rebinOrDestroyLocked(S, MH);
     }
     MH = Next;
   }
-  reapRetiredLocked();
+}
+
+void GlobalHeap::drainPendingLocked(Shard &S) {
+  drainStashLocked(S);
+  reapRetiredLocked(S);
 }
 
 MiniHeap *GlobalHeap::allocMiniHeapForClass(int SizeClass) {
   assert(SizeClass >= 0 && SizeClass < kNumSizeClasses &&
          "size class out of range");
-  std::lock_guard<SpinLock> Guard(Lock);
+  Shard &S = Shards[SizeClass];
+  MiniHeap *MH = nullptr;
+  lockShard(SizeClass);
   // Fold queued remote frees into the bins first: a span another thread
-  // just emptied out may be exactly the reuse candidate we want. Also
-  // the meshing trigger: remote frees no longer take the lock, so the
-  // refill path is where a free-heavy steady state (partially-full
-  // spans that never empty) gets its rate-limited mesh passes — the
-  // role every locked free used to play.
-  drainPendingLocked();
-  maybeMeshLocked();
+  // just emptied out may be exactly the reuse candidate we want.
+  drainPendingLocked(S);
   // Scan bins by decreasing occupancy and choose a random span from the
   // first non-empty bin (Section 3.1): maximizes utilization while
   // preserving the randomness the analysis relies on.
-  for (int Bin = kOccupancyBins - 1; Bin >= 0; --Bin) {
-    auto &B = Bins[SizeClass][Bin];
+  for (int Bin = kOccupancyBins - 1; Bin >= 0 && MH == nullptr; --Bin) {
+    auto &B = S.Bins[Bin];
     if (B.empty())
       continue;
     const uint32_t Idx =
-        Random.inRange(0, static_cast<uint32_t>(B.size()) - 1);
-    MiniHeap *MH = B[Idx];
-    removeFromBinLocked(MH);
+        S.Random.inRange(0, static_cast<uint32_t>(B.size()) - 1);
+    MH = B[Idx];
+    removeFromBinLocked(S, MH);
     MH->setAttached(true);
-    return MH;
   }
-  // No partially full span: carve a fresh one out of the arena.
-  const SizeClassInfo &Info = sizeClassInfo(SizeClass);
-  bool IsClean = false;
-  const uint32_t Off = Arena.allocSpan(Info.SpanPages, &IsClean);
-  auto *MH = InternalHeap::global().makeNew<MiniHeap>(
-      Off, Info.SpanPages, Info.ObjectSize, Info.ObjectCount,
-      static_cast<int8_t>(SizeClass), Info.Meshable);
-  Arena.setOwner(Off, Info.SpanPages, MH);
-  MH->setAttached(true);
-  Stats.updatePeak(Arena.committedPages());
+  if (MH == nullptr) {
+    // No partially full span: carve a fresh one out of the arena. Only
+    // this step touches cross-class state, and only under ArenaLock —
+    // concurrent refills of other classes keep their shards to
+    // themselves.
+    const SizeClassInfo &Info = sizeClassInfo(SizeClass);
+    std::lock_guard<SpinLock> Guard(ArenaLock);
+    bool IsClean = false;
+    const uint32_t Off = Arena.allocSpan(Info.SpanPages, &IsClean);
+    MH = InternalHeap::global().makeNew<MiniHeap>(
+        Off, Info.SpanPages, Info.ObjectSize, Info.ObjectCount,
+        static_cast<int8_t>(SizeClass), Info.Meshable);
+    Arena.setOwner(Off, Info.SpanPages, MH);
+    MH->setAttached(true);
+    Stats.updatePeak(Arena.committedPages());
+  }
+  unlockShard(SizeClass);
+  // The meshing trigger: remote frees no longer take any lock, so the
+  // refill path is where a free-heavy steady state (partially-full
+  // spans that never empty) gets its rate-limited mesh passes — the
+  // role every locked free used to play. Outside the shard lock: a
+  // pass acquires every shard in ascending order.
+  maybeMesh();
   return MH;
 }
 
 void GlobalHeap::releaseMiniHeap(MiniHeap *MH) {
   if (MH == nullptr)
     return;
-  std::lock_guard<SpinLock> Guard(Lock);
+  assert(!MH->isLargeAlloc() && "thread heaps never attach large spans");
+  const int ShardIdx = MH->sizeClass();
+  lockShard(ShardIdx);
   MH->setAttached(false);
-  rebinOrDestroyLocked(MH);
-  reapRetiredLocked();
+  rebinOrDestroyLocked(Shards[ShardIdx], MH);
+  reapRetiredLocked(Shards[ShardIdx]);
+  unlockShard(ShardIdx);
 }
 
 void *GlobalHeap::largeAllocZeroed(size_t Bytes, bool *WasZeroed) {
   const size_t Pages = bytesToPages(Bytes == 0 ? 1 : Bytes);
-  std::lock_guard<SpinLock> Guard(Lock);
+  // A fresh span is invisible to other threads until returned, so the
+  // large-object shard lock is not needed here — only the arena is
+  // touched.
+  std::lock_guard<SpinLock> Guard(ArenaLock);
   bool IsClean = false;
   const uint32_t Off = Arena.allocSpan(static_cast<uint32_t>(Pages),
                                        &IsClean);
@@ -238,7 +333,8 @@ void *GlobalHeap::largeAllocZeroed(size_t Bytes, bool *WasZeroed) {
   return Arena.arenaBase() + pagesToBytes(Off);
 }
 
-bool GlobalHeap::tryFreeUnlocked(void *Ptr, bool *BecameEmpty) {
+bool GlobalHeap::tryFreeUnlocked(void *Ptr, bool *BecameEmpty,
+                                 int *ShardIdx) {
   Epoch::Section Section(MiniHeapEpoch);
   // Checked inside the epoch: a mesh pass flags itself and then waits
   // out this epoch, so either we see the flag and divert, or the pass
@@ -251,7 +347,7 @@ bool GlobalHeap::tryFreeUnlocked(void *Ptr, bool *BecameEmpty) {
     return true;
   }
   if (MH->isLargeAlloc())
-    return false; // Span release needs the lock.
+    return false; // Span release needs the large shard + arena locks.
   uint32_t Off = 0;
   if (!MH->offsetOfAligned(Ptr, Arena.arenaBase(), &Off)) {
     logWarning("ignoring free of interior pointer %p", Ptr);
@@ -262,10 +358,11 @@ bool GlobalHeap::tryFreeUnlocked(void *Ptr, bool *BecameEmpty) {
     return true;
   }
   FreedSinceLastMesh.store(true, std::memory_order_relaxed);
-  // First pending free queues MH for the next lock-held drain.
+  // First pending free queues MH for the owning shard's next drain.
   if (MH->notePendingFree() == 0)
-    pushPending(MH);
+    pushPending(Shards[MH->sizeClass()], MH);
   *BecameEmpty = MH->isEmpty();
+  *ShardIdx = MH->sizeClass();
   return true;
 }
 
@@ -276,36 +373,81 @@ void GlobalHeap::free(void *Ptr) {
     logWarning("ignoring free of non-heap pointer %p", Ptr);
     return;
   }
-  bool BecameEmpty = false;
-  if (tryFreeUnlocked(Ptr, &BecameEmpty)) {
-    // The free itself is complete: one epoch-protected lookup and one
-    // atomic bitmap update, the paper's cost model. Re-binning is
-    // deferred to the next allocation refill or mesh pass, both of
-    // which drain the pending stash under the lock. Only the
-    // empty-span transition warrants maintenance now — its pages
-    // should go back to the arena promptly — and even then a
-    // contended lock means someone else is already in there and will
-    // drain on our behalf.
-    if (BecameEmpty && Lock.try_lock()) {
-      std::lock_guard<SpinLock> Guard(Lock, std::adopt_lock);
-      drainPendingLocked();
-      maybeMeshLocked();
+  for (;;) {
+    bool BecameEmpty = false;
+    int ShardIdx = -1;
+    if (tryFreeUnlocked(Ptr, &BecameEmpty, &ShardIdx)) {
+      // The free itself is complete: one epoch-protected lookup and one
+      // atomic bitmap update, the paper's cost model. Re-binning is
+      // deferred to the next refill or mesh pass of the owning class,
+      // both of which drain that shard's pending stash under its lock.
+      // Only the empty-span transition warrants maintenance now — its
+      // pages should go back to the arena promptly. The lock is taken
+      // blocking: a concurrent holder (refill, another drain) may have
+      // exchanged the stash before our push landed, and with per-class
+      // shards there is no steady stream of other-class lock holders
+      // to pick the span up, so "someone else will drain" no longer
+      // holds. Empty transitions are rare relative to frees and shard
+      // critical sections are short, so the wait is cheap.
+      if (BecameEmpty) {
+        lockShard(ShardIdx);
+        drainPendingLocked(Shards[ShardIdx]);
+        unlockShard(ShardIdx);
+        maybeMesh();
+      }
+      return;
     }
-    return;
+    // Large object, or a mesh pass is consolidating spans: serialize on
+    // the owning shard. The owner may change shards between the epoch
+    // peek and the lock (span destroyed, page recycled to another
+    // class) — in that case restart the dispatch from scratch.
+    if (freeDiverted(Ptr))
+      return;
   }
-  // Large object, or a mesh pass is consolidating spans: serialize.
-  std::lock_guard<SpinLock> Guard(Lock);
-  MiniHeap *MH = Arena.ownerOf(Ptr);
-  if (MH == nullptr) {
-    logWarning("ignoring free of unallocated pointer %p", Ptr);
-    return;
-  }
-  freeLocked(MH, Ptr);
-  reapRetiredLocked();
-  maybeMeshLocked();
 }
 
-void GlobalHeap::freeLocked(MiniHeap *MH, void *Ptr) {
+bool GlobalHeap::freeDiverted(void *Ptr) {
+  // Peek the owning shard under the epoch (the tag read needs the
+  // metadata alive, nothing more).
+  int ShardIdx;
+  {
+    Epoch::Section Section(MiniHeapEpoch);
+    MiniHeap *MH = Arena.ownerOf(Ptr);
+    if (MH == nullptr) {
+      logWarning("ignoring free of unallocated pointer %p", Ptr);
+      return true;
+    }
+    ShardIdx = shardIndexFor(MH);
+  }
+  lockShard(ShardIdx);
+  MiniHeap *MH;
+  {
+    // Re-validate under the shard lock: a shard's page-table entries
+    // are only cleared or retargeted under that shard's lock, so an
+    // owner that still resolves into this shard is now pinned — its
+    // metadata cannot be deleted while we hold the lock. The epoch
+    // section covers the one dereference (shardIndexFor) that happens
+    // before the pin is established.
+    Epoch::Section Section(MiniHeapEpoch);
+    MH = Arena.ownerOf(Ptr);
+    if (MH == nullptr) {
+      unlockShard(ShardIdx);
+      logWarning("ignoring free of unallocated pointer %p", Ptr);
+      return true;
+    }
+    if (shardIndexFor(MH) != ShardIdx) {
+      unlockShard(ShardIdx);
+      return false; // Owner moved shards underfoot; retry dispatch.
+    }
+  }
+  freeLocked(Shards[ShardIdx], MH, Ptr);
+  reapRetiredLocked(Shards[ShardIdx]);
+  unlockShard(ShardIdx);
+  maybeMesh();
+  return true;
+}
+
+void GlobalHeap::freeLocked(Shard &S, MiniHeap *MH, void *Ptr) {
   if (!MH->isAligned(Ptr, Arena.arenaBase())) {
     logWarning("ignoring free of interior pointer %p", Ptr);
     return;
@@ -317,11 +459,11 @@ void GlobalHeap::freeLocked(MiniHeap *MH, void *Ptr) {
   }
   FreedSinceLastMesh.store(true, std::memory_order_relaxed);
   if (MH->isLargeAlloc()) {
-    destroyMiniHeapLocked(MH);
+    destroyMiniHeapLocked(S, MH);
     return;
   }
   if (!MH->isAttached())
-    rebinOrDestroyLocked(MH);
+    rebinOrDestroyLocked(S, MH);
   // Attached MiniHeaps stay with their owner thread; the cleared bit is
   // picked up at the next attach (Section 4.4.4).
 }
@@ -339,21 +481,18 @@ size_t GlobalHeap::meshNow() {
   // meshing)" heap must never compact (Section 6.3).
   if (!Opts.MeshingEnabled)
     return 0;
-  std::lock_guard<SpinLock> Guard(Lock);
-  return performMeshingLocked();
+  std::lock_guard<SpinLock> Guard(MeshLock);
+  return performMeshing();
 }
 
 void GlobalHeap::maybeMesh() {
   if (!Opts.MeshingEnabled)
     return;
-  std::lock_guard<SpinLock> Guard(Lock);
-  drainPendingLocked();
-  maybeMeshLocked();
-}
-
-void GlobalHeap::maybeMeshLocked() {
-  if (!Opts.MeshingEnabled || InMeshPass)
+  // try_lock: if a pass is running (or another thread is deciding),
+  // our trigger is redundant.
+  if (!MeshLock.try_lock())
     return;
+  std::lock_guard<SpinLock> Guard(MeshLock, std::adopt_lock);
   const uint64_t Now = monotonicMs();
   if (Now - LastMeshMs < Opts.MeshPeriodMs)
     return;
@@ -362,79 +501,118 @@ void GlobalHeap::maybeMeshLocked() {
   if (LastMeshReleased < Opts.MeshEffectiveBytes &&
       !FreedSinceLastMesh.load(std::memory_order_relaxed))
     return;
-  performMeshingLocked();
+  performMeshing();
 }
 
 size_t GlobalHeap::flushDirtyPages() {
-  std::lock_guard<SpinLock> Guard(Lock);
   // Destroy queued-up empty spans first so their pages flush too.
-  drainPendingLocked();
+  drainAllShards();
+  std::lock_guard<SpinLock> Guard(ArenaLock);
   return pagesToBytes(Arena.flushDirty());
 }
 
 size_t GlobalHeap::binnedCount(int SizeClass) {
-  std::lock_guard<SpinLock> Guard(Lock);
-  drainPendingLocked();
+  Shard &S = Shards[SizeClass];
+  lockShard(SizeClass);
+  drainPendingLocked(S);
   size_t Count = 0;
   for (int Bin = 0; Bin < kOccupancyBins; ++Bin)
-    Count += Bins[SizeClass][Bin].size();
+    Count += S.Bins[Bin].size();
+  unlockShard(SizeClass);
   return Count;
 }
 
-size_t GlobalHeap::performMeshingLocked() {
-  InMeshPass = true;
+size_t GlobalHeap::performMeshing() {
   // Quiesce the lock-free free path: raise the flag, then wait out
   // every free already past the flag check. From here until the flag
-  // drops, remote frees serialize on the lock (they queue behind this
-  // pass), so bitmaps only change under our feet through attached
-  // shuffle vectors — which never cover meshing candidates.
+  // drops, remote frees serialize on their owning shard's lock (per
+  // class they queue behind this pass's visit of that shard), so
+  // bitmaps only change under our feet through attached shuffle
+  // vectors — which never cover meshing candidates — or shard-locked
+  // frees of classes the pass is not currently holding.
   MeshInProgress.store(true, std::memory_order_seq_cst);
-  MiniHeapEpoch.synchronize();
-  drainPendingLocked();
+  epochSynchronize();
   const uint64_t Start = monotonicNs();
   size_t PagesReleased = 0;
   uint32_t MeshedThisPass = 0;
 
   InternalVector<MiniHeap *> Candidates;
   InternalVector<MeshPair> Pairs;
-  for (int Class = 0; Class < kNumSizeClasses; ++Class) {
-    if (!sizeClassInfo(Class).Meshable)
-      continue;
-    Candidates.clear();
-    // Only spans at <= 50% occupancy can possibly mesh: two spans each
-    // more than half full must collide on some offset (pigeonhole), so
-    // probing them is pure waste.
-    for (int Bin = 0; Bin < kOccupancyBins; ++Bin)
-      for (MiniHeap *MH : Bins[Class][Bin])
-        if (2 * MH->inUseCount() <= MH->objectCount() &&
-            MH->isMeshingCandidate())
-          Candidates.push_back(MH);
-    if (Candidates.size() < 2)
-      continue;
-    Pairs.clear();
-    uint64_t Probes = 0;
-    splitMesher(Candidates, Opts.MeshProbes, Random, Pairs, &Probes);
-    Stats.MeshProbeCount.fetch_add(Probes, std::memory_order_relaxed);
-    for (auto &[A, B] : Pairs) {
-      if (Opts.MaxMeshesPerPass != 0 &&
-          MeshedThisPass >= Opts.MaxMeshesPerPass)
-        break; // Pause bound: the next pass re-finds leftover pairs.
-      // Keep the fuller span so fewer objects move.
-      MiniHeap *Dst = A->inUseCount() >= B->inUseCount() ? A : B;
-      MiniHeap *Src = Dst == A ? B : A;
-      PagesReleased += meshPairLocked(Dst, Src);
-      ++MeshedThisPass;
+  // The rendezvous: shards are visited strictly in ascending index
+  // order, each drained — and, for meshable classes, meshed — under
+  // its own lock. A pass is an explicit reclamation point, so even
+  // non-meshable classes and the large shard get their pending frees
+  // folded in (destroying emptied spans), exactly as the pre-shard
+  // pass-start drain did. Classes never mesh with each other, so no
+  // two shard locks are ever held at once.
+  // Retirees from every shard visit, reaped with ONE epoch advance at
+  // pass end (outside any shard lock) instead of one per shard. Safe
+  // because nothing can push to a stash mid-pass: tryFreeUnlocked
+  // diverts on MeshInProgress, and every push that raced the flag was
+  // waited out by the pass-start quiesce above — so a retiree's
+  // pendingFrees count is final once its shard's visit completes.
+  InternalVector<MiniHeap *> PassRetired;
+  for (int ShardIdx = 0; ShardIdx < kNumShards; ++ShardIdx) {
+    Shard &S = Shards[ShardIdx];
+    lockShard(ShardIdx);
+    drainStashLocked(S);
+    const bool MeshThisShard =
+        ShardIdx < kNumSizeClasses && sizeClassInfo(ShardIdx).Meshable &&
+        (Opts.MaxMeshesPerPass == 0 ||
+         MeshedThisPass < Opts.MaxMeshesPerPass);
+    if (MeshThisShard) {
+      Candidates.clear();
+      // Only spans at <= 50% occupancy can possibly mesh: two spans
+      // each more than half full must collide on some offset
+      // (pigeonhole), so probing them is pure waste.
+      for (int Bin = 0; Bin < kOccupancyBins; ++Bin)
+        for (MiniHeap *MH : S.Bins[Bin])
+          if (2 * MH->inUseCount() <= MH->objectCount() &&
+              MH->isMeshingCandidate())
+            Candidates.push_back(MH);
+      if (Candidates.size() >= 2) {
+        Pairs.clear();
+        uint64_t Probes = 0;
+        splitMesher(Candidates, Opts.MeshProbes, MeshRandom, Pairs,
+                    &Probes);
+        Stats.MeshProbeCount.fetch_add(Probes, std::memory_order_relaxed);
+        for (auto &[A, B] : Pairs) {
+          if (Opts.MaxMeshesPerPass != 0 &&
+              MeshedThisPass >= Opts.MaxMeshesPerPass)
+            break; // Pause bound: the next pass re-finds leftover pairs.
+          // Keep the fuller span so fewer objects move.
+          MiniHeap *Dst = A->inUseCount() >= B->inUseCount() ? A : B;
+          MiniHeap *Src = Dst == A ? B : A;
+          PagesReleased += meshPairLocked(S, Dst, Src);
+          ++MeshedThisPass;
+        }
+      }
     }
-    if (Opts.MaxMeshesPerPass != 0 &&
-        MeshedThisPass >= Opts.MaxMeshesPerPass)
-      break;
+    // Take this shard's retirees (from the drain and from meshing)
+    // into the pass batch. Moving them out keeps a mid-pass refill or
+    // diverted free of this class — whose own reap runs under the
+    // shard lock — from double-handling them.
+    for (MiniHeap *MH : S.RetiredList)
+      PassRetired.push_back(MH);
+    S.RetiredList.clear();
+    unlockShard(ShardIdx);
+  }
+
+  if (!PassRetired.empty()) {
+    // The batched reap: one reader-drain covers every span this pass
+    // destroyed or meshed away, and no shard lock is held while
+    // stragglers are waited out.
+    epochSynchronize();
+    deleteRetired(PassRetired);
   }
 
   // Section 4.4.1: pages return to the OS after the dirty budget fills
   // *or whenever meshing is invoked* — a pass is already paying for
   // page-table work, so piggyback the dirty-page flush.
-  Arena.flushDirty();
-  reapRetiredLocked();
+  {
+    std::lock_guard<SpinLock> Guard(ArenaLock);
+    Arena.flushDirty();
+  }
 
   const uint64_t Elapsed = monotonicNs() - Start;
   Stats.recordPass(Elapsed);
@@ -442,7 +620,6 @@ size_t GlobalHeap::performMeshingLocked() {
   LastMeshReleased = pagesToBytes(PagesReleased);
   FreedSinceLastMesh.store(false, std::memory_order_relaxed);
   MeshInProgress.store(false, std::memory_order_seq_cst);
-  InMeshPass = false;
   return pagesToBytes(PagesReleased);
 }
 
@@ -466,7 +643,7 @@ GlobalHeap::meshCopyBarrierProtected(MiniHeap *Dst, MiniHeap *Src,
   return Copied;
 }
 
-size_t GlobalHeap::meshPairLocked(MiniHeap *Dst, MiniHeap *Src) {
+size_t GlobalHeap::meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src) {
   assert(canMeshPair(Dst, Src) && "meshing an unmeshable pair");
   char *Base = Arena.arenaBase();
   const uint32_t Pages = Src->spanPages();
@@ -488,32 +665,36 @@ size_t GlobalHeap::meshPairLocked(MiniHeap *Dst, MiniHeap *Src) {
   const size_t Copied = meshCopyBarrierProtected(Dst, Src, Base);
   Dst->bitmap().mergeFrom(Src->bitmap());
 
-  // 3. Retarget page-table entries so frees of source-span pointers
-  //    find the keeper.
-  for (uint32_t Off : Src->spans())
-    Arena.setOwner(Off, Pages, Dst);
+  {
+    std::lock_guard<SpinLock> Guard(ArenaLock);
+    // 3. Retarget page-table entries so frees of source-span pointers
+    //    find the keeper.
+    for (uint32_t Off : Src->spans())
+      Arena.setOwner(Off, Pages, Dst);
 
-  // 4. Remap every source virtual span onto the keeper's physical span
-  //    (atomic per-span; concurrent readers are never interrupted),
-  //    then release the source's physical pages to the OS.
-  const uint32_t SrcPhys = Src->physicalSpanOffset();
-  for (uint32_t Off : Src->spans())
-    Arena.vm().alias(Off, Dst->physicalSpanOffset(), Pages);
-  Arena.vm().release(SrcPhys, Pages);
+    // 4. Remap every source virtual span onto the keeper's physical
+    //    span (atomic per-span; concurrent readers are never
+    //    interrupted), then release the source's physical pages to the
+    //    OS.
+    const uint32_t SrcPhys = Src->physicalSpanOffset();
+    for (uint32_t Off : Src->spans())
+      Arena.vm().alias(Off, Dst->physicalSpanOffset(), Pages);
+    Arena.vm().release(SrcPhys, Pages);
+  }
 
   // 5. Bookkeeping: the keeper absorbs the source's virtual spans and
   //    moves to its new occupancy bin; the source MiniHeap dies. A
   //    page-table reader may still hold the stale resolution to Src
   //    (local fast-path lookups don't divert on MeshInProgress), so
-  //    its metadata is retired, not deleted — the pass-end reap
+  //    its metadata is retired, not deleted — the per-class reap
   //    advances the epoch once and waits those readers out.
-  removeFromBinLocked(Src);
-  removeFromBinLocked(Dst);
+  removeFromBinLocked(S, Src);
+  removeFromBinLocked(S, Dst);
   Dst->takeSpansFrom(*Src);
   const uint32_t InUse = Dst->inUseCount();
   if (InUse > 0 && InUse < Dst->objectCount())
-    insertIntoBinLocked(Dst, InUse);
-  RetiredList.push_back(Src);
+    insertIntoBinLocked(S, Dst, InUse);
+  S.RetiredList.push_back(Src);
 
   if (Opts.BarrierEnabled)
     Barrier.endEpoch();

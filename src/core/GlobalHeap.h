@@ -6,15 +6,30 @@
 /// allocations via singleton MiniHeaps, performs non-local frees, and
 /// coordinates meshing.
 ///
-/// Locking discipline: one spin lock guards structural state (bins,
-/// span bins, page-table writes). Non-local frees follow the paper's
-/// design: an epoch-protected page-table read plus one atomic bitmap
-/// update, no lock. Re-binning and empty-span destruction are deferred
-/// to a lock-held drain of a pending-free stash; MiniHeap destruction
-/// advances the epoch and waits out in-flight readers, which closes the
-/// lookup/mesh/destroy race the previous locked design worked around.
-/// DESIGN.md ("the global-free locking trade-off, retired") has the
-/// full protocol.
+/// Locking discipline: structural state is sharded by size class. Each
+/// shard owns its occupancy bins, its slice of the pending-free stash,
+/// its retired-metadata list, and its own spin lock, so refills, re-bins
+/// and drains for different classes never contend. A 25th shard serves
+/// large (singleton) allocations. Three further locks exist:
+///
+///   - MeshLock     serializes mesh passes and the rate-limiter state.
+///   - ArenaLock    guards arena-level span operations (span bins, the
+///                  bump frontier, page-table writes, dirty budget).
+///   - EpochSyncLock serializes Epoch::synchronize callers (leaf).
+///
+/// Lock order: MeshLock -> shard locks in ascending index -> ArenaLock;
+/// EpochSyncLock is a leaf acquired under either a shard lock (retired
+/// reaps) or MeshLock (the pass-start quiesce), never both. Debug
+/// builds enforce the shard order with a per-thread held-shard mask.
+///
+/// Non-local frees follow the paper's design: an epoch-protected
+/// page-table read plus one atomic bitmap update, no lock. Re-binning
+/// and empty-span destruction are deferred to a lock-held drain of the
+/// owning shard's pending stash; MiniHeap destruction advances the
+/// epoch and waits out in-flight readers. A mesh pass quiesces the
+/// lock-free path (MeshInProgress + one epoch synchronize), then visits
+/// shards strictly in ascending order, meshing each class under its own
+/// lock. DESIGN.md ("sharding the allocation path") has the protocol.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,7 +66,9 @@ public:
   /// Selects (or creates) a MiniHeap for \p SizeClass and marks it
   /// attached. Partially full spans are reused first: the fullest
   /// non-empty occupancy bin is scanned and a random member chosen
-  /// (Section 3.1).
+  /// (Section 3.1). Touches only \p SizeClass's shard (plus the arena
+  /// lock when a fresh span must be carved), so refills for different
+  /// classes proceed in parallel.
   MiniHeap *allocMiniHeapForClass(int SizeClass);
 
   /// Returns a MiniHeap previously attached by a thread-local heap
@@ -71,11 +88,13 @@ public:
 
   /// Non-local free (Section 4.4.4): epoch-protected constant-time
   /// owner lookup plus one atomic bitmap update — no lock in the common
-  /// case. Re-binning and empty-span destruction are queued on the
-  /// pending stash and drained opportunistically (try-lock here, or by
-  /// the next allocation/mesh pass). Large-object frees and frees that
-  /// race a mesh pass fall back to the locked path. Invalid and double
-  /// frees are detected and discarded with a warning.
+  /// case. Re-binning is queued on the owning shard's pending stash
+  /// and drained by the next refill or mesh pass of that class; the
+  /// empty-span transition drains immediately under the shard lock so
+  /// reclaimed pages never wait on an idle class.
+  /// Large-object frees and frees that race a mesh pass fall back to a
+  /// shard-locked path. Invalid and double frees are detected and
+  /// discarded with a warning.
   void free(void *Ptr);
 
   /// Usable size of \p Ptr (its size-class size, or the whole span for
@@ -83,8 +102,9 @@ public:
   size_t usableSize(const void *Ptr) const;
 
   /// Owning MiniHeap, or nullptr (lock-free page-table read). Callers
-  /// that dereference the result without holding the lock must be
-  /// inside a miniheapEpoch() section, which holds off destruction.
+  /// that dereference the result without holding the owning shard's
+  /// lock must be inside a miniheapEpoch() section, which holds off
+  /// destruction.
   MiniHeap *miniheapFor(const void *Ptr) const { return Arena.ownerOf(Ptr); }
 
   /// The epoch guarding MiniHeap metadata lifetime (see free()).
@@ -94,8 +114,9 @@ public:
   /// \returns bytes of physical memory released.
   size_t meshNow();
 
-  /// Rate-limited meshing trigger (Section 4.5), called on global
-  /// frees.
+  /// Rate-limited meshing trigger (Section 4.5), called after refills
+  /// and empty-span transitions. Must not be called while holding any
+  /// shard lock (a pass acquires every shard in order).
   void maybeMesh();
 
   /// Flushes dirty spans back to the OS (also happens automatically
@@ -119,11 +140,25 @@ public:
 
   /// Test hook: number of detached, partially-full MiniHeaps currently
   /// binned for \p SizeClass. Non-const on purpose: it drains the
-  /// pending-free stash first (re-binning, possibly destroying empty
+  /// shard's pending stash first (re-binning, possibly destroying empty
   /// spans) so the count reflects every completed remote free.
   size_t binnedCount(int SizeClass);
 
   static constexpr int kOccupancyBins = 4;
+
+  /// Shard count: one per size class plus the large-object shard.
+  static constexpr int kNumShards = kNumSizeClasses + 1;
+  static_assert(kNumShards <= 32,
+                "the debug held-shard mask is a uint32_t; widen it (and "
+                "re-audit the lock-order diagnostics) before adding shards");
+  /// Index of the shard serializing large-object (singleton) frees.
+  static constexpr int kLargeShard = kNumSizeClasses;
+
+  /// Test hooks pinning the shard lock-ordering discipline: Debug
+  /// builds abort on out-of-order acquisition (death tests only; never
+  /// use in production paths).
+  void lockShardForTest(int ShardIdx) { lockShard(ShardIdx); }
+  void unlockShardForTest(int ShardIdx) { unlockShard(ShardIdx); }
 
   /// Maps an occupancy fraction to its bin. Quartiles are left-closed:
   /// bin 0 holds (0%, 25%), bin 1 [25%, 50%), bin 2 [50%, 75%), bin 3
@@ -136,56 +171,114 @@ public:
   }
 
 private:
-  void insertIntoBinLocked(MiniHeap *MH, uint32_t InUse);
-  void removeFromBinLocked(MiniHeap *MH);
-  void rebinOrDestroyLocked(MiniHeap *MH);
-  void destroyMiniHeapLocked(MiniHeap *MH);
-  void freeLocked(MiniHeap *MH, void *Ptr);
+  /// One size class's slice of the global heap's structural state. All
+  /// fields except PendingStash are guarded by this shard's Lock;
+  /// PendingStash is a lock-free MPSC stack pushed by remote frees and
+  /// exchanged out by lock-held drains. Cache-line aligned so two
+  /// shards' locks never false-share.
+  struct alignas(64) Shard {
+    mutable SpinLock Lock;
+    /// Detached, partially-full MiniHeaps keyed by occupancy quartile
+    /// (empty and unused for the large-object shard).
+    InternalVector<MiniHeap *> Bins[kOccupancyBins];
+    /// Intrusive MPSC stack of MiniHeaps with un-drained remote frees.
+    std::atomic<MiniHeap *> PendingStash{nullptr};
+    /// Destroyed MiniHeaps whose metadata awaits the batched epoch
+    /// advance before deletion.
+    InternalVector<MiniHeap *> RetiredList;
+    /// Bin selection randomness (Section 3.1), guarded by Lock.
+    Rng Random{0};
+  };
+
+  /// Shard owning \p MH's structural state.
+  int shardIndexFor(const MiniHeap *MH) const {
+    return MH->isLargeAlloc() ? kLargeShard : MH->sizeClass();
+  }
+
+  void lockShard(int ShardIdx);
+  void unlockShard(int ShardIdx);
+
+  void insertIntoBinLocked(Shard &S, MiniHeap *MH, uint32_t InUse);
+  void removeFromBinLocked(Shard &S, MiniHeap *MH);
+  void rebinOrDestroyLocked(Shard &S, MiniHeap *MH);
+  void destroyMiniHeapLocked(Shard &S, MiniHeap *MH);
+  void freeLocked(Shard &S, MiniHeap *MH, void *Ptr);
   /// The lock-free small-object free. Returns true when \p Ptr was
   /// fully handled (freed, or diagnosed and discarded); false when the
-  /// caller must retry under the lock (large object, or a mesh pass is
-  /// running). \p BecameEmpty reports that this free cleared the
-  /// span's last live bit — the one case where maintenance (span
-  /// destruction) should not wait for the next allocation.
-  bool tryFreeUnlocked(void *Ptr, bool *BecameEmpty);
-  /// Pushes \p MH onto the pending stash (MPSC; lock-free callers).
-  void pushPending(MiniHeap *MH);
-  /// Pops the whole pending stash and re-bins / destroys / reaps each
-  /// entry according to its current state.
-  void drainPendingLocked();
-  /// Deletes retired MiniHeap metadata after one batched epoch
-  /// advance (see destroyMiniHeapLocked).
-  void reapRetiredLocked();
-  size_t performMeshingLocked();
-  size_t meshPairLocked(MiniHeap *Dst, MiniHeap *Src);
+  /// caller must retry under the owning shard's lock (large object, or
+  /// a mesh pass is running). \p BecameEmpty reports that this free
+  /// cleared the span's last live bit — the one case where maintenance
+  /// (span destruction) should not wait for the next refill — and
+  /// \p ShardIdx receives the owning shard for that drain.
+  bool tryFreeUnlocked(void *Ptr, bool *BecameEmpty, int *ShardIdx);
+  /// The shard-locked free fallback. Returns false when the owner
+  /// changed shards between the epoch peek and the lock (page recycled
+  /// to another class); the caller restarts dispatch.
+  bool freeDiverted(void *Ptr);
+  /// Pushes \p MH onto its shard's pending stash (MPSC; lock-free
+  /// callers inside an epoch section).
+  void pushPending(Shard &S, MiniHeap *MH);
+  /// Drains every shard's pending stash in turn (ascending, one lock
+  /// at a time): the full-reclamation sweep used by teardown and
+  /// dirty-page flushes.
+  void drainAllShards();
+  /// Pops the shard's whole pending stash and re-bins / destroys /
+  /// deletes each entry according to its current state. Leaves the
+  /// retired list alone — every caller must follow up with a reap
+  /// (drainPendingLocked bundles the two; the mesh pass batches the
+  /// reap across shards instead).
+  void drainStashLocked(Shard &S);
+  /// drainStashLocked plus the retired-metadata reap: the maintenance
+  /// unit every non-pass lock holder runs.
+  void drainPendingLocked(Shard &S);
+  /// Deletes (or, for entries a stale stash push still references,
+  /// marks dead) every MiniHeap in \p Retired and clears the list.
+  /// Callers must have run epochSynchronize() after the last entry was
+  /// retired — that makes each pending-free count final — and must
+  /// prevent concurrent stash drains of the affected shards until the
+  /// markDead hand-off lands (hold the shard lock, or quiesce pushes
+  /// like the mesh pass does).
+  void deleteRetired(InternalVector<MiniHeap *> &Retired);
+  /// Deletes the shard's retired MiniHeap metadata after one batched
+  /// epoch advance (see destroyMiniHeapLocked).
+  void reapRetiredLocked(Shard &S);
+  /// Epoch::synchronize with its callers serialized (EpochSyncLock).
+  void epochSynchronize();
+  size_t performMeshing();
+  size_t meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src);
   /// The write-barrier-serialized object copy of a mesh, isolated so
   /// the TSan suppression covers it and nothing else (see tsan.supp).
   static size_t meshCopyBarrierProtected(MiniHeap *Dst, MiniHeap *Src,
                                          char *Base);
-  void maybeMeshLocked();
 
   MeshOptions Opts;
   MeshableArena Arena;
   MeshStats Stats;
-  mutable SpinLock Lock;
   mutable Epoch MiniHeapEpoch;
-  Rng Random;
 
-  InternalVector<MiniHeap *> Bins[kNumSizeClasses][kOccupancyBins];
+  Shard Shards[kNumShards];
 
-  /// Intrusive MPSC stack of MiniHeaps with un-drained remote frees.
-  std::atomic<MiniHeap *> PendingStash{nullptr};
-  /// Destroyed MiniHeaps whose metadata awaits the batched epoch
-  /// advance before deletion (lock-held access only).
-  InternalVector<MiniHeap *> RetiredList;
+  /// Arena-level span operations: span bins, bump frontier, page-table
+  /// writes, dirty budget. Acquired after a shard lock (never before).
+  mutable SpinLock ArenaLock;
+  /// Serializes mesh passes; also guards the rate-limiter state below.
+  /// Acquired before any shard lock.
+  mutable SpinLock MeshLock;
+  /// Serializes Epoch::synchronize callers (leaf lock).
+  mutable SpinLock EpochSyncLock;
+
+  /// SplitMesher randomness, guarded by MeshLock.
+  Rng MeshRandom;
+
   /// True while a mesh pass is consolidating spans; lock-free frees
-  /// divert to the locked path so bitmap merges see a quiesced heap.
+  /// divert to the shard-locked path so bitmap merges see a quiesced
+  /// heap.
   std::atomic<bool> MeshInProgress{false};
 
+  /// Rate-limiter state, guarded by MeshLock.
   uint64_t LastMeshMs = 0;
   size_t LastMeshReleased = 0;
   std::atomic<bool> FreedSinceLastMesh{false};
-  bool InMeshPass = false;
 };
 
 } // namespace mesh

@@ -10,7 +10,11 @@
 ///
 /// Pair *finding* is pure (no heap mutation), so it is exposed here as
 /// a standalone function testable against the exact matching algorithms
-/// in src/analysis. Pair *execution* lives in GlobalHeap.
+/// in src/analysis. Pair *execution* lives in GlobalHeap: a mesh pass
+/// quiesces lock-free frees once, then visits the per-class shards in
+/// ascending index order, running SplitMesher and executing its pairs
+/// under one shard lock at a time (candidates never span classes, so
+/// no two shard locks are ever held together).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -119,10 +119,10 @@ public:
   }
 
   /// Lock-free remote-free bookkeeping (Section 4.4.4): a remote free
-  /// clears the bitmap bit without the global lock, then bumps this
-  /// counter. The first increment (0 -> 1) tells the caller to push
-  /// this MiniHeap onto the global pending stash; the lock-held drain
-  /// exchanges the counter back to zero and re-bins or destroys.
+  /// clears the bitmap bit without any lock, then bumps this counter.
+  /// The first increment (0 -> 1) tells the caller to push this
+  /// MiniHeap onto its size class's shard stash; the shard-lock-held
+  /// drain exchanges the counter back to zero and re-bins or destroys.
   uint32_t notePendingFree() {
     return PendingFrees.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -133,8 +133,9 @@ public:
     return PendingFrees.load(std::memory_order_acquire);
   }
 
-  /// Intrusive link for the global pending-free stash (an MPSC stack;
-  /// a MiniHeap is in at most one stash generation at a time).
+  /// Intrusive link for the owning shard's pending-free stash (an MPSC
+  /// stack; a MiniHeap lives in exactly one shard, so it is in at most
+  /// one stash generation at a time).
   MiniHeap *nextPending() const {
     return NextPending.load(std::memory_order_acquire);
   }
@@ -143,8 +144,8 @@ public:
   }
 
   /// A dead MiniHeap has released its spans and page-table entries but
-  /// still sits in the pending stash; the drain performs the final
-  /// delete when it pops it (see GlobalHeap::destroyMiniHeapLocked).
+  /// still sits in its shard's pending stash; the drain performs the
+  /// final delete when it pops it (see GlobalHeap::destroyMiniHeapLocked).
   bool isDead() const { return Dead.load(std::memory_order_acquire); }
   void markDead() { Dead.store(true, std::memory_order_release); }
 
@@ -230,7 +231,11 @@ public:
     return ArenaBase + pagesToBytes(VirtualSpans[0]) + Offset * ObjectSize;
   }
 
-  /// Occupancy-bin bookkeeping (owned by GlobalHeap).
+  /// Occupancy-bin bookkeeping, relative to the owning GlobalHeap
+  /// shard: BinIdx indexes that shard's four occupancy bins and BinSlot
+  /// the position inside the bin vector. Guarded by the shard's lock —
+  /// a MiniHeap never changes shards (its size class is immutable), so
+  /// the linkage never needs cross-shard coordination.
   int8_t binIndex() const { return BinIdx; }
   uint32_t binSlot() const { return BinSlot; }
   void setBin(int8_t Bin, uint32_t Slot) {

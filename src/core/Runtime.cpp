@@ -229,6 +229,8 @@ int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
   }
   if (strcmp(Name, "mesh.now") == 0)
     return ReadU64(Global.meshNow());
+  if (strcmp(Name, "heap.num_shards") == 0)
+    return ReadU64(GlobalHeap::kNumShards);
   if (strcmp(Name, "heap.flush_dirty") == 0)
     return ReadU64(Global.flushDirtyPages());
   if (strcmp(Name, "stats.dirty_bytes") == 0)

@@ -35,6 +35,10 @@ void *ThreadLocalHeap::malloc(size_t Bytes) {
     return Global->largeAlloc(Bytes);
 
   ShuffleVector &V = Vectors[SizeClass];
+  // Refill loop: detach the spent span and pull a fresh one. Both
+  // calls go through the owning size class's shard of the global heap,
+  // so two threads refilling different classes never contend on a
+  // lock — the single-global-lock refill bottleneck is gone.
   while (V.isExhausted()) {
     if (V.isAttached()) {
       AttachedMH[SizeClass] = nullptr;

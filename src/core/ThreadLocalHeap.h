@@ -4,7 +4,10 @@
 /// Thread-local heaps (paper Section 4.3): one shuffle vector per size
 /// class plus a thread-local RNG. malloc and free requests start here
 /// and complete without locks in the common case; large allocations and
-/// non-local frees forward to the global heap.
+/// non-local frees forward to the global heap. Shuffle-vector refills
+/// take only the owning size class's global-heap shard lock, so
+/// refills of different classes (and of the same class on behalf of
+/// different threads, when spans are binned) scale independently.
 ///
 /// free() dispatches in O(1): a last-freed-vector cache catches repeat
 /// frees with zero atomics, and everything else takes one lock-free

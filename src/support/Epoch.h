@@ -24,9 +24,12 @@
 /// bounce one cache line (the enter/exit pair must stay cheap: it sits
 /// on every free that consults the page table).
 ///
-/// synchronize() callers must be serialized externally (Mesh runs it
-/// under the global heap lock). Readers must not block on anything a
-/// synchronize() caller holds while inside the critical section.
+/// synchronize() callers must be serialized externally (Mesh routes
+/// every call through GlobalHeap::epochSynchronize, which takes a
+/// dedicated leaf lock — two concurrent era flips would land readers
+/// back in a slot a writer is draining). Readers must not block on
+/// anything a synchronize() caller holds while inside the critical
+/// section.
 ///
 //===----------------------------------------------------------------------===//
 

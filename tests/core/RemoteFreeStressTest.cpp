@@ -8,9 +8,16 @@
 /// pass consolidates or destroys it — and must survive ASan and TSan
 /// with no lost frees, no metadata use-after-free, and no data races.
 ///
+/// Two size regimes share one scaffolding: a small-band mix (the PR 2
+/// lock-free hot-path pin) and a striped multi-class mix where every
+/// producer works a disjoint stripe of the 24 size classes, so
+/// concurrent remote frees land on *different* per-class shards of the
+/// global heap (the shard/pending-stash split pin).
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Runtime.h"
+#include "core/SizeClass.h"
 
 #include "TestConfig.h"
 #include "support/Rng.h"
@@ -54,29 +61,35 @@ private:
   alignas(64) std::atomic<size_t> TailIdx{0};
 };
 
-TEST(RemoteFreeStressTest, RingHandoffWhileMeshing) {
+/// Shared scaffolding for the ring-handoff stress tests: producers
+/// allocate, stamp, detach spans periodically (so meshing has detached
+/// candidates), and hand every pointer across threads; consumers
+/// validate the producer-indexed stamp and free remotely; a mesher
+/// thread runs continuous passes against both. \p SizeFor picks each
+/// allocation's size from (driver RNG, producer index). Asserts that
+/// every object is freed exactly once and that the heap drains back to
+/// (nearly) nothing committed.
+template <typename SizeFn>
+void runRingHandoffStress(size_t ItemsPerProducer, SizeFn SizeFor) {
   MeshOptions Opts = testOptions();
   Opts.MeshPeriodMs = 0; // Mesh whenever asked, and on free triggers.
   Runtime R(Opts);
 
   constexpr int kProducers = 4;
-  constexpr int kItemsPerProducer = 40000;
 
   Ring Rings[kProducers];
   std::atomic<int> ProducersDone{0};
   std::atomic<uint64_t> Freed{0};
 
-  // Producers: allocate, stamp, detach spans periodically (so meshing
-  // has detached candidates), and hand every pointer across threads.
   std::vector<std::thread> Producers;
   for (int T = 0; T < kProducers; ++T)
     Producers.emplace_back([&, T] {
       Rng Driver(7000 + T);
-      for (int I = 0; I < kItemsPerProducer; ++I) {
-        const size_t Size = 16 << Driver.inRange(0, 4);
+      for (size_t I = 0; I < ItemsPerProducer; ++I) {
+        const size_t Size = SizeFor(Driver, T);
         auto *P = static_cast<unsigned char *>(R.malloc(Size));
         ASSERT_NE(P, nullptr);
-        P[0] = 0xC5;
+        P[0] = static_cast<unsigned char>(0xA0 + T);
         P[Size - 1] = 0x5C;
         while (!Rings[T].tryPush(P))
           std::this_thread::yield();
@@ -87,26 +100,34 @@ TEST(RemoteFreeStressTest, RingHandoffWhileMeshing) {
       ProducersDone.fetch_add(1);
     });
 
-  // Consumers: validate the stamp and free remotely.
   std::vector<std::thread> Consumers;
   for (int T = 0; T < 2; ++T)
     Consumers.emplace_back([&, T] {
+      // Exit protocol: a producer's final push can land between our
+      // scan of its ring and the done check, and each ring has only
+      // one consumer — so after first observing every producer done,
+      // run one more full sweep and only stop once it comes up empty.
+      bool DoneSeen = false;
       for (;;) {
         bool Idle = true;
         for (int Src = T; Src < kProducers; Src += 2) {
           while (void *P = Rings[Src].tryPop()) {
             Idle = false;
-            ASSERT_EQ(static_cast<unsigned char *>(P)[0], 0xC5)
+            ASSERT_EQ(static_cast<unsigned char *>(P)[0],
+                      static_cast<unsigned char>(0xA0 + Src))
                 << "object corrupted in cross-thread handoff";
             R.free(P);
             Freed.fetch_add(1);
           }
         }
-        if (Idle) {
-          if (ProducersDone.load() == kProducers)
-            break;
+        if (!Idle)
+          continue;
+        if (DoneSeen)
+          break;
+        if (ProducersDone.load() == kProducers)
+          DoneSeen = true;
+        else
           std::this_thread::yield();
-        }
       }
     });
 
@@ -125,17 +146,39 @@ TEST(RemoteFreeStressTest, RingHandoffWhileMeshing) {
   Mesher.join();
 
   EXPECT_EQ(Freed.load(),
-            static_cast<uint64_t>(kProducers) * kItemsPerProducer);
+            static_cast<uint64_t>(kProducers) * ItemsPerProducer);
 
   // Every object went through the remote path and every span was
-  // detached: after a final drain (any allocation drains) and flush,
-  // the heap should be back to (nearly) nothing committed.
+  // detached: after a final drain (any allocation drains its shard;
+  // empty transitions drained inline) and a pass, the heap should be
+  // back to (nearly) nothing committed.
   R.free(R.malloc(16));
   R.localHeap().releaseAll();
   R.meshNow();
   const size_t Committed = R.committedBytes();
   EXPECT_LT(Committed, size_t{4} * 1024 * 1024)
       << "remote frees leaked spans";
+}
+
+TEST(RemoteFreeStressTest, RingHandoffWhileMeshing) {
+  // Small-band sizes (16B-256B): dense spans, maximal meshing churn.
+  runRingHandoffStress(stressScaled(40000), [](Rng &Driver, int) {
+    return size_t{16} << Driver.inRange(0, 4);
+  });
+}
+
+TEST(RemoteFreeStressTest, MultiClassShardedRemoteFrees) {
+  // Producer T draws only size classes congruent to T mod 4: the
+  // stripes are disjoint, so concurrent remote frees always target
+  // different shards' stashes and bins, while the mesher walks every
+  // shard in order. Guards the shard/pending-stash split: a free
+  // pushed onto the wrong shard's stash, or a drain re-binning into
+  // another class's bins, corrupts the heap or trips the stamp check.
+  runRingHandoffStress(stressScaled(30000), [](Rng &Driver, int T) {
+    const int Class = T + 4 * static_cast<int>(
+                              Driver.inRange(0, kNumSizeClasses / 4 - 1));
+    return size_t{objectSizeForClass(Class)};
+  });
 }
 
 TEST(RemoteFreeStressTest, ConcurrentRemoteFreesSameSpan) {

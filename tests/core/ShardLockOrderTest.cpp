@@ -1,0 +1,95 @@
+//===- ShardLockOrderTest.cpp - Shard lock discipline death tests ----------===//
+///
+/// The sharded global heap's deadlock-freedom argument rests on one
+/// rule: shard locks are only ever acquired in ascending index order
+/// (the mesh-pass rendezvous walks shards 0..N and must never meet a
+/// thread holding a higher shard while wanting a lower one). Debug
+/// builds enforce the rule with a per-thread held-shard mask; these
+/// death tests pin the diagnostic so a refactor that silently drops the
+/// check — or a code path that violates the order — fails CI in the
+/// sanitizer (Debug) jobs rather than deadlocking in production.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include "TestConfig.h"
+
+#include <gtest/gtest.h>
+
+namespace mesh {
+namespace {
+
+TEST(ShardLockOrderTest, AscendingAcquisitionIsAllowed) {
+  Runtime R(testOptions());
+  GlobalHeap &G = R.global();
+  // Ascending, including the large-object shard last: the discipline
+  // the mesh pass follows. Must not trip any diagnostic.
+  G.lockShardForTest(0);
+  G.lockShardForTest(5);
+  G.lockShardForTest(GlobalHeap::kLargeShard);
+  G.unlockShardForTest(GlobalHeap::kLargeShard);
+  G.unlockShardForTest(5);
+  G.unlockShardForTest(0);
+  // Re-acquiring a lower shard after fully releasing is fine too.
+  G.lockShardForTest(3);
+  G.unlockShardForTest(3);
+  G.lockShardForTest(1);
+  G.unlockShardForTest(1);
+}
+
+#ifndef NDEBUG
+
+TEST(ShardLockOrderDeathTest, DescendingAcquisitionAborts) {
+  Runtime R(testOptions());
+  GlobalHeap &G = R.global();
+  EXPECT_DEATH(
+      {
+        G.lockShardForTest(7);
+        G.lockShardForTest(2);
+      },
+      "ascending index order");
+}
+
+TEST(ShardLockOrderDeathTest, RecursiveAcquisitionAborts) {
+  Runtime R(testOptions());
+  GlobalHeap &G = R.global();
+  EXPECT_DEATH(
+      {
+        G.lockShardForTest(4);
+        G.lockShardForTest(4);
+      },
+      "ascending index order");
+}
+
+TEST(ShardLockOrderDeathTest, LargeShardBeforeClassShardAborts) {
+  Runtime R(testOptions());
+  GlobalHeap &G = R.global();
+  // The large-object shard has the highest rank; taking any class
+  // shard after it is the exact inversion a large-free path bug would
+  // produce.
+  EXPECT_DEATH(
+      {
+        G.lockShardForTest(GlobalHeap::kLargeShard);
+        G.lockShardForTest(0);
+      },
+      "ascending index order");
+}
+
+TEST(ShardLockOrderDeathTest, UnlockingUnheldShardAborts) {
+  Runtime R(testOptions());
+  GlobalHeap &G = R.global();
+  EXPECT_DEATH(G.unlockShardForTest(6), "does not hold");
+}
+
+#else
+
+TEST(ShardLockOrderDeathTest, DiagnosticsCompileAwayInRelease) {
+  GTEST_SKIP() << "lock-order diagnostics are assert-based and only "
+                  "live in Debug (e.g. the MESH_SANITIZE CI jobs)";
+}
+
+#endif // NDEBUG
+
+} // namespace
+} // namespace mesh

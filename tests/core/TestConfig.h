@@ -5,6 +5,8 @@
 
 #include "core/Options.h"
 
+#include <cstdlib>
+
 namespace mesh {
 
 /// Deterministic, test-sized options: small arena, no rate limiting
@@ -17,6 +19,17 @@ inline MeshOptions testOptions(uint64_t Seed = 42) {
   Opts.MeshPeriodMs = ~uint64_t{0}; // never auto-mesh
   Opts.MaxDirtyBytes = 0;           // free spans go straight to the OS
   return Opts;
+}
+
+/// Iteration scaling for the concurrency stress tests: the CI stress
+/// soak exports MESH_STRESS_MULTIPLIER (e.g. 2) to run the same tests
+/// with proportionally more work; local runs keep the base count.
+inline size_t stressScaled(size_t Base) {
+  const char *Env = std::getenv("MESH_STRESS_MULTIPLIER");
+  if (Env == nullptr)
+    return Base;
+  const long Mult = std::strtol(Env, nullptr, 10);
+  return Mult > 1 ? Base * static_cast<size_t>(Mult) : Base;
 }
 
 } // namespace mesh

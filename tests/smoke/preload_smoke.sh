@@ -1,0 +1,66 @@
+#!/bin/sh
+#===------------------------------------------------------------------------===#
+# LD_PRELOAD smoke harness: runs ordinary processes with libmesh.so
+# interposed as their allocator. This is a regression fence for the
+# shim + runtime bring-up path (early TLS setup, fork, exec, atexit),
+# not a correctness suite — the binaries just have to run and produce
+# their normal output.
+#
+# Usage: preload_smoke.sh <path-to-libmesh.so> <repo-source-dir>
+#
+# The python3 case is a *known* failure: the interpreter segfaults
+# during startup under the preload (see ROADMAP.md, "LD_PRELOAD=
+# libmesh.so python3 segfaults during interpreter startup"). It is
+# recorded here as an expected failure so the day it starts passing —
+# or the day ls/git/bash regress — shows up in CI immediately.
+#===------------------------------------------------------------------------===#
+set -u
+
+LIB="$1"
+SRCDIR="$2"
+FAILURES=0
+
+if [ ! -r "$LIB" ]; then
+  echo "FAIL: libmesh.so not found at $LIB"
+  exit 1
+fi
+
+run_case() {
+  NAME="$1"
+  shift
+  if LD_PRELOAD="$LIB" "$@" >/dev/null 2>&1; then
+    echo "PASS: $NAME"
+  else
+    echo "FAIL: $NAME (exit $? under LD_PRELOAD=$LIB)"
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+run_case "ls"         ls /
+run_case "bash -c"    bash -c 'echo preload-ok && true'
+if command -v git >/dev/null 2>&1 && [ -d "$SRCDIR/.git" ]; then
+  run_case "git status" git -C "$SRCDIR" status --porcelain
+else
+  echo "SKIP: git status (no git or no repo at $SRCDIR)"
+fi
+
+# Known failure: python3 startup (ROADMAP.md open item). Expected to
+# crash; treated as XFAIL. If it ever passes, say so loudly (and go
+# check the ROADMAP item off) without failing the fence.
+if command -v python3 >/dev/null 2>&1; then
+  if LD_PRELOAD="$LIB" python3 -c 'print("ok")' >/dev/null 2>&1; then
+    echo "XPASS: python3 unexpectedly runs under the preload —" \
+         "update the ROADMAP.md open item"
+  else
+    echo "XFAIL: python3 startup (known, tracked in ROADMAP.md)"
+  fi
+else
+  echo "SKIP: python3 (not installed)"
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES preload smoke case(s) regressed"
+  exit 1
+fi
+echo "preload smoke green (python3 remains expected-fail)"
+exit 0
