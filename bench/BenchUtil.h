@@ -4,6 +4,7 @@
 #define MESH_BENCH_BENCHUTIL_H
 
 #include "core/Options.h"
+#include "support/Env.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -85,7 +86,9 @@ inline size_t benchScaled(size_t N, size_t Divisor = 8) {
 }
 
 /// Mesh configured for benchmarking: the paper's default 100 ms mesh
-/// rate limit (Section 4.5).
+/// rate limit (Section 4.5). MESH_BACKGROUND=1 in the environment
+/// switches every bench's instance heap to the background meshing
+/// runtime (the CI preload/background job runs the suites both ways).
 inline MeshOptions benchMeshOptions(bool Meshing = true, bool Rand = true,
                                     uint64_t Seed = 20190622) {
   MeshOptions Opts;
@@ -98,6 +101,7 @@ inline MeshOptions benchMeshOptions(bool Meshing = true, bool Rand = true,
   // scale the cache proportionally to keep RSS comparisons meaningful.
   Opts.MaxDirtyBytes = 8 * 1024 * 1024;
   Opts.Seed = Seed;
+  Opts.BackgroundMeshing = envBool("MESH_BACKGROUND", false);
   return Opts;
 }
 

@@ -28,6 +28,7 @@
 #include "BenchUtil.h"
 #include "core/Runtime.h"
 #include "core/SizeClass.h"
+#include "runtime/BackgroundMesher.h"
 #include "support/Rng.h"
 #include <algorithm>
 #include <atomic>
@@ -222,17 +223,41 @@ MixResult runMix(const char *Name, uint32_t RemotePermille,
   Result.P99MallocNs = p99(AllMallocs);
   Result.P99FreeNs = p99(AllFrees);
 
+  // Pass attribution (who executed compaction): with MESH_BACKGROUND=1
+  // every pass should land on the mesher thread and the foreground max
+  // pause should be zero — exactly what the json line lets CI assert.
+  const auto &Stats = R.global().stats();
+  const double FgPasses = static_cast<double>(
+      Stats.MeshPassesForeground.load(std::memory_order_relaxed));
+  const double BgPasses = static_cast<double>(
+      Stats.MeshPassesBackground.load(std::memory_order_relaxed));
+  const BackgroundMesher *Bg = R.backgroundMesher();
+
   printf("  %-12s %10.2f Mops/s   p99 malloc %7.0f ns   p99 free %7.0f ns"
-         "   peak RSS %7.1f MiB\n",
+         "   peak RSS %7.1f MiB   passes fg/bg %.0f/%.0f\n",
          Name, Result.OpsPerSec / 1e6, Result.P99MallocNs, Result.P99FreeNs,
-         Result.PeakRssMiB);
-  benchReportJson("bench_mt", Name,
-                  {{"alloc_threads", kAllocThreads},
-                   {"free_threads", kFreeThreads},
-                   {"ops_per_sec", Result.OpsPerSec},
-                   {"p99_malloc_ns", Result.P99MallocNs},
-                   {"p99_free_ns", Result.P99FreeNs},
-                   {"peak_rss_mib", Result.PeakRssMiB}});
+         Result.PeakRssMiB, FgPasses, BgPasses);
+  benchReportJson(
+      "bench_mt", Name,
+      {{"alloc_threads", kAllocThreads},
+       {"free_threads", kFreeThreads},
+       {"ops_per_sec", Result.OpsPerSec},
+       {"p99_malloc_ns", Result.P99MallocNs},
+       {"p99_free_ns", Result.P99FreeNs},
+       {"peak_rss_mib", Result.PeakRssMiB},
+       {"background_enabled", Bg != nullptr && Bg->running() ? 1.0 : 0.0},
+       {"background_wakeups",
+        Bg != nullptr ? static_cast<double>(Bg->wakeups()) : 0.0},
+       {"background_requests",
+        Bg != nullptr ? static_cast<double>(Bg->requests()) : 0.0},
+       {"background_passes", BgPasses},
+       {"foreground_passes", FgPasses},
+       {"max_pause_foreground_ns",
+        static_cast<double>(
+            Stats.MaxForegroundPassNs.load(std::memory_order_relaxed))},
+       {"max_pause_background_ns",
+        static_cast<double>(
+            Stats.MaxBackgroundPassNs.load(std::memory_order_relaxed))}});
   return Result;
 }
 

@@ -33,8 +33,17 @@ size_t mesh_malloc_usable_size(const void *Ptr);
 /// "mesh.max_per_pass", "mesh.now", "heap.flush_dirty",
 /// "stats.committed_bytes", "stats.peak_committed_bytes",
 /// "stats.dirty_bytes", "stats.mesh_count", "stats.mesh_passes",
+/// "stats.mesh_passes_foreground", "stats.mesh_passes_background",
 /// "stats.pages_meshed", "stats.bytes_copied", "stats.mesh_ns",
-/// "stats.max_pause_ns".
+/// "stats.max_pause_ns", "stats.max_pause_foreground_ns",
+/// "stats.max_pause_background_ns";
+/// the background meshing runtime: "background.enabled",
+/// "background.wakeups", "background.requests", "background.passes",
+/// "background.poke_passes", "background.pressure_passes";
+/// the pressure monitor (fresh sample per read): "pressure.frag_ppm"
+/// (fragmentation of committed memory, parts-per-million),
+/// "pressure.rss_bytes" (/proc/self/statm), "pressure.committed_bytes",
+/// "pressure.in_use_bytes", "pressure.span_bytes".
 int mesh_mallctl(const char *Name, void *OldP, size_t *OldLenP, void *NewP,
                  size_t NewLen);
 
@@ -50,13 +59,22 @@ class Runtime;
 
 /// The process-default Runtime (created on first use; never destroyed).
 ///
-/// Environment configuration, read once at creation:
+/// Environment configuration, read once at creation (invalid or
+/// out-of-range values warn and keep the default):
 ///   MESH_NO_MESH=1      disable meshing
 ///   MESH_NO_RAND=1      disable randomized allocation
 ///   MESH_NO_BARRIER=1   disable the concurrent-mesh write barrier
 ///   MESH_PERIOD_MS=N    meshing rate limit (default 100)
 ///   MESH_PROBES=N       SplitMesher probe budget t (default 64)
 ///   MESH_SEED=N         RNG seed
+///   MESH_BACKGROUND=0|1 background meshing thread (default 1 here;
+///                       instance heaps default off)
+///   MESH_BG_WAKE_MS=N   background wake / pressure sampling interval
+///                       (default 100, valid 1..3600000)
+///   MESH_PRESSURE_PCT=N pressure trigger: mesh when >= N% of committed
+///                       bytes are not live (default 30; 0 disables)
+///   MESH_PRESSURE_MIN_BYTES=N  pressure floor: never pressure-mesh a
+///                       heap below N committed bytes (default 8 MiB)
 Runtime &defaultRuntime();
 
 } // namespace mesh

@@ -43,7 +43,8 @@ bool shardOrderViolated(int ShardIdx) {
 
 GlobalHeap::GlobalHeap(const MeshOptions &Options)
     : Opts(Options), Arena(Options.ArenaBytes, Options.MaxDirtyBytes),
-      MeshRandom(Options.Seed) {
+      MeshRandom(Options.Seed), MeshingEnabledFlag(Options.MeshingEnabled),
+      MeshPeriodMsAtomic(Options.MeshPeriodMs) {
   // Independent bin-selection streams per shard: refills of different
   // classes draw concurrently under different locks, so they cannot
   // share the mesher's generator.
@@ -479,29 +480,124 @@ size_t GlobalHeap::usableSize(const void *Ptr) const {
 size_t GlobalHeap::meshNow() {
   // The ablation switch wins even over explicit requests: a "Mesh (no
   // meshing)" heap must never compact (Section 6.3).
-  if (!Opts.MeshingEnabled)
+  if (!meshingEnabled())
     return 0;
   std::lock_guard<SpinLock> Guard(MeshLock);
-  return performMeshing();
+  return performMeshing(MeshPassOrigin::Foreground);
 }
 
 void GlobalHeap::maybeMesh() {
-  if (!Opts.MeshingEnabled)
+  if (!meshingEnabled())
     return;
+  // Lock-free precheck, shared by both modes: within the rate-limit
+  // window every trigger is redundant, so bail before touching any
+  // shared state. This is also what keeps the background poke cheap —
+  // at most one wakeup per MeshPeriodMs reaches the mesher thread.
+  const uint64_t Now = monotonicMs();
+  if (Now - LastMeshMs.load(std::memory_order_relaxed) < meshPeriodMs())
+    return;
+  // Background mode: hand the pass to the dedicated thread. One atomic
+  // flag write + (rarely) a condvar signal; the mutator never meshes.
+  if (requestMeshPass())
+    return;
+  // Synchronous fallback (no background mesher, MESH_BACKGROUND=0).
   // try_lock: if a pass is running (or another thread is deciding),
   // our trigger is redundant.
   if (!MeshLock.try_lock())
     return;
   std::lock_guard<SpinLock> Guard(MeshLock, std::adopt_lock);
-  const uint64_t Now = monotonicMs();
-  if (Now - LastMeshMs < Opts.MeshPeriodMs)
+  if (Now - LastMeshMs.load(std::memory_order_relaxed) < meshPeriodMs())
     return;
   // Hysteresis (Section 4.5): after an ineffective pass, wait for
   // another global free before re-arming.
   if (LastMeshReleased < Opts.MeshEffectiveBytes &&
       !FreedSinceLastMesh.load(std::memory_order_relaxed))
     return;
-  performMeshing();
+  performMeshing(MeshPassOrigin::Foreground);
+}
+
+bool GlobalHeap::backgroundMaybeMesh() {
+  if (!meshingEnabled())
+    return false;
+  // Blocking lock is fine: this is the dedicated thread, and the only
+  // contenders are explicit meshNow() calls and other fork/teardown
+  // rarities.
+  std::lock_guard<SpinLock> Guard(MeshLock);
+  if (monotonicMs() - LastMeshMs.load(std::memory_order_relaxed) <
+      meshPeriodMs())
+    return false;
+  if (LastMeshReleased < Opts.MeshEffectiveBytes &&
+      !FreedSinceLastMesh.load(std::memory_order_relaxed)) {
+    // Declined by hysteresis: re-arm the poke gate anyway. Without
+    // this, an alloc-heavy/free-light phase would find the gate open on
+    // every refill and wake the mesher each time just to decline again;
+    // with it, the check costs one wakeup per MeshPeriodMs.
+    LastMeshMs.store(monotonicMs(), std::memory_order_relaxed);
+    return false;
+  }
+  performMeshing(MeshPassOrigin::Background);
+  return true;
+}
+
+bool GlobalHeap::backgroundPressureMesh() {
+  if (!meshingEnabled())
+    return false;
+  std::lock_guard<SpinLock> Guard(MeshLock);
+  // No MeshPeriodMs gate: pressure wakes are already paced by the
+  // monitor's wake interval, and an idle heap never pokes — this path
+  // is exactly how it gets compacted. The effectiveness hysteresis
+  // still applies so a fragmented-but-unmeshable steady state stops
+  // burning passes once the heap yields nothing and nothing is freed.
+  if (LastMeshReleased < Opts.MeshEffectiveBytes &&
+      !FreedSinceLastMesh.load(std::memory_order_relaxed))
+    return false;
+  performMeshing(MeshPassOrigin::Background);
+  return true;
+}
+
+HeapFootprint GlobalHeap::sampleFootprint() const {
+  HeapFootprint F;
+  // ArenaLock alone (rank: below every shard lock, so a sampling
+  // thread can never participate in a lock cycle): page-table entries
+  // only change under it, and a MiniHeap reachable through the table
+  // cannot complete destruction while we hold it — metadata deletion
+  // requires clearing these entries first.
+  std::lock_guard<SpinLock> Guard(ArenaLock);
+  const size_t Frontier = Arena.frontierPages();
+  for (size_t Page = 0; Page < Frontier; ++Page) {
+    const MiniHeap *MH = Arena.ownerOfPage(Page);
+    // Count each MiniHeap exactly once, at the first page of its
+    // physical span. Meshed-in alias spans resolve to the same owner
+    // but at different page offsets, so they are skipped — committed
+    // bytes are physical, and so is this sum.
+    if (MH == nullptr || MH->physicalSpanOffset() != Page)
+      continue;
+    F.InUseBytes += size_t{MH->inUseCount()} * MH->objectSize();
+    F.SpanBytes += MH->spanBytes();
+  }
+  F.CommittedBytes = pagesToBytes(Arena.committedPages());
+  F.DirtyBytes = pagesToBytes(Arena.dirtyPages());
+  return F;
+}
+
+void GlobalHeap::lockForFork() {
+  // Full rank order, so this cannot deadlock against any in-flight
+  // allocator operation: MeshLock -> shards ascending -> ArenaLock ->
+  // EpochSyncLock. Once all are held, no other thread is inside any
+  // heap critical section and fork() may proceed.
+  MeshLock.lock();
+  for (int I = 0; I < kNumShards; ++I)
+    lockShard(I);
+  ArenaLock.lock();
+  EpochSyncLock.lock();
+}
+
+void GlobalHeap::unlockForFork() {
+  EpochSyncLock.unlock();
+  ArenaLock.unlock();
+  for (int I = kNumShards - 1; I >= 0; --I)
+    unlockShard(I);
+  MeshLock.unlock();
 }
 
 size_t GlobalHeap::flushDirtyPages() {
@@ -522,7 +618,7 @@ size_t GlobalHeap::binnedCount(int SizeClass) {
   return Count;
 }
 
-size_t GlobalHeap::performMeshing() {
+size_t GlobalHeap::performMeshing(MeshPassOrigin Origin) {
   // Quiesce the lock-free free path: raise the flag, then wait out
   // every free already past the flag check. From here until the flag
   // drops, remote frees serialize on their owning shard's lock (per
@@ -615,8 +711,8 @@ size_t GlobalHeap::performMeshing() {
   }
 
   const uint64_t Elapsed = monotonicNs() - Start;
-  Stats.recordPass(Elapsed);
-  LastMeshMs = monotonicMs();
+  Stats.recordPass(Elapsed, Origin);
+  LastMeshMs.store(monotonicMs(), std::memory_order_relaxed);
   LastMeshReleased = pagesToBytes(PagesReleased);
   FreedSinceLastMesh.store(false, std::memory_order_relaxed);
   MeshInProgress.store(false, std::memory_order_seq_cst);

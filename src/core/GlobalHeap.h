@@ -51,6 +51,16 @@
 
 namespace mesh {
 
+/// Receiver for non-blocking mesh-pass requests — implemented by the
+/// background mesher (runtime/BackgroundMesher.h). requestMeshPass()
+/// must be cheap and must never touch heap locks: it is called from
+/// the allocation refill path and from free()'s empty-span transition.
+class MeshRequestSink {
+public:
+  virtual ~MeshRequestSink() = default;
+  virtual void requestMeshPass() = 0;
+};
+
 class GlobalHeap {
 public:
   explicit GlobalHeap(const MeshOptions &Opts);
@@ -116,8 +126,59 @@ public:
 
   /// Rate-limited meshing trigger (Section 4.5), called after refills
   /// and empty-span transitions. Must not be called while holding any
-  /// shard lock (a pass acquires every shard in order).
+  /// shard lock (a pass acquires every shard in order). With a request
+  /// sink registered the slow half is delegated: after the cheap
+  /// rate-limit precheck this degenerates to one atomic flag write that
+  /// wakes the background mesher.
   void maybeMesh();
+
+  /// Registers (or, with nullptr, removes) the background mesher as the
+  /// receiver of maybeMesh() triggers. The sink must outlive its
+  /// registration: callers clear it before destroying the sink.
+  void setMeshRequestSink(MeshRequestSink *Sink) {
+    RequestSink.store(Sink, std::memory_order_release);
+  }
+
+  /// Non-blocking compaction request: pokes the registered sink and
+  /// returns true, or returns false when no background mesher is
+  /// attached (callers may fall back to a synchronous pass).
+  bool requestMeshPass() {
+    MeshRequestSink *Sink = RequestSink.load(std::memory_order_acquire);
+    if (Sink == nullptr)
+      return false;
+    Sink->requestMeshPass();
+    return true;
+  }
+
+  /// The background thread's poke service: the same rate-limited,
+  /// hysteresis-gated pass maybeMesh() used to run synchronously, but
+  /// attributed to the background origin. \returns true iff a pass ran.
+  bool backgroundMaybeMesh();
+
+  /// The background thread's pressure service: bypasses the MeshPeriodMs
+  /// gate (the wake interval is the rate limit on this path) but keeps
+  /// the effectiveness hysteresis, so an idle heap that stopped
+  /// yielding pages stops being compacted until something is freed.
+  /// \returns true iff a pass ran.
+  bool backgroundPressureMesh();
+
+  /// Samples the heap's physical footprint: one page-table walk under
+  /// ArenaLock (no shard locks), cheap enough for a 100 ms sampling
+  /// cadence. The pressure monitor turns this into a fragmentation
+  /// ratio.
+  HeapFootprint sampleFootprint() const;
+
+  /// Fork-child recovery (called from the atfork child handler, single
+  /// threaded): clears epoch reader counts orphaned by parent threads
+  /// that do not exist in the child.
+  void resetEpochAfterFork() { MiniHeapEpoch.resetToQuiescent(); }
+
+  /// Fork quiesce: acquires every heap lock in rank order so the child
+  /// inherits them free (no parent thread can be mid-critical-section
+  /// at the fork instant). Paired with unlockForFork in both parent
+  /// and child handlers.
+  void lockForFork();
+  void unlockForFork();
 
   /// Flushes dirty spans back to the OS (also happens automatically
   /// past the dirty budget).
@@ -131,9 +192,24 @@ public:
   MeshStats &stats() { return Stats; }
   const MeshStats &stats() const { return Stats; }
 
-  /// Runtime controls (mallctl surface).
-  void setMeshingEnabled(bool Enabled) { Opts.MeshingEnabled = Enabled; }
-  void setMeshPeriodMs(uint64_t Ms) { Opts.MeshPeriodMs = Ms; }
+  /// Runtime controls (mallctl surface). The meshing switch is its own
+  /// atomic — mallctl may flip it while the background mesher (or a
+  /// racing mutator) is reading it.
+  void setMeshingEnabled(bool Enabled) {
+    MeshingEnabledFlag.store(Enabled, std::memory_order_relaxed);
+  }
+  bool meshingEnabled() const {
+    return MeshingEnabledFlag.load(std::memory_order_relaxed);
+  }
+  /// Like the meshing switch, the period is its own atomic: the
+  /// lock-free maybeMesh() precheck reads it on every trigger while
+  /// mallctl may retune it.
+  void setMeshPeriodMs(uint64_t Ms) {
+    MeshPeriodMsAtomic.store(Ms, std::memory_order_relaxed);
+  }
+  uint64_t meshPeriodMs() const {
+    return MeshPeriodMsAtomic.load(std::memory_order_relaxed);
+  }
   void setMeshProbes(uint32_t T) { Opts.MeshProbes = T; }
   void setMaxMeshesPerPass(uint32_t Max) { Opts.MaxMeshesPerPass = Max; }
   bool randomized() const { return Opts.Randomized; }
@@ -244,7 +320,7 @@ private:
   void reapRetiredLocked(Shard &S);
   /// Epoch::synchronize with its callers serialized (EpochSyncLock).
   void epochSynchronize();
-  size_t performMeshing();
+  size_t performMeshing(MeshPassOrigin Origin);
   size_t meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src);
   /// The write-barrier-serialized object copy of a mesh, isolated so
   /// the TSan suppression covers it and nothing else (see tsan.supp).
@@ -275,8 +351,18 @@ private:
   /// heap.
   std::atomic<bool> MeshInProgress{false};
 
-  /// Rate-limiter state, guarded by MeshLock.
-  uint64_t LastMeshMs = 0;
+  /// Background mesher, when one is attached (see setMeshRequestSink).
+  std::atomic<MeshRequestSink *> RequestSink{nullptr};
+
+  /// Live value of Opts.MeshingEnabled (see setMeshingEnabled).
+  std::atomic<bool> MeshingEnabledFlag{true};
+  /// Live value of Opts.MeshPeriodMs (see setMeshPeriodMs).
+  std::atomic<uint64_t> MeshPeriodMsAtomic{kDefaultMeshPeriodMs};
+
+  /// Rate-limiter state. LastMeshMs is written under MeshLock but read
+  /// by maybeMesh()'s lock-free precheck (the poke gate); the rest is
+  /// guarded by MeshLock.
+  std::atomic<uint64_t> LastMeshMs{0};
   size_t LastMeshReleased = 0;
   std::atomic<bool> FreedSinceLastMesh{false};
 };

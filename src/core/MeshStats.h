@@ -16,6 +16,13 @@
 
 namespace mesh {
 
+/// Where a mesh pass executed. Foreground passes run on an application
+/// thread (synchronous maybeMesh, explicit meshNow) and their duration
+/// is a mutator pause; background passes run on the dedicated mesher
+/// thread and cost mutators nothing beyond shard-lock blips. The
+/// ablation bench attributes pauses with exactly this split.
+enum class MeshPassOrigin { Foreground, Background };
+
 struct MeshStats {
   std::atomic<uint64_t> MeshPasses{0};    ///< SplitMesher invocations.
   std::atomic<uint64_t> MeshCount{0};     ///< Pairs meshed.
@@ -26,23 +33,57 @@ struct MeshStats {
   std::atomic<uint64_t> MaxMeshPassNs{0}; ///< Longest single pause.
   std::atomic<uint64_t> PeakCommittedPages{0};
 
-  void recordPass(uint64_t Ns) {
+  /// Per-origin pass counts and worst-case durations (see
+  /// MeshPassOrigin). Foreground max is the mutator-visible pause; the
+  /// background max only measures how long the mesher thread was busy.
+  std::atomic<uint64_t> MeshPassesForeground{0};
+  std::atomic<uint64_t> MeshPassesBackground{0};
+  std::atomic<uint64_t> MaxForegroundPassNs{0};
+  std::atomic<uint64_t> MaxBackgroundPassNs{0};
+
+  void recordPass(uint64_t Ns, MeshPassOrigin Origin) {
     MeshPasses.fetch_add(1, std::memory_order_relaxed);
     TotalMeshNs.fetch_add(Ns, std::memory_order_relaxed);
-    uint64_t Prev = MaxMeshPassNs.load(std::memory_order_relaxed);
-    while (Ns > Prev &&
-           !MaxMeshPassNs.compare_exchange_weak(Prev, Ns,
-                                                std::memory_order_relaxed))
-      ;
+    maxInPlace(MaxMeshPassNs, Ns);
+    if (Origin == MeshPassOrigin::Background) {
+      MeshPassesBackground.fetch_add(1, std::memory_order_relaxed);
+      maxInPlace(MaxBackgroundPassNs, Ns);
+    } else {
+      MeshPassesForeground.fetch_add(1, std::memory_order_relaxed);
+      maxInPlace(MaxForegroundPassNs, Ns);
+    }
   }
 
   void updatePeak(uint64_t CommittedPages) {
-    uint64_t Prev = PeakCommittedPages.load(std::memory_order_relaxed);
-    while (CommittedPages > Prev &&
-           !PeakCommittedPages.compare_exchange_weak(
-               Prev, CommittedPages, std::memory_order_relaxed))
+    maxInPlace(PeakCommittedPages, CommittedPages);
+  }
+
+private:
+  static void maxInPlace(std::atomic<uint64_t> &Slot, uint64_t Value) {
+    uint64_t Prev = Slot.load(std::memory_order_relaxed);
+    while (Value > Prev &&
+           !Slot.compare_exchange_weak(Prev, Value,
+                                       std::memory_order_relaxed))
       ;
   }
+};
+
+/// One sample of the heap's physical footprint, the input to the
+/// pressure monitor (runtime/PressureMonitor.h). Produced by
+/// GlobalHeap::sampleFootprint(); lives here so the monitor can be
+/// unit-tested against fake sources without pulling in the heap.
+struct HeapFootprint {
+  /// Arena pages currently backed by physical memory.
+  size_t CommittedBytes = 0;
+  /// Object bytes live by the allocation bitmaps. Attached spans count
+  /// their shuffle-vector-claimed slots as live, so this is an upper
+  /// bound on application-live bytes — i.e. the fragmentation ratio
+  /// derived from it is conservative.
+  size_t InUseBytes = 0;
+  /// Bytes spanned by live MiniHeaps (each physical span counted once).
+  size_t SpanBytes = 0;
+  /// Bytes of freed-but-not-yet-returned dirty pages.
+  size_t DirtyBytes = 0;
 };
 
 } // namespace mesh

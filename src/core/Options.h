@@ -50,6 +50,28 @@ struct MeshOptions {
   /// corresponds to a bounded amount of copying per pass.
   uint32_t MaxMeshesPerPass = 256;
 
+  /// Runs meshing on a dedicated background thread (paper Section 4.5:
+  /// meshing proceeds concurrently with the application). When set, the
+  /// refill-path trigger becomes a cheap poke of that thread and a
+  /// pressure monitor compacts idle-but-fragmented heaps; when clear,
+  /// every pass runs synchronously on the triggering thread (the
+  /// pre-background behavior, kept for single-threaded ablations).
+  bool BackgroundMeshing = false;
+
+  /// Background mesher wake interval: how often the pressure monitor
+  /// samples the heap when no allocation has poked the thread.
+  uint64_t BackgroundWakeMs = 100;
+
+  /// Pressure trigger: a timer wake starts a pass when at least this
+  /// percentage of committed bytes is not backing live objects
+  /// ((committed - in_use) / committed). 0 disables pressure-triggered
+  /// passes (the thread then only serves allocation pokes).
+  uint32_t PressureFragThresholdPct = 30;
+
+  /// Pressure passes are suppressed below this committed-bytes floor:
+  /// compacting a tiny heap is never worth a wakeup.
+  size_t PressureMinCommittedBytes = 8 * 1024 * 1024;
+
   /// Seed for all of this heap's RNGs; fixed for reproducibility.
   uint64_t Seed = 0x5EEDF00D;
 

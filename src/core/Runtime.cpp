@@ -2,6 +2,8 @@
 
 #include "core/Runtime.h"
 
+#include "runtime/BackgroundMesher.h"
+#include "runtime/PressureMonitor.h"
 #include "support/InternalHeap.h"
 #include "support/Log.h"
 #include "support/MathUtils.h"
@@ -10,8 +12,94 @@
 #include <cassert>
 #include <cerrno>
 #include <cstring>
+#include <mutex>
 
 namespace mesh {
+
+/// Process-wide fork protocol. pthread_atfork handlers can never be
+/// removed, so one static set is installed at first Runtime creation
+/// and walks a registry of live runtimes. At fork():
+///
+///   prepare  — per runtime: join the background mesher (so the fork
+///              happens with no allocator-owned thread at all), then
+///              acquire every heap lock in rank order (MeshLock ->
+///              shards ascending -> ArenaLock -> EpochSyncLock); last,
+///              the process-wide InternalHeap lock (it ranks below
+///              ArenaLock: refills allocate metadata under it). The
+///              child therefore inherits every lock in the released
+///              state with no critical section torn mid-way.
+///   parent   — release in reverse, restart the meshers.
+///   child    — additionally clear epoch reader counts orphaned by
+///              parent threads that do not exist here, then release and
+///              restart. The memfd arena itself stays shared with the
+///              parent (fork-then-exec is fully supported; a child that
+///              keeps allocating long-term shares span pages with the
+///              parent — see DESIGN.md for this documented gap).
+class RuntimeForkSupport {
+public:
+  static void registerRuntime(Runtime *R) {
+    pthread_once(&Once, installHandlers);
+    std::lock_guard<SpinLock> Guard(RegistryLock);
+    R->NextRuntime = Head;
+    R->PrevRuntime = nullptr;
+    if (Head != nullptr)
+      Head->PrevRuntime = R;
+    Head = R;
+  }
+
+  static void unregisterRuntime(Runtime *R) {
+    std::lock_guard<SpinLock> Guard(RegistryLock);
+    if (R->PrevRuntime != nullptr)
+      R->PrevRuntime->NextRuntime = R->NextRuntime;
+    else
+      Head = R->NextRuntime;
+    if (R->NextRuntime != nullptr)
+      R->NextRuntime->PrevRuntime = R->PrevRuntime;
+    R->PrevRuntime = R->NextRuntime = nullptr;
+  }
+
+private:
+  static void prepare() {
+    RegistryLock.lock();
+    for (Runtime *R = Head; R != nullptr; R = R->NextRuntime) {
+      if (R->BgMesher != nullptr)
+        R->BgMesher->quiesceForFork();
+      R->Global.lockForFork();
+    }
+    InternalHeap::global().lockForFork();
+  }
+
+  static void parent() {
+    InternalHeap::global().unlockForFork();
+    for (Runtime *R = Head; R != nullptr; R = R->NextRuntime) {
+      R->Global.unlockForFork();
+      if (R->BgMesher != nullptr)
+        R->BgMesher->resumeAfterFork();
+    }
+    RegistryLock.unlock();
+  }
+
+  static void child() {
+    InternalHeap::global().unlockForFork();
+    for (Runtime *R = Head; R != nullptr; R = R->NextRuntime) {
+      R->Global.resetEpochAfterFork();
+      R->Global.unlockForFork();
+      if (R->BgMesher != nullptr)
+        R->BgMesher->resumeAfterFork();
+    }
+    RegistryLock.unlock();
+  }
+
+  static void installHandlers() { pthread_atfork(prepare, parent, child); }
+
+  static SpinLock RegistryLock;
+  static Runtime *Head;
+  static pthread_once_t Once;
+};
+
+SpinLock RuntimeForkSupport::RegistryLock;
+Runtime *RuntimeForkSupport::Head = nullptr;
+pthread_once_t RuntimeForkSupport::Once = PTHREAD_ONCE_INIT;
 
 namespace {
 
@@ -35,9 +123,27 @@ Runtime::Runtime(const MeshOptions &Opts)
       Id(NextRuntimeId.fetch_add(1, std::memory_order_relaxed)) {
   if (pthread_key_create(&HeapKey, destroyThreadHeap) != 0)
     fatalError("pthread_key_create failed");
+  RuntimeForkSupport::registerRuntime(this);
+  if (Opts.BackgroundMeshing && Opts.MeshingEnabled) {
+    PressureConfig Cfg;
+    Cfg.FragThresholdPct = Opts.PressureFragThresholdPct;
+    Cfg.MinCommittedBytes = Opts.PressureMinCommittedBytes;
+    BgMesher = InternalHeap::global().makeNew<BackgroundMesher>(
+        Global, Opts.BackgroundWakeMs, Cfg);
+    BgMesher->start();
+  }
 }
 
 Runtime::~Runtime() {
+  // Leave the fork registry first: from here a concurrent fork no
+  // longer touches this runtime's (dying) state.
+  RuntimeForkSupport::unregisterRuntime(this);
+  // Join the mesher before any heap state goes away; its destructor
+  // stops the thread.
+  if (BgMesher != nullptr) {
+    InternalHeap::global().deleteObj(BgMesher);
+    BgMesher = nullptr;
+  }
   // Release the calling thread's heap explicitly; heaps of other live
   // threads are reclaimed by their pthread destructors, which must run
   // before the Runtime is destroyed (standard teardown ordering for
@@ -185,14 +291,14 @@ int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
 
   if (strcmp(Name, "mesh.enabled") == 0) {
     if (NewP != nullptr) {
-      bool Value = Global.options().MeshingEnabled;
+      bool Value = Global.meshingEnabled();
       const int Rc = WriteBool(&Value);
       if (Rc != 0)
         return Rc;
       Global.setMeshingEnabled(Value);
       return 0;
     }
-    return ReadU64(Global.options().MeshingEnabled ? 1 : 0);
+    return ReadU64(Global.meshingEnabled() ? 1 : 0);
   }
   if (strcmp(Name, "mesh.period_ms") == 0) {
     if (NewP != nullptr) {
@@ -203,7 +309,7 @@ int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
       Global.setMeshPeriodMs(Ms);
       return 0;
     }
-    return ReadU64(Global.options().MeshPeriodMs);
+    return ReadU64(Global.meshPeriodMs());
   }
   if (strcmp(Name, "mesh.probes") == 0) {
     if (NewP != nullptr) {
@@ -229,6 +335,54 @@ int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
   }
   if (strcmp(Name, "mesh.now") == 0)
     return ReadU64(Global.meshNow());
+  if (strncmp(Name, "background.", 11) == 0) {
+    const char *Leaf = Name + 11;
+    if (strcmp(Leaf, "enabled") == 0)
+      return ReadU64(BgMesher != nullptr && BgMesher->running() ? 1 : 0);
+    if (BgMesher == nullptr) {
+      // The remaining leaves are counters of a thread that never
+      // existed; report them as zero so callers need no mode probing.
+      if (strcmp(Leaf, "wakeups") == 0 || strcmp(Leaf, "requests") == 0 ||
+          strcmp(Leaf, "passes") == 0 || strcmp(Leaf, "poke_passes") == 0 ||
+          strcmp(Leaf, "pressure_passes") == 0)
+        return ReadU64(0);
+      return ENOENT;
+    }
+    if (strcmp(Leaf, "wakeups") == 0)
+      return ReadU64(BgMesher->wakeups());
+    if (strcmp(Leaf, "requests") == 0)
+      return ReadU64(BgMesher->requests());
+    if (strcmp(Leaf, "passes") == 0)
+      return ReadU64(Global.stats().MeshPassesBackground.load(
+          std::memory_order_relaxed));
+    if (strcmp(Leaf, "poke_passes") == 0)
+      return ReadU64(BgMesher->pokePasses());
+    if (strcmp(Leaf, "pressure_passes") == 0)
+      return ReadU64(BgMesher->pressurePasses());
+    return ENOENT;
+  }
+  if (strncmp(Name, "pressure.", 9) == 0) {
+    // Always a fresh sample (one page-table walk + one /proc read, no
+    // allocation): observability should not depend on whether a
+    // background thread happens to have woken recently.
+    GlobalHeapFootprintSource Src(Global);
+    PressureConfig Cfg;
+    Cfg.FragThresholdPct = Global.options().PressureFragThresholdPct;
+    Cfg.MinCommittedBytes = Global.options().PressureMinCommittedBytes;
+    const PressureSample S = PressureMonitor(Src, Cfg).sample();
+    const char *Leaf = Name + 9;
+    if (strcmp(Leaf, "frag_ppm") == 0)
+      return ReadU64(S.FragPpm);
+    if (strcmp(Leaf, "rss_bytes") == 0)
+      return ReadU64(S.RssBytes);
+    if (strcmp(Leaf, "committed_bytes") == 0)
+      return ReadU64(S.Footprint.CommittedBytes);
+    if (strcmp(Leaf, "in_use_bytes") == 0)
+      return ReadU64(S.Footprint.InUseBytes);
+    if (strcmp(Leaf, "span_bytes") == 0)
+      return ReadU64(S.Footprint.SpanBytes);
+    return ENOENT;
+  }
   if (strcmp(Name, "heap.num_shards") == 0)
     return ReadU64(GlobalHeap::kNumShards);
   if (strcmp(Name, "heap.flush_dirty") == 0)
@@ -241,6 +395,18 @@ int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
   if (strcmp(Name, "stats.mesh_passes") == 0)
     return ReadU64(
         Global.stats().MeshPasses.load(std::memory_order_relaxed));
+  if (strcmp(Name, "stats.mesh_passes_foreground") == 0)
+    return ReadU64(Global.stats().MeshPassesForeground.load(
+        std::memory_order_relaxed));
+  if (strcmp(Name, "stats.mesh_passes_background") == 0)
+    return ReadU64(Global.stats().MeshPassesBackground.load(
+        std::memory_order_relaxed));
+  if (strcmp(Name, "stats.max_pause_foreground_ns") == 0)
+    return ReadU64(Global.stats().MaxForegroundPassNs.load(
+        std::memory_order_relaxed));
+  if (strcmp(Name, "stats.max_pause_background_ns") == 0)
+    return ReadU64(Global.stats().MaxBackgroundPassNs.load(
+        std::memory_order_relaxed));
   if (strcmp(Name, "stats.committed_bytes") == 0)
     return ReadU64(Global.committedBytes());
   if (strcmp(Name, "stats.peak_committed_bytes") == 0)

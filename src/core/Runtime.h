@@ -28,6 +28,9 @@
 
 namespace mesh {
 
+class BackgroundMesher;
+class RuntimeForkSupport;
+
 class Runtime {
 public:
   explicit Runtime(const MeshOptions &Opts = MeshOptions());
@@ -69,7 +72,15 @@ public:
   int mallctl(const char *Name, void *OldP, size_t *OldLenP, void *NewP,
               size_t NewLen);
 
+  /// The background mesher owned by this runtime, or nullptr when
+  /// meshing runs synchronously (Options::BackgroundMeshing off, or
+  /// thread creation failed and the runtime degraded to inline passes).
+  BackgroundMesher *backgroundMesher() { return BgMesher; }
+  const BackgroundMesher *backgroundMesher() const { return BgMesher; }
+
 private:
+  friend class RuntimeForkSupport;
+
   static void destroyThreadHeap(void *Arg);
   ThreadLocalHeap &localHeapSlow();
 
@@ -78,6 +89,14 @@ private:
   /// Process-unique, never reused; the TLS heap cache is valid only
   /// while its recorded id matches this runtime's.
   uint64_t Id;
+  /// Owned (InternalHeap-allocated); created in the ctor when
+  /// BackgroundMeshing is on, destroyed first in the dtor so the thread
+  /// is joined before any heap state dies.
+  BackgroundMesher *BgMesher = nullptr;
+  /// Intrusive linkage for the process-wide fork registry (see
+  /// RuntimeForkSupport in Runtime.cpp), guarded by its lock.
+  Runtime *PrevRuntime = nullptr;
+  Runtime *NextRuntime = nullptr;
 };
 
 } // namespace mesh

@@ -99,14 +99,46 @@ void *realloc(void *Ptr, size_t Bytes) {
   return Fresh;
 }
 
+void *reallocarray(void *Ptr, size_t Count, size_t Size) {
+  if (Count != 0 && Size > SIZE_MAX / Count) {
+    errno = ENOMEM;
+    return nullptr;
+  }
+  return realloc(Ptr, Count * Size);
+}
+
 int posix_memalign(void **Out, size_t Alignment, size_t Bytes) {
-  return mesh::defaultRuntime().posixMemalign(Out, Alignment, Bytes);
+  if (Busy) {
+    // Nested request from heap setup: large allocations are page
+    // aligned, which satisfies every supportable alignment. (Out is
+    // declared nonnull by glibc; no null check here.)
+    if (!mesh::isPowerOfTwo(Alignment) ||
+        Alignment % sizeof(void *) != 0 || Alignment > mesh::kPageSize)
+      return EINVAL;
+    *Out = mesh::defaultRuntime().global().largeAlloc(Bytes == 0 ? 1
+                                                                 : Bytes);
+    return *Out == nullptr ? ENOMEM : 0;
+  }
+  Busy = true;
+  const int Rc = mesh::defaultRuntime().posixMemalign(Out, Alignment, Bytes);
+  Busy = false;
+  return Rc;
 }
 
 void *aligned_alloc(size_t Alignment, size_t Bytes) {
-  void *Out = nullptr;
-  if (posix_memalign(&Out, Alignment, Bytes) != 0) {
+  // C11/glibc semantics: any power-of-two alignment, including ones
+  // below sizeof(void*) that posix_memalign rejects — every Mesh slot
+  // is at least 16-byte aligned, so small alignments round up freely.
+  if (!mesh::isPowerOfTwo(Alignment)) {
     errno = EINVAL;
+    return nullptr;
+  }
+  if (Alignment < sizeof(void *))
+    Alignment = sizeof(void *);
+  void *Out = nullptr;
+  const int Rc = posix_memalign(&Out, Alignment, Bytes);
+  if (Rc != 0) {
+    errno = Rc;
     return nullptr;
   }
   return Out;
@@ -125,6 +157,12 @@ void *pvalloc(size_t Bytes) {
 
 size_t malloc_usable_size(void *Ptr) {
   return mesh::defaultRuntime().usableSize(Ptr);
+}
+
+int malloc_trim(size_t) {
+  // glibc contract: nonzero iff memory was actually returned to the
+  // system. Dirty-page flushing is exactly Mesh's deferred give-back.
+  return mesh::defaultRuntime().global().flushDirtyPages() > 0 ? 1 : 0;
 }
 
 } // extern "C"

@@ -1,0 +1,187 @@
+//===- BackgroundMesher.cpp - Dedicated meshing thread ----------------------===//
+
+#include "runtime/BackgroundMesher.h"
+
+#include "support/Log.h"
+
+#include <cerrno>
+#include <ctime>
+
+namespace mesh {
+
+namespace {
+
+timespec deadlineIn(uint64_t Ms) {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  Ts.tv_sec += static_cast<time_t>(Ms / 1000);
+  Ts.tv_nsec += static_cast<long>((Ms % 1000) * 1000000ULL);
+  if (Ts.tv_nsec >= 1000000000L) {
+    Ts.tv_nsec -= 1000000000L;
+    ++Ts.tv_sec;
+  }
+  return Ts;
+}
+
+} // namespace
+
+BackgroundMesher::BackgroundMesher(GlobalHeap &Heap, uint64_t WakeMs,
+                                   const PressureConfig &Cfg)
+    : Heap(Heap), Source(Heap), Monitor(Source, Cfg),
+      WakeMs(WakeMs == 0 ? 1 : WakeMs) {
+  // The waits below must track CLOCK_MONOTONIC: a wall-clock jump (ntp
+  // step, suspend) must not stall or storm the mesher.
+  pthread_condattr_t Attr;
+  pthread_condattr_init(&Attr);
+  pthread_condattr_setclock(&Attr, CLOCK_MONOTONIC);
+  pthread_cond_init(&CV, &Attr);
+  pthread_condattr_destroy(&Attr);
+}
+
+BackgroundMesher::~BackgroundMesher() {
+  stop();
+  pthread_cond_destroy(&CV);
+}
+
+void *BackgroundMesher::threadEntry(void *Arg) {
+#ifdef __linux__
+  pthread_setname_np(pthread_self(), "mesh-bg");
+#endif
+  static_cast<BackgroundMesher *>(Arg)->run();
+  return nullptr;
+}
+
+void BackgroundMesher::start() {
+  if (Running.load(std::memory_order_acquire))
+    return;
+  {
+    pthread_mutex_lock(&M);
+    StopFlag = false;
+    pthread_mutex_unlock(&M);
+  }
+  const int Rc = pthread_create(&Thread, nullptr, threadEntry, this);
+  if (Rc != 0) {
+    // Out of threads (or a locked-down sandbox): stay synchronous. Not
+    // registering the sink makes maybeMesh() fall back to inline
+    // passes by itself — degraded, never broken. (pthread_create
+    // returns the error; it does not set errno.)
+    logWarning("background mesher: pthread_create failed (error %d); "
+               "falling back to synchronous meshing",
+               Rc);
+    return;
+  }
+  Running.store(true, std::memory_order_release);
+  Heap.setMeshRequestSink(this);
+}
+
+void BackgroundMesher::stop() {
+  if (!Running.load(std::memory_order_acquire))
+    return;
+  // Unregister first so no new poke targets this object while it winds
+  // down; pokes already past the load simply set a flag nobody reads.
+  Heap.setMeshRequestSink(nullptr);
+  pthread_mutex_lock(&M);
+  StopFlag = true;
+  pthread_cond_signal(&CV);
+  pthread_mutex_unlock(&M);
+  pthread_join(Thread, nullptr);
+  Running.store(false, std::memory_order_release);
+}
+
+void BackgroundMesher::quiesceForFork() {
+  WasRunningBeforeFork = Running.load(std::memory_order_acquire);
+  if (!WasRunningBeforeFork)
+    return;
+  // Join, but keep the sink registered: the fork window is tiny, and a
+  // poke that lands in it just leaves the request flag set for the
+  // restarted thread to honor.
+  pthread_mutex_lock(&M);
+  StopFlag = true;
+  pthread_cond_signal(&CV);
+  pthread_mutex_unlock(&M);
+  pthread_join(Thread, nullptr);
+  Running.store(false, std::memory_order_release);
+}
+
+void BackgroundMesher::resumeAfterFork() {
+  if (!WasRunningBeforeFork)
+    return;
+  WasRunningBeforeFork = false;
+  // The thread was joined pre-fork, so M and CV were quiescent at the
+  // fork instant — safe to reuse in the child as-is.
+  start();
+}
+
+void BackgroundMesher::requestMeshPass() {
+  // Fast path: a request is already pending; the thread will fold this
+  // trigger into the pass it is about to run.
+  if (Requested.load(std::memory_order_relaxed))
+    return;
+  if (Requested.exchange(true, std::memory_order_acq_rel))
+    return;
+  Requests.fetch_add(1, std::memory_order_relaxed);
+  pthread_mutex_lock(&M);
+  RequestFlag = true;
+  pthread_cond_signal(&CV);
+  pthread_mutex_unlock(&M);
+}
+
+void BackgroundMesher::run() {
+  for (;;) {
+    bool Poked = false;
+    {
+      pthread_mutex_lock(&M);
+      if (!StopFlag && !RequestFlag) {
+        timespec Deadline = deadlineIn(WakeMs);
+        // A spurious wake is indistinguishable from (and as harmless
+        // as) an early timer wake: the loop body re-derives everything
+        // from flags and fresh samples.
+        pthread_cond_timedwait(&CV, &M, &Deadline);
+      }
+      if (StopFlag) {
+        pthread_mutex_unlock(&M);
+        return;
+      }
+      Poked = RequestFlag;
+      RequestFlag = false;
+      Requested.store(false, std::memory_order_release);
+      pthread_mutex_unlock(&M);
+    }
+    Wakeups.fetch_add(1, std::memory_order_relaxed);
+    if (Poked) {
+      if (Heap.backgroundMaybeMesh())
+        PokePasses.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Timer wake: sample pressure. This is the only path an idle
+      // heap ever takes — nothing allocates, so nothing pokes.
+      const PressureSample S = Monitor.sample();
+      publishSample(S);
+      if (Monitor.underPressure(S) && Heap.backgroundPressureMesh())
+        PressurePasses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void BackgroundMesher::publishSample(const PressureSample &S) {
+  SampleCommitted.store(S.Footprint.CommittedBytes,
+                        std::memory_order_relaxed);
+  SampleInUse.store(S.Footprint.InUseBytes, std::memory_order_relaxed);
+  SampleSpan.store(S.Footprint.SpanBytes, std::memory_order_relaxed);
+  SampleDirty.store(S.Footprint.DirtyBytes, std::memory_order_relaxed);
+  SampleRss.store(S.RssBytes, std::memory_order_relaxed);
+  SampleFragPpm.store(S.FragPpm, std::memory_order_relaxed);
+}
+
+PressureSample BackgroundMesher::lastSample() const {
+  PressureSample S;
+  S.Footprint.CommittedBytes =
+      SampleCommitted.load(std::memory_order_relaxed);
+  S.Footprint.InUseBytes = SampleInUse.load(std::memory_order_relaxed);
+  S.Footprint.SpanBytes = SampleSpan.load(std::memory_order_relaxed);
+  S.Footprint.DirtyBytes = SampleDirty.load(std::memory_order_relaxed);
+  S.RssBytes = SampleRss.load(std::memory_order_relaxed);
+  S.FragPpm = SampleFragPpm.load(std::memory_order_relaxed);
+  return S;
+}
+
+} // namespace mesh

@@ -1,0 +1,134 @@
+//===- BackgroundMesher.h - Dedicated meshing thread ------------*- C++ -*-===//
+///
+/// \file
+/// Moves compaction off the application's threads (paper Section 4.5:
+/// meshing runs concurrently with the application; our synchronous
+/// reproduction instead charged the full pass — the paper's 22 ms-class
+/// pause — to whichever mutator tripped the refill trigger).
+///
+/// One pthread per Runtime, two wake sources:
+///
+///   - a *poke* (GlobalHeap::maybeMesh via the MeshRequestSink
+///     interface): the allocation path's rate-limited trigger, now one
+///     atomic flag write + condvar signal instead of a full pass;
+///   - the *timer*: every BackgroundWakeMs the pressure monitor samples
+///     the heap, and an idle-but-fragmented heap (nothing allocating,
+///     so no pokes ever arrive) gets compacted on pressure alone.
+///
+/// Lifecycle: start() spawns the thread and registers the sink with the
+/// heap; stop() unregisters, raises the stop flag and joins. The fork
+/// protocol (quiesceForFork/resumeAfterFork, driven by Runtime's
+/// pthread_atfork handlers) stops the thread *before* fork — so the
+/// fork happens with no mesher thread at all, no heap lock held by it,
+/// and both parent and child restart a fresh thread afterwards. All
+/// state is inline (pthread primitives, no std::thread) so the
+/// lifecycle paths never allocate: they run inside malloc during
+/// LD_PRELOAD bring-up and inside atfork handlers.
+///
+/// Lock ranks: the wake mutex M is leaf-like and disjoint from every
+/// heap lock — requestMeshPass() (callers hold no shard locks, per
+/// maybeMesh's contract) takes only M; the thread releases M before
+/// entering any heap pass, so M never nests with MeshLock/shards/Arena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_RUNTIME_BACKGROUNDMESHER_H
+#define MESH_RUNTIME_BACKGROUNDMESHER_H
+
+#include "core/GlobalHeap.h"
+#include "runtime/PressureMonitor.h"
+
+#include <atomic>
+#include <cstdint>
+#include <pthread.h>
+
+namespace mesh {
+
+class BackgroundMesher final : public MeshRequestSink {
+public:
+  /// \p WakeMs is the timer interval; \p Cfg the pressure policy.
+  BackgroundMesher(GlobalHeap &Heap, uint64_t WakeMs,
+                   const PressureConfig &Cfg);
+  ~BackgroundMesher() override;
+
+  BackgroundMesher(const BackgroundMesher &) = delete;
+  BackgroundMesher &operator=(const BackgroundMesher &) = delete;
+
+  /// Spawns the thread and registers this mesher as the heap's request
+  /// sink. Idempotent.
+  void start();
+
+  /// Unregisters the sink, stops and joins the thread. Idempotent; safe
+  /// to call with the thread already stopped.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// MeshRequestSink: called from the allocation path. Sets the request
+  /// flag and wakes the thread; returns immediately. The fast path (a
+  /// request already pending) is one relaxed load.
+  void requestMeshPass() override;
+
+  /// Fork protocol. quiesceForFork() joins the thread (remembering
+  /// whether it was running) so fork() happens single-threaded with no
+  /// mesher state in flight; resumeAfterFork() restarts it in whichever
+  /// process(es) call it. The sink stays registered across the window —
+  /// pokes landing in between just set the flag for the restarted
+  /// thread.
+  void quiesceForFork();
+  void resumeAfterFork();
+
+  /// Observability (mallctl background.* / pressure.*).
+  uint64_t wakeups() const { return Wakeups.load(std::memory_order_relaxed); }
+  uint64_t requests() const {
+    return Requests.load(std::memory_order_relaxed);
+  }
+  uint64_t pokePasses() const {
+    return PokePasses.load(std::memory_order_relaxed);
+  }
+  uint64_t pressurePasses() const {
+    return PressurePasses.load(std::memory_order_relaxed);
+  }
+
+  /// The most recent pressure sample, updated on every timer wake.
+  /// Torn-free via individual atomics (a sample is advisory anyway).
+  PressureSample lastSample() const;
+
+  const PressureMonitor &monitor() const { return Monitor; }
+
+private:
+  static void *threadEntry(void *Arg);
+  void run();
+  void publishSample(const PressureSample &S);
+
+  GlobalHeap &Heap;
+  GlobalHeapFootprintSource Source;
+  PressureMonitor Monitor;
+  const uint64_t WakeMs;
+
+  pthread_t Thread{};
+  pthread_mutex_t M = PTHREAD_MUTEX_INITIALIZER;
+  pthread_cond_t CV; ///< Initialized in the ctor (CLOCK_MONOTONIC waits).
+  bool StopFlag = false;        ///< Guarded by M.
+  bool RequestFlag = false;     ///< Guarded by M (mirror of Requested).
+  std::atomic<bool> Requested{false}; ///< Lock-free poke fast path.
+  std::atomic<bool> Running{false};
+  bool WasRunningBeforeFork = false;
+
+  std::atomic<uint64_t> Wakeups{0};
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> PokePasses{0};
+  std::atomic<uint64_t> PressurePasses{0};
+
+  /// lastSample() mirror, written only by the mesher thread.
+  std::atomic<size_t> SampleCommitted{0};
+  std::atomic<size_t> SampleInUse{0};
+  std::atomic<size_t> SampleSpan{0};
+  std::atomic<size_t> SampleDirty{0};
+  std::atomic<size_t> SampleRss{0};
+  std::atomic<uint32_t> SampleFragPpm{0};
+};
+
+} // namespace mesh
+
+#endif // MESH_RUNTIME_BACKGROUNDMESHER_H

@@ -1,0 +1,62 @@
+//===- Env.h - Validated environment-variable parsing -----------*- C++ -*-===//
+///
+/// \file
+/// Shared parsers for the MESH_* configuration surface, used by the
+/// process-default runtime (api/mesh.cpp) and by the benchmark harness
+/// (bench/BenchUtil.h) so the two can never drift on what a value
+/// means. Invalid input warns and is ignored — a typoed knob must not
+/// silently reconfigure the process allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_ENV_H
+#define MESH_SUPPORT_ENV_H
+
+#include "support/Log.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace mesh {
+
+/// Parses \p Name as an unsigned decimal, bounded to [\p Min, \p Max].
+/// Returns false (leaving \p Out alone) when the variable is unset;
+/// garbage or out-of-range values are rejected with a warning.
+inline bool envU64(const char *Name, uint64_t Min, uint64_t Max,
+                   uint64_t *Out) {
+  const char *Value = std::getenv(Name);
+  if (Value == nullptr || Value[0] == '\0')
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  const unsigned long long Parsed = std::strtoull(Value, &End, 10);
+  if (errno != 0 || End == Value || *End != '\0') {
+    logWarning("ignoring invalid %s='%s' (expected an unsigned integer)",
+               Name, Value);
+    return false;
+  }
+  if (Parsed < Min || Parsed > Max) {
+    logWarning("ignoring out-of-range %s=%llu (valid: %llu..%llu)", Name,
+               Parsed, static_cast<unsigned long long>(Min),
+               static_cast<unsigned long long>(Max));
+    return false;
+  }
+  *Out = Parsed;
+  return true;
+}
+
+/// Boolean knob: unset -> \p Default; "0"/"false"/"off" -> false;
+/// anything else -> true.
+inline bool envBool(const char *Name, bool Default) {
+  const char *Value = std::getenv(Name);
+  if (Value == nullptr || Value[0] == '\0')
+    return Default;
+  return !(std::strcmp(Value, "0") == 0 || std::strcmp(Value, "false") == 0 ||
+           std::strcmp(Value, "off") == 0);
+}
+
+} // namespace mesh
+
+#endif // MESH_SUPPORT_ENV_H

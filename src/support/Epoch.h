@@ -112,6 +112,18 @@ public:
     }
   }
 
+  /// Fork-child recovery: zeroes every reader counter. A thread that
+  /// was inside a reader section in the parent at fork() does not exist
+  /// in the child, but its increment does — left alone it would wedge
+  /// the child's first synchronize() forever. Only callable when no
+  /// reader or synchronize() can be running (the pthread_atfork child
+  /// handler, where exactly one thread exists).
+  void resetToQuiescent() {
+    for (uint32_t P = 0; P < 2; ++P)
+      for (uint32_t S = 0; S < kStripes; ++S)
+        Readers[P][S].Count.store(0, std::memory_order_relaxed);
+  }
+
   /// RAII wrapper for reader sections.
   class Section {
   public:

@@ -65,6 +65,12 @@ public:
   /// interposition shim.
   static InternalHeap &global();
 
+  /// Fork quiesce (see Runtime's pthread_atfork handlers): holds the
+  /// heap lock across fork() so the child never inherits it mid-
+  /// critical-section from a parent thread that no longer exists.
+  void lockForFork() { Lock.lock(); }
+  void unlockForFork() { Lock.unlock(); }
+
 private:
   struct FreeNode {
     FreeNode *Next;

@@ -1,0 +1,132 @@
+//===- PressureMonitorTest.cpp - Pressure policy unit tests -----------------===//
+///
+/// The monitor's policy is exercised against a fake FootprintSource
+/// (threshold boundaries, the committed floor, the disable switch, the
+/// clamp) and the production adapter is sanity-checked against a real
+/// heap: the invariants committed >= span >= in-use must hold on any
+/// live footprint sample.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PressureMonitor.h"
+
+#include "core/Runtime.h"
+#include "core/ThreadLocalHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace mesh;
+
+namespace {
+
+/// A FootprintSource the test scripts directly.
+class FakeSource final : public FootprintSource {
+public:
+  HeapFootprint Next;
+  HeapFootprint sampleFootprint() const override { return Next; }
+};
+
+constexpr size_t kMiB = 1024 * 1024;
+
+TEST(PressureMonitorTest, FragPpmMath) {
+  EXPECT_EQ(PressureMonitor::fragPpm(0, 0), 0u);
+  EXPECT_EQ(PressureMonitor::fragPpm(100, 100), 0u);
+  EXPECT_EQ(PressureMonitor::fragPpm(100, 50), 500000u);
+  EXPECT_EQ(PressureMonitor::fragPpm(100, 0), 1000000u);
+  EXPECT_EQ(PressureMonitor::fragPpm(4 * kMiB, 3 * kMiB), 250000u);
+  // InUse above committed (attached-span overcount racing a commit
+  // update) clamps to "no pressure", never wraps.
+  EXPECT_EQ(PressureMonitor::fragPpm(100, 200), 0u);
+}
+
+TEST(PressureMonitorTest, ThresholdBoundary) {
+  FakeSource Src;
+  PressureConfig Cfg;
+  Cfg.FragThresholdPct = 30;
+  Cfg.MinCommittedBytes = kMiB;
+  PressureMonitor Mon(Src, Cfg);
+
+  Src.Next.CommittedBytes = 10 * kMiB;
+  Src.Next.InUseBytes = 7 * kMiB; // exactly 30% slack
+  EXPECT_TRUE(Mon.underPressure(Mon.sample()));
+
+  Src.Next.InUseBytes = 7 * kMiB + 64 * 1024; // just under threshold
+  EXPECT_FALSE(Mon.underPressure(Mon.sample()));
+
+  Src.Next.InUseBytes = 0; // fully fragmented
+  EXPECT_TRUE(Mon.underPressure(Mon.sample()));
+}
+
+TEST(PressureMonitorTest, CommittedFloorSuppressesSmallHeaps) {
+  FakeSource Src;
+  PressureConfig Cfg;
+  Cfg.FragThresholdPct = 10;
+  Cfg.MinCommittedBytes = 8 * kMiB;
+  PressureMonitor Mon(Src, Cfg);
+
+  Src.Next.CommittedBytes = 8 * kMiB - 1; // fragmented but tiny
+  Src.Next.InUseBytes = 0;
+  EXPECT_FALSE(Mon.underPressure(Mon.sample()));
+
+  Src.Next.CommittedBytes = 8 * kMiB; // at the floor
+  EXPECT_TRUE(Mon.underPressure(Mon.sample()));
+}
+
+TEST(PressureMonitorTest, ZeroThresholdDisables) {
+  FakeSource Src;
+  PressureConfig Cfg;
+  Cfg.FragThresholdPct = 0;
+  Cfg.MinCommittedBytes = 0;
+  PressureMonitor Mon(Src, Cfg);
+  Src.Next.CommittedBytes = 100 * kMiB;
+  Src.Next.InUseBytes = 0;
+  EXPECT_FALSE(Mon.underPressure(Mon.sample()));
+}
+
+TEST(PressureMonitorTest, RssReadableOnLinux) {
+  const size_t Rss = PressureMonitor::readRssBytes();
+  // Any live process is resident; require at least one page so a
+  // silently-broken parse (returning 0) fails here.
+  EXPECT_GE(Rss, kPageSize);
+  // And it lands in the sample.
+  FakeSource Src;
+  PressureMonitor Mon(Src, PressureConfig{});
+  EXPECT_GE(Mon.sample().RssBytes, kPageSize);
+}
+
+TEST(PressureMonitorTest, GlobalHeapAdapterInvariants) {
+  MeshOptions Opts;
+  Opts.ArenaBytes = size_t{1} << 30;
+  Runtime R(Opts);
+  std::vector<void *> Kept;
+  for (int I = 0; I < 4 * 256; ++I)
+    Kept.push_back(R.malloc(64));
+
+  GlobalHeapFootprintSource Src(R.global());
+  const HeapFootprint F = Src.sampleFootprint();
+  EXPECT_GT(F.InUseBytes, 0u);
+  EXPECT_GT(F.SpanBytes, 0u);
+  EXPECT_LE(F.InUseBytes, F.SpanBytes);
+  EXPECT_LE(F.SpanBytes, F.CommittedBytes);
+  EXPECT_EQ(F.CommittedBytes, R.committedBytes());
+
+  // Freeing most objects through the global path (detached spans) must
+  // raise the fragmentation ratio.
+  const uint32_t Before =
+      PressureMonitor::fragPpm(F.CommittedBytes, F.InUseBytes);
+  R.localHeap().releaseAll();
+  for (size_t I = 0; I < Kept.size(); ++I)
+    if (I % 8 != 0)
+      R.free(Kept[I]);
+  const HeapFootprint After = Src.sampleFootprint();
+  const uint32_t AfterPpm =
+      PressureMonitor::fragPpm(After.CommittedBytes, After.InUseBytes);
+  EXPECT_GT(AfterPpm, Before);
+
+  for (size_t I = 0; I < Kept.size(); I += 8)
+    R.free(Kept[I]);
+}
+
+} // namespace
