@@ -59,7 +59,11 @@ Runtime &defaultRuntime() {
   // request touches nothing else.
   alignas(Runtime) static char Storage[sizeof(Runtime)];
   static std::atomic<int> State{0}; // 0 uninit, 1 constructing, 2 ready
-  static __thread bool ConstructingOnThisThread = false;
+  // initial-exec TLS like Shim.cpp's Busy guard: a global-dynamic TLS
+  // access can itself allocate (DTV slow path) and re-enter this very
+  // function before the runtime exists.
+  static __thread bool ConstructingOnThisThread
+      __attribute__((tls_model("initial-exec"))) = false;
   auto *Instance = reinterpret_cast<Runtime *>(Storage);
   if (State.load(std::memory_order_acquire) == 2)
     return *Instance;

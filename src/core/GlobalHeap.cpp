@@ -506,7 +506,13 @@ void GlobalHeap::maybeMesh() {
   if (!MeshLock.try_lock())
     return;
   std::lock_guard<SpinLock> Guard(MeshLock, std::adopt_lock);
-  if (Now - LastMeshMs.load(std::memory_order_relaxed) < meshPeriodMs())
+  // Re-sample the clock for the locked recheck: another thread may have
+  // finished a pass (advancing LastMeshMs past the pre-lock Now) in
+  // between, and the stale Now would wrap the unsigned delta and let a
+  // redundant back-to-back pass through. LastMeshMs is only written
+  // under MeshLock, so a fresh read cannot be behind it.
+  if (monotonicMs() - LastMeshMs.load(std::memory_order_relaxed) <
+      meshPeriodMs())
     return;
   // Hysteresis (Section 4.5): after an ineffective pass, wait for
   // another global free before re-arming.

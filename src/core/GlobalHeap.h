@@ -48,13 +48,17 @@
 
 #include <atomic>
 #include <cstddef>
+#include <mutex>
 
 namespace mesh {
 
 /// Receiver for non-blocking mesh-pass requests — implemented by the
 /// background mesher (runtime/BackgroundMesher.h). requestMeshPass()
-/// must be cheap and must never touch heap locks: it is called from
-/// the allocation refill path and from free()'s empty-span transition.
+/// must never touch heap locks and must stay cheap on the steady
+/// path: it is called from the allocation refill path and from
+/// free()'s empty-span transition. (The one heavier excursion — the
+/// once-per-fork deferred thread restart — takes only the fork
+/// registry lock and pthread_create, still no heap locks.)
 class MeshRequestSink {
 public:
   virtual ~MeshRequestSink() = default;
@@ -133,16 +137,47 @@ public:
   void maybeMesh();
 
   /// Registers (or, with nullptr, removes) the background mesher as the
-  /// receiver of maybeMesh() triggers. The sink must outlive its
-  /// registration: callers clear it before destroying the sink.
+  /// receiver of maybeMesh() triggers. Clearing the pointer does not by
+  /// itself make the old sink deletable — a mutator may have loaded it
+  /// and still be inside the call; run synchronizeMeshRequestSink()
+  /// after clearing, before destroying the sink.
   void setMeshRequestSink(MeshRequestSink *Sink) {
     RequestSink.store(Sink, std::memory_order_release);
   }
 
+  /// The currently registered sink (nullptr when none). Used by the
+  /// atfork child handler to decide whether a deferred mesher restart
+  /// must be re-armed.
+  MeshRequestSink *meshRequestSink() const {
+    return RequestSink.load(std::memory_order_acquire);
+  }
+
+  /// Waits until every thread currently inside a requestMeshPass()
+  /// dispatch (the sink-epoch section below) has left it. After
+  /// setMeshRequestSink(nullptr) plus this, no call through the heap
+  /// can still be executing on the old sink, so it may be deleted.
+  /// Callers must hold no heap locks and not be inside a sink
+  /// dispatch.
+  void synchronizeMeshRequestSink() {
+    std::lock_guard<SpinLock> Guard(SinkSyncLock);
+    RequestSinkEpoch.synchronize();
+  }
+
   /// Non-blocking compaction request: pokes the registered sink and
   /// returns true, or returns false when no background mesher is
-  /// attached (callers may fall back to a synchronous pass).
+  /// attached (callers may fall back to a synchronous pass). The epoch
+  /// section pins the sink object across the load + virtual call, so a
+  /// concurrent teardown (clear + synchronize, see stop()) cannot free
+  /// it underfoot. This is a *dedicated* epoch, deliberately not
+  /// MiniHeapEpoch: the sink's deferred fork-restart path runs
+  /// pthread_create, whose internal allocation can re-enter the
+  /// interposed allocator and reach epochSynchronize() — which would
+  /// self-deadlock spinning on this thread's own pinned MiniHeapEpoch
+  /// section, but waits on nobody when the pin lives on its own epoch.
+  /// The sink never takes heap locks (MeshRequestSink contract), so
+  /// nothing a synchronize caller holds can block these readers.
   bool requestMeshPass() {
+    Epoch::Section Section(RequestSinkEpoch);
     MeshRequestSink *Sink = RequestSink.load(std::memory_order_acquire);
     if (Sink == nullptr)
       return false;
@@ -170,8 +205,13 @@ public:
 
   /// Fork-child recovery (called from the atfork child handler, single
   /// threaded): clears epoch reader counts orphaned by parent threads
-  /// that do not exist in the child.
-  void resetEpochAfterFork() { MiniHeapEpoch.resetToQuiescent(); }
+  /// that do not exist in the child — both the MiniHeap metadata epoch
+  /// and the sink-dispatch epoch (a parent mid-poke at fork would
+  /// otherwise wedge the child's first sink synchronize).
+  void resetEpochAfterFork() {
+    MiniHeapEpoch.resetToQuiescent();
+    RequestSinkEpoch.resetToQuiescent();
+  }
 
   /// Fork quiesce: acquires every heap lock in rank order so the child
   /// inherits them free (no parent thread can be mid-critical-section
@@ -331,6 +371,8 @@ private:
   MeshableArena Arena;
   MeshStats Stats;
   mutable Epoch MiniHeapEpoch;
+  /// Pins the request sink across a dispatch (see requestMeshPass).
+  mutable Epoch RequestSinkEpoch;
 
   Shard Shards[kNumShards];
 
@@ -342,6 +384,12 @@ private:
   mutable SpinLock MeshLock;
   /// Serializes Epoch::synchronize callers (leaf lock).
   mutable SpinLock EpochSyncLock;
+  /// Serializes RequestSinkEpoch.synchronize() callers. Deliberately
+  /// not EpochSyncLock: a sink dispatch can nest a MiniHeapEpoch
+  /// synchronize (pthread_create's allocation re-entry on the deferred
+  /// restart path), which takes EpochSyncLock — holding that same lock
+  /// while spinning on sink readers would deadlock against them.
+  mutable SpinLock SinkSyncLock;
 
   /// SplitMesher randomness, guarded by MeshLock.
   Rng MeshRandom;

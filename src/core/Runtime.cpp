@@ -30,11 +30,18 @@ namespace mesh {
 ///              state with no critical section torn mid-way.
 ///   parent   — release in reverse, restart the meshers.
 ///   child    — additionally clear epoch reader counts orphaned by
-///              parent threads that do not exist here, then release and
-///              restart. The memfd arena itself stays shared with the
-///              parent (fork-then-exec is fully supported; a child that
-///              keeps allocating long-term shares span pages with the
-///              parent — see DESIGN.md for this documented gap).
+///              parent threads that do not exist here, then release.
+///              The mesher is NOT restarted here: pthread_create is
+///              not async-signal-safe in the forked child of a
+///              multithreaded process, so the child handler only
+///              re-initializes the mesher's wake mutex/condvar (a
+///              poking parent thread may have owned the mutex at the
+///              fork instant) and defers the thread spawn to the first
+///              post-fork poke. The memfd arena itself stays shared
+///              with the parent (fork-then-exec is fully supported; a
+///              child that keeps allocating long-term shares span
+///              pages with the parent — see DESIGN.md for this
+///              documented gap).
 class RuntimeForkSupport {
 public:
   static void registerRuntime(Runtime *R) {
@@ -58,6 +65,27 @@ public:
     R->PrevRuntime = R->NextRuntime = nullptr;
   }
 
+  /// Creates and starts \p R's background mesher under the registry
+  /// lock, so mesher bring-up cannot interleave with a concurrent
+  /// fork: prepare() holds RegistryLock for the whole fork window,
+  /// which means it either sees BgMesher null (not created yet — the
+  /// parent finishes construction afterwards; in the child the
+  /// constructing thread is gone and the mesher simply never existed)
+  /// or sees a fully started mesher it can quiesce. Without this, a
+  /// fork could snapshot Running=false, then race start(): the child
+  /// would inherit Running=true with no thread — swallowed pokes, and
+  /// a join of a nonexistent thread at teardown.
+  static void createMesher(Runtime *R, uint64_t WakeMs,
+                           const PressureConfig &Cfg) {
+    std::lock_guard<SpinLock> Guard(RegistryLock);
+    // The mesher gets RegistryLock as its lifecycle lock so its
+    // deferred post-fork restart serializes against prepare() the same
+    // way this initial bring-up does.
+    R->BgMesher = InternalHeap::global().makeNew<BackgroundMesher>(
+        R->Global, WakeMs, Cfg, &RegistryLock);
+    R->BgMesher->start();
+  }
+
 private:
   static void prepare() {
     RegistryLock.lock();
@@ -74,7 +102,7 @@ private:
     for (Runtime *R = Head; R != nullptr; R = R->NextRuntime) {
       R->Global.unlockForFork();
       if (R->BgMesher != nullptr)
-        R->BgMesher->resumeAfterFork();
+        R->BgMesher->resumeAfterForkParent();
     }
     RegistryLock.unlock();
   }
@@ -85,7 +113,7 @@ private:
       R->Global.resetEpochAfterFork();
       R->Global.unlockForFork();
       if (R->BgMesher != nullptr)
-        R->BgMesher->resumeAfterFork();
+        R->BgMesher->resumeAfterForkChild();
     }
     RegistryLock.unlock();
   }
@@ -128,9 +156,9 @@ Runtime::Runtime(const MeshOptions &Opts)
     PressureConfig Cfg;
     Cfg.FragThresholdPct = Opts.PressureFragThresholdPct;
     Cfg.MinCommittedBytes = Opts.PressureMinCommittedBytes;
-    BgMesher = InternalHeap::global().makeNew<BackgroundMesher>(
-        Global, Opts.BackgroundWakeMs, Cfg);
-    BgMesher->start();
+    // Under the fork-registry lock: bring-up must not interleave with
+    // a concurrent fork's quiesce (see createMesher).
+    RuntimeForkSupport::createMesher(this, Opts.BackgroundWakeMs, Cfg);
   }
 }
 
@@ -362,25 +390,43 @@ int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
     return ENOENT;
   }
   if (strncmp(Name, "pressure.", 9) == 0) {
-    // Always a fresh sample (one page-table walk + one /proc read, no
-    // allocation): observability should not depend on whether a
-    // background thread happens to have woken recently.
+    // Validate the leaf before paying for the sample: the sample is a
+    // page-table walk under ArenaLock plus a /proc read, too expensive
+    // to spend on an ENOENT.
+    const char *Leaf = Name + 9;
+    enum { FragPpm, Rss, Committed, InUse, Span } Which;
+    if (strcmp(Leaf, "frag_ppm") == 0)
+      Which = FragPpm;
+    else if (strcmp(Leaf, "rss_bytes") == 0)
+      Which = Rss;
+    else if (strcmp(Leaf, "committed_bytes") == 0)
+      Which = Committed;
+    else if (strcmp(Leaf, "in_use_bytes") == 0)
+      Which = InUse;
+    else if (strcmp(Leaf, "span_bytes") == 0)
+      Which = Span;
+    else
+      return ENOENT;
+    // Always a fresh sample (no allocation): observability should not
+    // depend on whether a background thread happens to have woken
+    // recently.
     GlobalHeapFootprintSource Src(Global);
     PressureConfig Cfg;
     Cfg.FragThresholdPct = Global.options().PressureFragThresholdPct;
     Cfg.MinCommittedBytes = Global.options().PressureMinCommittedBytes;
     const PressureSample S = PressureMonitor(Src, Cfg).sample();
-    const char *Leaf = Name + 9;
-    if (strcmp(Leaf, "frag_ppm") == 0)
+    switch (Which) {
+    case FragPpm:
       return ReadU64(S.FragPpm);
-    if (strcmp(Leaf, "rss_bytes") == 0)
+    case Rss:
       return ReadU64(S.RssBytes);
-    if (strcmp(Leaf, "committed_bytes") == 0)
+    case Committed:
       return ReadU64(S.Footprint.CommittedBytes);
-    if (strcmp(Leaf, "in_use_bytes") == 0)
+    case InUse:
       return ReadU64(S.Footprint.InUseBytes);
-    if (strcmp(Leaf, "span_bytes") == 0)
+    case Span:
       return ReadU64(S.Footprint.SpanBytes);
+    }
     return ENOENT;
   }
   if (strcmp(Name, "heap.num_shards") == 0)

@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <ctime>
+#include <mutex>
 
 namespace mesh {
 
@@ -26,11 +27,16 @@ timespec deadlineIn(uint64_t Ms) {
 } // namespace
 
 BackgroundMesher::BackgroundMesher(GlobalHeap &Heap, uint64_t WakeMs,
-                                   const PressureConfig &Cfg)
+                                   const PressureConfig &Cfg,
+                                   SpinLock *LifecycleLock)
     : Heap(Heap), Source(Heap), Monitor(Source, Cfg),
-      WakeMs(WakeMs == 0 ? 1 : WakeMs) {
-  // The waits below must track CLOCK_MONOTONIC: a wall-clock jump (ntp
-  // step, suspend) must not stall or storm the mesher.
+      WakeMs(WakeMs == 0 ? 1 : WakeMs), LifecycleLock(LifecycleLock) {
+  initMonotonicCondVar();
+}
+
+void BackgroundMesher::initMonotonicCondVar() {
+  // The waits must track CLOCK_MONOTONIC: a wall-clock jump (ntp step,
+  // suspend) must not stall or storm the mesher.
   pthread_condattr_t Attr;
   pthread_condattr_init(&Attr);
   pthread_condattr_setclock(&Attr, CLOCK_MONOTONIC);
@@ -61,10 +67,13 @@ void BackgroundMesher::start() {
   }
   const int Rc = pthread_create(&Thread, nullptr, threadEntry, this);
   if (Rc != 0) {
-    // Out of threads (or a locked-down sandbox): stay synchronous. Not
-    // registering the sink makes maybeMesh() fall back to inline
-    // passes by itself — degraded, never broken. (pthread_create
+    // Out of threads (or a locked-down sandbox): stay synchronous. An
+    // unregistered sink makes maybeMesh() fall back to inline passes
+    // by itself — degraded, never broken. The explicit clear matters
+    // on the deferred fork-restart path, where the sink was inherited
+    // registered; on initial start it is a no-op. (pthread_create
     // returns the error; it does not set errno.)
+    Heap.setMeshRequestSink(nullptr);
     logWarning("background mesher: pthread_create failed (error %d); "
                "falling back to synchronous meshing",
                Rc);
@@ -75,11 +84,24 @@ void BackgroundMesher::start() {
 }
 
 void BackgroundMesher::stop() {
+  // Block further deferred fork restarts first: a racing poke that
+  // already won the RestartPending exchange may still run start(), but
+  // no new one can begin after this store.
+  RestartPending.store(false, std::memory_order_relaxed);
+  // Two clear+drain rounds. Round one waits out every mutator that was
+  // inside a requestMeshPass() dispatch when the sink came down — one
+  // of those pokes may itself have been the deferred fork restart,
+  // whose start() re-registers the sink. Round two clears that
+  // re-registration and waits out any poke that loaded it. With
+  // RestartPending down and all dispatches epoch-drained, no third
+  // registration can appear, so on return nothing can still be (or
+  // ever again be) executing on this object through the heap.
+  for (int Round = 0; Round < 2; ++Round) {
+    Heap.setMeshRequestSink(nullptr);
+    Heap.synchronizeMeshRequestSink();
+  }
   if (!Running.load(std::memory_order_acquire))
     return;
-  // Unregister first so no new poke targets this object while it winds
-  // down; pokes already past the load simply set a flag nobody reads.
-  Heap.setMeshRequestSink(nullptr);
   pthread_mutex_lock(&M);
   StopFlag = true;
   pthread_cond_signal(&CV);
@@ -94,7 +116,10 @@ void BackgroundMesher::quiesceForFork() {
     return;
   // Join, but keep the sink registered: the fork window is tiny, and a
   // poke that lands in it just leaves the request flag set for the
-  // restarted thread to honor.
+  // restarted thread to honor. A poker can therefore own M at the fork
+  // instant — harmless in the parent (that thread lives on and
+  // releases), handled in the child by re-initializing M and CV in
+  // resumeAfterForkChild() before anything there can touch them.
   pthread_mutex_lock(&M);
   StopFlag = true;
   pthread_cond_signal(&CV);
@@ -103,16 +128,62 @@ void BackgroundMesher::quiesceForFork() {
   Running.store(false, std::memory_order_release);
 }
 
-void BackgroundMesher::resumeAfterFork() {
+void BackgroundMesher::resumeAfterForkParent() {
   if (!WasRunningBeforeFork)
     return;
   WasRunningBeforeFork = false;
-  // The thread was joined pre-fork, so M and CV were quiescent at the
-  // fork instant — safe to reuse in the child as-is.
+  // Our own thread was joined pre-fork; any mutator that held M across
+  // the fork window is still alive here and releases it normally, so
+  // start() can take M as usual.
   start();
 }
 
+void BackgroundMesher::resumeAfterForkChild() {
+  // A mutator inside requestMeshPass() may have owned M at the fork
+  // instant; that thread does not exist here, so the child would
+  // deadlock on its first use of M. Exactly one thread exists in the
+  // child, so re-initializing both primitives over the inherited state
+  // is safe — the standard atfork recovery for pthread objects.
+  pthread_mutex_init(&M, nullptr);
+  initMonotonicCondVar();
+  WasRunningBeforeFork = false;
+  // pthread_create is not async-signal-safe, and POSIX guarantees only
+  // async-signal-safe functions in the forked child of a multithreaded
+  // process. Defer the restart to the first post-fork poke, which runs
+  // in ordinary thread context (fork-then-exec children never pay for
+  // a thread they would not use). Until then the child's heap is
+  // poke-driven only; the inherited RequestFlag is honored by the
+  // restarted thread's first loop iteration.
+  //
+  // Re-arm off "the heap still points at us", not WasRunningBeforeFork:
+  // a fork can land between a poke's RestartPending exchange and its
+  // start() (the poke blocks on LifecycleLock, held by prepare()), in
+  // which case this fork quiesced with Running=false and an unconsumed
+  // restart obligation — the registered sink is the durable witness of
+  // that obligation in every such interleaving. If no thread was ever
+  // started (or start() failed), the sink is not registered and this
+  // stays down.
+  if (Heap.meshRequestSink() == this)
+    RestartPending.store(true, std::memory_order_release);
+}
+
 void BackgroundMesher::requestMeshPass() {
+  // Deferred fork restart: the child's atfork handler could not spawn
+  // a thread (not async-signal-safe there); the first post-fork poke —
+  // ordinary context — does it instead. The exchange elects exactly
+  // one restarter among racing pokes; LifecycleLock (the fork registry
+  // lock) excludes a concurrent fork's quiesce, so a fork either
+  // happens before the restart (the child re-arms via the registered
+  // sink) or sees a fully started thread it can join.
+  if (RestartPending.load(std::memory_order_relaxed) &&
+      RestartPending.exchange(false, std::memory_order_acq_rel)) {
+    if (LifecycleLock != nullptr) {
+      std::lock_guard<SpinLock> Guard(*LifecycleLock);
+      start();
+    } else {
+      start();
+    }
+  }
   // Fast path: a request is already pending; the thread will fold this
   // trigger into the pass it is about to run.
   if (Requested.load(std::memory_order_relaxed))

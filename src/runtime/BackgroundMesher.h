@@ -16,14 +16,20 @@
 ///     so no pokes ever arrive) gets compacted on pressure alone.
 ///
 /// Lifecycle: start() spawns the thread and registers the sink with the
-/// heap; stop() unregisters, raises the stop flag and joins. The fork
-/// protocol (quiesceForFork/resumeAfterFork, driven by Runtime's
+/// heap; stop() unregisters, drains in-flight pokes (epoch
+/// synchronize), raises the stop flag and joins. The fork protocol
+/// (quiesceForFork/resumeAfterFork{Parent,Child}, driven by Runtime's
 /// pthread_atfork handlers) stops the thread *before* fork — so the
-/// fork happens with no mesher thread at all, no heap lock held by it,
-/// and both parent and child restart a fresh thread afterwards. All
-/// state is inline (pthread primitives, no std::thread) so the
-/// lifecycle paths never allocate: they run inside malloc during
-/// LD_PRELOAD bring-up and inside atfork handlers.
+/// fork happens with no mesher thread at all and no heap lock held by
+/// it. The parent restarts a fresh thread right after fork; the child
+/// cannot (pthread_create is not async-signal-safe in the child of a
+/// multithreaded process), so it re-initializes the wake mutex and
+/// condvar — a mutator inside requestMeshPass() may own the mutex at
+/// the fork instant, and that thread does not exist in the child — and
+/// defers the restart to its first post-fork poke. All state is inline
+/// (pthread primitives, no std::thread) so the lifecycle paths never
+/// allocate: they run inside malloc during LD_PRELOAD bring-up and
+/// inside atfork handlers.
 ///
 /// Lock ranks: the wake mutex M is leaf-like and disjoint from every
 /// heap lock — requestMeshPass() (callers hold no shard locks, per
@@ -37,6 +43,7 @@
 
 #include "core/GlobalHeap.h"
 #include "runtime/PressureMonitor.h"
+#include "support/SpinLock.h"
 
 #include <atomic>
 #include <cstdint>
@@ -47,8 +54,14 @@ namespace mesh {
 class BackgroundMesher final : public MeshRequestSink {
 public:
   /// \p WakeMs is the timer interval; \p Cfg the pressure policy.
+  /// \p LifecycleLock, when non-null, is held around the deferred
+  /// post-fork restart's start() so mesher bring-up cannot interleave
+  /// with a concurrent fork's quiesce — Runtime passes its fork
+  /// registry lock (the lock prepare() holds for the whole fork
+  /// window); standalone/test constructions may pass nullptr.
   BackgroundMesher(GlobalHeap &Heap, uint64_t WakeMs,
-                   const PressureConfig &Cfg);
+                   const PressureConfig &Cfg,
+                   SpinLock *LifecycleLock = nullptr);
   ~BackgroundMesher() override;
 
   BackgroundMesher(const BackgroundMesher &) = delete;
@@ -58,25 +71,34 @@ public:
   /// sink. Idempotent.
   void start();
 
-  /// Unregisters the sink, stops and joins the thread. Idempotent; safe
-  /// to call with the thread already stopped.
+  /// Unregisters the sink, waits out mutators already inside a
+  /// requestMeshPass() dispatch (so no call can still be executing on
+  /// this object when the caller deletes it), then stops and joins the
+  /// thread. Idempotent; safe to call with the thread already stopped.
   void stop();
 
   bool running() const { return Running.load(std::memory_order_acquire); }
 
   /// MeshRequestSink: called from the allocation path. Sets the request
   /// flag and wakes the thread; returns immediately. The fast path (a
-  /// request already pending) is one relaxed load.
+  /// request already pending) is two relaxed loads. Also the home of
+  /// the deferred fork restart: the first poke after a fork re-spawns
+  /// the thread the child's atfork handler could not.
   void requestMeshPass() override;
 
   /// Fork protocol. quiesceForFork() joins the thread (remembering
   /// whether it was running) so fork() happens single-threaded with no
-  /// mesher state in flight; resumeAfterFork() restarts it in whichever
-  /// process(es) call it. The sink stays registered across the window —
-  /// pokes landing in between just set the flag for the restarted
-  /// thread.
+  /// mesher state in flight. resumeAfterForkParent() restarts it
+  /// directly; resumeAfterForkChild() re-initializes the wake mutex and
+  /// condvar (a poking mutator may have owned the mutex at the fork
+  /// instant — that thread does not exist in the child) and arranges a
+  /// lazy restart on the first post-fork poke, because pthread_create
+  /// is not async-signal-safe in the forked child of a multithreaded
+  /// process. The sink stays registered across the window — pokes
+  /// landing in between just set the flag for the restarted thread.
   void quiesceForFork();
-  void resumeAfterFork();
+  void resumeAfterForkParent();
+  void resumeAfterForkChild();
 
   /// Observability (mallctl background.* / pressure.*).
   uint64_t wakeups() const { return Wakeups.load(std::memory_order_relaxed); }
@@ -100,11 +122,15 @@ private:
   static void *threadEntry(void *Arg);
   void run();
   void publishSample(const PressureSample &S);
+  /// (Re-)initializes CV with CLOCK_MONOTONIC waits; shared by the ctor
+  /// and the fork-child recovery path.
+  void initMonotonicCondVar();
 
   GlobalHeap &Heap;
   GlobalHeapFootprintSource Source;
   PressureMonitor Monitor;
   const uint64_t WakeMs;
+  SpinLock *const LifecycleLock; ///< See the ctor; may be null.
 
   pthread_t Thread{};
   pthread_mutex_t M = PTHREAD_MUTEX_INITIALIZER;
@@ -113,6 +139,10 @@ private:
   bool RequestFlag = false;     ///< Guarded by M (mirror of Requested).
   std::atomic<bool> Requested{false}; ///< Lock-free poke fast path.
   std::atomic<bool> Running{false};
+  /// Set by the atfork child handler (where spawning a thread is not
+  /// async-signal-safe); consumed by the first post-fork poke, which
+  /// runs start() from ordinary thread context.
+  std::atomic<bool> RestartPending{false};
   bool WasRunningBeforeFork = false;
 
   std::atomic<uint64_t> Wakeups{0};

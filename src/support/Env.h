@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <strings.h> // strcasecmp
 
 namespace mesh {
 
@@ -32,7 +33,12 @@ inline bool envU64(const char *Name, uint64_t Min, uint64_t Max,
   char *End = nullptr;
   errno = 0;
   const unsigned long long Parsed = std::strtoull(Value, &End, 10);
-  if (errno != 0 || End == Value || *End != '\0') {
+  // strtoull silently wraps a leading '-' to a huge value; reject it
+  // explicitly so MESH_FOO=-1 warns instead of meaning "18 quintillion".
+  const char *First = Value;
+  while (*First == ' ' || *First == '\t')
+    ++First;
+  if (errno != 0 || End == Value || *End != '\0' || *First == '-') {
     logWarning("ignoring invalid %s='%s' (expected an unsigned integer)",
                Name, Value);
     return false;
@@ -48,13 +54,22 @@ inline bool envU64(const char *Name, uint64_t Min, uint64_t Max,
 }
 
 /// Boolean knob: unset -> \p Default; "0"/"false"/"off" -> false;
-/// anything else -> true.
+/// "1"/"true"/"on" -> true (all case-insensitive). Anything else is
+/// rejected with a warning and keeps the default, matching envU64 —
+/// a typoed value must not silently reconfigure the allocator.
 inline bool envBool(const char *Name, bool Default) {
   const char *Value = std::getenv(Name);
   if (Value == nullptr || Value[0] == '\0')
     return Default;
-  return !(std::strcmp(Value, "0") == 0 || std::strcmp(Value, "false") == 0 ||
-           std::strcmp(Value, "off") == 0);
+  if (strcasecmp(Value, "0") == 0 || strcasecmp(Value, "false") == 0 ||
+      strcasecmp(Value, "off") == 0)
+    return false;
+  if (strcasecmp(Value, "1") == 0 || strcasecmp(Value, "true") == 0 ||
+      strcasecmp(Value, "on") == 0)
+    return true;
+  logWarning("ignoring invalid %s='%s' (expected 0|1|true|false|on|off)",
+             Name, Value);
+  return Default;
 }
 
 } // namespace mesh

@@ -21,11 +21,22 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <ctime>
 #include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 #include <vector>
+
+#if defined(__SANITIZE_THREAD__)
+#define MESH_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MESH_TEST_TSAN 1
+#endif
+#endif
 
 using namespace mesh;
 
@@ -203,26 +214,36 @@ TEST(BackgroundMesherTest, ForkQuiescesAndRestartsBothSides) {
   const pid_t Pid = fork();
   ASSERT_GE(Pid, 0) << "fork failed";
   if (Pid == 0) {
-    // Child: the atfork protocol must have restarted a fresh mesher,
-    // and the heap must be fully usable (fork-then-allocate).
-    int Failures = 0;
-    if (R.backgroundMesher() == nullptr || !R.backgroundMesher()->running())
-      ++Failures;
-    for (int I = 0; I < 2000 && Failures == 0; ++I) {
+    // Child: the heap must be fully usable (fork-then-allocate). The
+    // mesher restarts *lazily* — pthread_create is not
+    // async-signal-safe inside the atfork child handler, so the
+    // handler only re-arms the mesher and the first post-fork poke
+    // spawns the thread.
+    BackgroundMesher *BM = R.backgroundMesher();
+    if (BM == nullptr)
+      _exit(40);
+    if (BM->running())
+      _exit(41); // restarted inside the handler — the unsafe path
+    // Open the poke gate so the very first refill restarts the thread.
+    uint64_t Zero = 0;
+    if (R.mallctl("mesh.period_ms", nullptr, nullptr, &Zero,
+                  sizeof(Zero)) != 0)
+      _exit(42);
+    for (int I = 0; I < 2000; ++I) {
       void *P = R.malloc(16 + (I % 64) * 8);
-      if (P == nullptr) {
-        ++Failures;
-        break;
-      }
+      if (P == nullptr)
+        _exit(43);
       memset(P, 0x5A, 8);
       R.free(P);
     }
+    if (!BM->running())
+      _exit(44); // allocation churn never poked the mesher back up
     R.meshNow(); // a full pass must not wedge on inherited state
     uint64_t Wakes = 0;
     size_t Len = sizeof(Wakes);
     if (R.mallctl("background.wakeups", &Wakes, &Len, nullptr, 0) != 0)
-      ++Failures;
-    _exit(Failures == 0 ? 0 : 42);
+      _exit(45);
+    _exit(0);
   }
 
   // Parent: child exits clean, and our own mesher keeps ticking.
@@ -238,6 +259,110 @@ TEST(BackgroundMesherTest, ForkQuiescesAndRestartsBothSides) {
       << "parent mesher did not keep running after fork";
   for (void *P : Pre)
     R.free(P);
+}
+
+// Regression for the fork/wake-mutex race: a mutator can be *inside*
+// requestMeshPass() — owning the mesher's wake mutex — at the fork
+// instant (quiescing joins only the mesher thread; pokers are
+// application threads the atfork protocol does not stop). The child
+// must re-initialize the mutex rather than inherit it locked by a
+// thread that does not exist there; before that fix, the child's first
+// poke deadlocked. Fork repeatedly under continuous poke traffic and
+// require every child to allocate and exit; a bounded wait turns the
+// historical deadlock into a test failure instead of a suite hang.
+TEST(BackgroundMesherTest, ForkWhileMutatorsPokeConcurrently) {
+#ifdef MESH_TEST_TSAN
+  GTEST_SKIP() << "TSan does not support spawning threads in the child "
+                  "of a multi-threaded fork (the lazy mesher restart "
+                  "does exactly that)";
+#else
+  MeshOptions Opts = backgroundOptions();
+  Opts.MeshPeriodMs = 0;             // every refill pokes: maximal mutex traffic
+  Opts.PressureFragThresholdPct = 0; // pressure off: pokes only
+  Runtime R(Opts);
+
+  std::atomic<bool> Stop{false};
+  auto Churn = [&R, &Stop] {
+    std::vector<void *> Block;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      for (int I = 0; I < 256; ++I)
+        Block.push_back(R.malloc(16 + (I % 16) * 32));
+      R.localHeap().releaseAll();
+      for (void *P : Block)
+        R.free(P);
+      Block.clear();
+    }
+  };
+  std::thread T1(Churn), T2(Churn);
+
+  const int Forks = static_cast<int>(stressScaled(8));
+  for (int F = 0; F < Forks; ++F) {
+    const pid_t Pid = fork();
+    if (Pid < 0)
+      break; // out of processes: the rounds already run stand
+    if (Pid == 0) {
+      // Child: single-threaded here. Allocating takes the heap locks
+      // the handlers released and pokes through the re-initialized
+      // wake mutex (which also lazily restarts the mesher). The alarm
+      // converts any child-side wedge into a signal death the parent's
+      // status check reports — it must stay below the parent's 20 s
+      // bounded wait so the SIGALRM attribution wins over SIGKILL.
+      alarm(10);
+      for (int I = 0; I < 512; ++I) {
+        void *P = R.malloc(64);
+        if (P == nullptr)
+          _exit(43);
+        memset(P, 0x6B, 8);
+        R.free(P);
+      }
+      // Fork again (bash subshell chains do): the quiesce protocol
+      // must also hold when this process's own mesher was lazily
+      // restarted moments ago.
+      const pid_t GPid = fork();
+      if (GPid == 0) {
+        alarm(10); // fork clears the inherited alarm; re-arm our own
+        for (int I = 0; I < 256; ++I) {
+          void *P = R.malloc(64);
+          if (P == nullptr)
+            _exit(45);
+          R.free(P);
+        }
+        _exit(0);
+      }
+      if (GPid > 0) {
+        int GSt = 0;
+        if (waitpid(GPid, &GSt, 0) != GPid || !WIFEXITED(GSt) ||
+            WEXITSTATUS(GSt) != 0)
+          _exit(44);
+      }
+      _exit(0);
+    }
+    int Status = 0;
+    pid_t Got = 0;
+    for (uint64_t Waited = 0; Waited < 20000 && Got != Pid; Waited += 10) {
+      Got = waitpid(Pid, &Status, WNOHANG);
+      if (Got == 0)
+        sleepMs(10);
+    }
+    if (Got != Pid) {
+      kill(Pid, SIGKILL);
+      waitpid(Pid, &Status, 0);
+      Stop.store(true);
+      T1.join();
+      T2.join();
+      FAIL() << "forked child wedged on inherited mesher state";
+    }
+    if (!WIFEXITED(Status) || WEXITSTATUS(Status) != 0) {
+      Stop.store(true);
+      T1.join();
+      T2.join();
+      FAIL() << "child-side failure (status " << Status << ")";
+    }
+  }
+  Stop.store(true);
+  T1.join();
+  T2.join();
+#endif
 }
 
 } // namespace

@@ -8,11 +8,11 @@
 #
 # Usage: preload_smoke.sh <path-to-libmesh.so> <repo-source-dir>
 #
-# The python3 case is a *known* failure: the interpreter segfaults
-# during startup under the preload (see ROADMAP.md, "LD_PRELOAD=
-# libmesh.so python3 segfaults during interpreter startup"). It is
-# recorded here as an expected failure so the day it starts passing —
-# or the day ls/git/bash regress — shows up in CI immediately.
+# Two cases are *known* failures recorded as XFAIL so the day they
+# start passing — or the day ls/git/bash regress — shows up in CI
+# immediately: python3 segfaults during interpreter startup, and a
+# forked bash child that never execs corrupts the parent through the
+# MAP_SHARED arena (both tracked as ROADMAP.md open items).
 #===------------------------------------------------------------------------===#
 set -u
 
@@ -44,6 +44,20 @@ else
   echo "SKIP: git status (no git or no repo at $SRCDIR)"
 fi
 
+# Known failure: a forked bash child that never execs (subshell,
+# command substitution, pipe-to-builtin). Parent and child fork with
+# identical allocator metadata over a MAP_SHARED arena, hand out the
+# same slots, and the child's writes corrupt the parent (ROADMAP.md
+# "Fork gap"; fix is copy-to-fresh-memfd in the atfork child handler).
+# Fork-then-exec — the run_case lines above — is unaffected.
+if timeout 30 env LD_PRELOAD="$LIB" bash -c 'x=$(echo hi); test "$x" = hi' >/dev/null 2>&1; then
+  echo "XPASS: bash fork-without-exec unexpectedly survives the" \
+       "shared-arena gap — update the ROADMAP.md open item"
+else
+  echo "XFAIL: bash fork-without-exec (known shared-arena gap," \
+       "tracked in ROADMAP.md)"
+fi
+
 # Known failure: python3 startup (ROADMAP.md open item). Expected to
 # crash; treated as XFAIL. If it ever passes, say so loudly (and go
 # check the ROADMAP item off) without failing the fence.
@@ -62,5 +76,6 @@ if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES preload smoke case(s) regressed"
   exit 1
 fi
-echo "preload smoke green (python3 remains expected-fail)"
+echo "preload smoke green (bash fork-without-exec and python3 remain" \
+     "expected-fail)"
 exit 0
