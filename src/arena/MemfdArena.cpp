@@ -14,18 +14,98 @@
 
 namespace mesh {
 
+namespace {
+
+// Everything in this file may run inside the atfork child handler or
+// during preload bring-up (we *are* malloc), so failure reporting is
+// restricted to fatalErrorForkSafe: write(2) + abort, no vsnprintf, no
+// allocation.
+
+/// pwrite the whole range or die. Retries short writes and EINTR;
+/// everything else is unrecoverable mid-reinitialization.
+void pwriteFully(int Fd, const char *Src, size_t Len, off_t Off) {
+  while (Len > 0) {
+    const ssize_t N = pwrite(Fd, Src, Len, Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      fatalErrorForkSafe("fork child: pwrite to the fresh arena memfd failed",
+                         errno);
+    }
+    Src += N;
+    Off += static_cast<off_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+}
+
+struct ForkReplayCtx {
+  int OldFd;
+  int NewFd;
+  char *Base;
+};
+
+/// Pass-1 visitor: copy one physical span's data extents into the new
+/// file. Alias entries are skipped — a physical span appears exactly
+/// once as an identity entry, which is what keeps the copy
+/// once-per-distinct-physical-span. The *source* bytes are read
+/// through the parent-inherited MAP_SHARED mapping (identity-mapped by
+/// construction for a physical span); the hole geometry comes from
+/// lseek(SEEK_DATA/SEEK_HOLE) on the inherited fd, so pages the parent
+/// never materialized stay holes in the child's file too.
+void copyPhysicalSpanExtents(void *CtxP, size_t VirtPageOff,
+                             size_t PhysPageOff, size_t Pages) {
+  if (VirtPageOff != PhysPageOff)
+    return;
+  auto *Ctx = static_cast<ForkReplayCtx *>(CtxP);
+  off_t Cur = static_cast<off_t>(pagesToBytes(PhysPageOff));
+  const off_t End = Cur + static_cast<off_t>(pagesToBytes(Pages));
+  while (Cur < End) {
+    off_t Data = lseek(Ctx->OldFd, Cur, SEEK_DATA);
+    if (Data < 0) {
+      if (errno == ENXIO)
+        break; // No data at or past Cur: the rest of the span is hole.
+      // SEEK_DATA unsupported (ancient kernel): degrade to copying the
+      // remainder verbatim — correct, merely commits hole pages.
+      Data = Cur;
+    }
+    if (Data >= End)
+      break;
+    off_t Hole = lseek(Ctx->OldFd, Data, SEEK_HOLE);
+    if (Hole < 0 || Hole > End)
+      Hole = End;
+    pwriteFully(Ctx->NewFd, Ctx->Base + Data,
+                static_cast<size_t>(Hole - Data), Data);
+    Cur = Hole;
+  }
+}
+
+/// Pass-3 visitor: re-establish one meshed alias on the new fd.
+void remapAliasSpan(void *CtxP, size_t VirtPageOff, size_t PhysPageOff,
+                    size_t Pages) {
+  if (VirtPageOff == PhysPageOff)
+    return;
+  auto *Ctx = static_cast<ForkReplayCtx *>(CtxP);
+  void *Res = mmap(Ctx->Base + pagesToBytes(VirtPageOff),
+                   pagesToBytes(Pages), PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_FIXED, Ctx->NewFd,
+                   static_cast<off_t>(pagesToBytes(PhysPageOff)));
+  if (Res == MAP_FAILED)
+    fatalErrorForkSafe("fork child: alias replay mmap failed", errno);
+}
+
+} // namespace
+
 MemfdArena::MemfdArena(size_t Bytes) : ArenaBytes(Bytes) {
   assert(Bytes % kPageSize == 0 && "arena size must be page aligned");
   Fd = memfd_create("mesh-arena", MFD_CLOEXEC);
   if (Fd < 0)
-    fatalError("memfd_create failed: %s", strerror(errno));
+    fatalErrorForkSafe("memfd_create failed", errno);
   if (ftruncate(Fd, static_cast<off_t>(ArenaBytes)) != 0)
-    fatalError("ftruncate(%zu) failed: %s", ArenaBytes, strerror(errno));
+    fatalErrorForkSafe("arena ftruncate failed", errno);
   void *Mem = mmap(nullptr, ArenaBytes, PROT_READ | PROT_WRITE, MAP_SHARED,
                    Fd, 0);
   if (Mem == MAP_FAILED)
-    fatalError("arena mmap of %zu bytes failed: %s", ArenaBytes,
-               strerror(errno));
+    fatalErrorForkSafe("arena mmap failed", errno);
   Base = static_cast<char *>(Mem);
 }
 
@@ -46,7 +126,7 @@ void MemfdArena::release(size_t PageOff, size_t Pages) {
   if (fallocate(Fd, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
                 static_cast<off_t>(pagesToBytes(PageOff)),
                 static_cast<off_t>(pagesToBytes(Pages))) != 0)
-    fatalError("fallocate punch-hole failed: %s", strerror(errno));
+    fatalErrorForkSafe("fallocate punch-hole failed", errno);
   Committed.fetch_sub(Pages, std::memory_order_relaxed);
 }
 
@@ -62,7 +142,7 @@ void MemfdArena::alias(size_t VictimPageOff, size_t KeeperPageOff,
                    MAP_SHARED | MAP_FIXED, Fd,
                    static_cast<off_t>(pagesToBytes(KeeperPageOff)));
   if (Res == MAP_FAILED)
-    fatalError("mesh remap failed: %s", strerror(errno));
+    fatalErrorForkSafe("mesh remap failed", errno);
 }
 
 void MemfdArena::resetMapping(size_t PageOff, size_t Pages) {
@@ -71,21 +151,66 @@ void MemfdArena::resetMapping(size_t PageOff, size_t Pages) {
                    MAP_SHARED | MAP_FIXED, Fd,
                    static_cast<off_t>(pagesToBytes(PageOff)));
   if (Res == MAP_FAILED)
-    fatalError("identity remap failed: %s", strerror(errno));
+    fatalErrorForkSafe("identity remap failed", errno);
 }
 
 void MemfdArena::protect(size_t PageOff, size_t Pages, bool ReadOnly) {
   const int Prot = ReadOnly ? PROT_READ : (PROT_READ | PROT_WRITE);
   if (mprotect(ptrForPage(PageOff), pagesToBytes(Pages), Prot) != 0)
-    fatalError("mprotect failed: %s", strerror(errno));
+    fatalErrorForkSafe("mprotect failed", errno);
 }
 
 size_t MemfdArena::kernelFilePages() const {
   struct stat St;
   if (fstat(Fd, &St) != 0)
-    fatalError("fstat on arena fd failed: %s", strerror(errno));
+    fatalErrorForkSafe("fstat on arena fd failed", errno);
   // st_blocks counts 512-byte units.
   return static_cast<size_t>(St.st_blocks) * 512 / kPageSize;
+}
+
+void MemfdArena::reinitializeAfterFork(ForkSpanSource &Spans) {
+  // Ordering note: nothing below mutates the arena until the fresh
+  // file exists and is fully populated, so a failure anywhere in pass
+  // 1 (reported via write(2) + abort, never allocation) leaves the
+  // inherited mapping exactly as fork delivered it — usable for
+  // fork-then-exec, never half-initialized.
+  const int NewFd = memfd_create("mesh-arena", MFD_CLOEXEC);
+  if (NewFd < 0)
+    fatalErrorForkSafe("fork child: memfd_create for the fresh arena failed",
+                       errno);
+  if (ftruncate(NewFd, static_cast<off_t>(ArenaBytes)) != 0)
+    fatalErrorForkSafe("fork child: ftruncate on the fresh arena failed",
+                       errno);
+
+  ForkReplayCtx Ctx{Fd, NewFd, Base};
+
+  // Pass 1: replay the file population, once per distinct physical
+  // span, holes preserved (see copyPhysicalSpanExtents).
+  Spans.forEachVirtualSpan(copyPhysicalSpanExtents, &Ctx);
+
+  // Pass 2: swing the entire reservation onto the new file with the
+  // identity mapping. This covers every non-span region too (clean and
+  // dirty span bins, the un-carved frontier): after this, no virtual
+  // address in the arena can reach the parent's file.
+  void *Res = mmap(Base, ArenaBytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_FIXED, NewFd, 0);
+  if (Res == MAP_FAILED)
+    fatalErrorForkSafe("fork child: arena identity remap failed", errno);
+
+  // Pass 3: replay meshed aliases over the identity base.
+  Spans.forEachVirtualSpan(remapAliasSpan, &Ctx);
+
+  // The inherited fd's last role was as the pass-1 copy source; drop
+  // it so a long-lived forked child (prefork worker) does not pin the
+  // parent's physical pages — and does not leak one fd per generation.
+  if (close(Fd) != 0)
+    fatalErrorForkSafe("fork child: closing the inherited arena fd failed",
+                       errno);
+  Fd = NewFd;
+  // Committed is inherited unchanged on purpose: the heap layer
+  // flushed its dirty bins pre-fork (they are not replayed here), so
+  // at this point the counter covers exactly the live spans the copy
+  // replayed.
 }
 
 } // namespace mesh

@@ -29,6 +29,31 @@
 
 namespace mesh {
 
+/// Span enumeration for MemfdArena::reinitializeAfterFork().
+/// Implemented by the heap layer (GlobalHeap walks its page table);
+/// declared here so the arena substrate needs no core/ dependency.
+///
+/// The contract is fork-async-signal-tolerant: implementations run in
+/// the atfork child handler and must not allocate, take locks, or call
+/// anything that is not async-signal-safe. Plain function pointer +
+/// context instead of std::function for the same reason.
+class ForkSpanSource {
+public:
+  /// Called once per live *virtual* span. Identity-mapped spans report
+  /// VirtPageOff == PhysPageOff; meshed aliases report the keeper's
+  /// physical span offset. A physical span is visited exactly once as
+  /// an identity entry (plus once per alias meshed onto it).
+  using SpanVisitor = void (*)(void *Ctx, size_t VirtPageOff,
+                               size_t PhysPageOff, size_t Pages);
+
+  /// Invokes \p Visit for every live virtual span. May be called more
+  /// than once per reinitialization (one walk per replay pass).
+  virtual void forEachVirtualSpan(SpanVisitor Visit, void *Ctx) = 0;
+
+protected:
+  ~ForkSpanSource() = default;
+};
+
 /// A contiguous reservation of virtual address space backed by a
 /// memfd file with identity virtual->file mapping at creation.
 ///
@@ -102,6 +127,30 @@ public:
   /// Ground truth from the kernel: file blocks actually allocated to
   /// the memfd, in pages. Used by tests to validate our accounting.
   size_t kernelFilePages() const;
+
+  /// The fork-child copy protocol (reference implementation's
+  /// approach): after fork(), parent and child share this arena's
+  /// memfd — MAP_SHARED data pages under COW-private metadata — so
+  /// both sides would hand out the same slots and corrupt each other.
+  /// Called from the atfork child handler (single-threaded, every heap
+  /// lock inherited held, the parent fenced from mutating the shared
+  /// file), this:
+  ///
+  ///   1. creates a fresh memfd and replays the file population — each
+  ///      physical span's *data extents* are copied at their original
+  ///      file offsets, read through the parent-inherited mapping;
+  ///      punched holes stay holes, so committedPages() and
+  ///      kernelFilePages() stay truthful in the child;
+  ///   2. swings the whole reservation onto the new file with one
+  ///      identity mmap(MAP_FIXED | MAP_SHARED) (atomic; no unmapped
+  ///      window);
+  ///   3. replays every meshed alias onto the new fd;
+  ///   4. closes the inherited fd.
+  ///
+  /// Every failure path reports via write(2) and aborts without
+  /// allocating (fatalErrorForkSafe); a failed memfd_create aborts
+  /// before the arena is touched, so it never half-initializes.
+  void reinitializeAfterFork(ForkSpanSource &Spans);
 
 private:
   char *Base = nullptr;

@@ -606,6 +606,61 @@ void GlobalHeap::unlockForFork() {
   MeshLock.unlock();
 }
 
+namespace {
+
+/// ForkSpanSource over the page table: one visit per virtual span,
+/// each MiniHeap enumerated exactly once at the first page of its
+/// physical span (alias pages resolve to the same owner at other
+/// offsets and are skipped; retired/meshed-away metadata is no longer
+/// reachable through the table at all). Runs in the atfork child —
+/// single-threaded, ArenaLock inherited held — so the plain walk needs
+/// no epoch section and must not allocate.
+class PageTableForkSpanSource final : public ForkSpanSource {
+public:
+  explicit PageTableForkSpanSource(const MeshableArena &Arena)
+      : Arena(Arena) {}
+
+  void forEachVirtualSpan(SpanVisitor Visit, void *Ctx) override {
+    const size_t Frontier = Arena.frontierPages();
+    for (size_t Page = 0; Page < Frontier; ++Page) {
+      const MiniHeap *MH = Arena.ownerOfPage(Page);
+      if (MH == nullptr || MH->physicalSpanOffset() != Page)
+        continue;
+      const auto &Spans = MH->spans();
+      for (uint32_t I = 0; I < Spans.size(); ++I)
+        Visit(Ctx, Spans[I], Spans[0], MH->spanPages());
+    }
+  }
+
+private:
+  const MeshableArena &Arena;
+};
+
+} // namespace
+
+void GlobalHeap::flushDirtyForFork() {
+  // All heap locks held (fork prepare); see the header for why this
+  // cannot wait for the child: the flush's clean-bin push_back may
+  // grow an InternalVector, and that InternalHeap allocation would
+  // self-deadlock against the inherited-held InternalHeap lock in the
+  // single-threaded child.
+  Arena.flushDirty();
+}
+
+void GlobalHeap::reinitializeArenaAfterFork() {
+  // Called from the atfork child handler with every heap lock
+  // inherited held (lockForFork ran in prepare) and exactly one thread
+  // in the process; the parent is fenced on the fork pipe until this
+  // returns, so the inherited mapping is a stable fork-instant
+  // snapshot to copy from. Dirty bins were flushed pre-fork
+  // (flushDirtyForFork), so every committed page belongs to a live
+  // span the walk below replays — nothing here may allocate.
+  assert(Arena.dirtyPages() == 0 &&
+         "fork child inherited unflushed dirty spans");
+  PageTableForkSpanSource Spans(Arena);
+  Arena.vm().reinitializeAfterFork(Spans);
+}
+
 size_t GlobalHeap::flushDirtyPages() {
   // Destroy queued-up empty spans first so their pages flush too.
   drainAllShards();

@@ -220,6 +220,31 @@ public:
   void lockForFork();
   void unlockForFork();
 
+  /// Fork-prepare companion to reinitializeArenaAfterFork: flushes the
+  /// dirty span bins while the process is still intact, so the child
+  /// handler has nothing to flush. Dirty spans hold dead contents the
+  /// child will not copy, and the flush's bin moves can grow an
+  /// InternalVector — an InternalHeap allocation that is legal here
+  /// (the InternalHeap fork lock is not yet taken) but would
+  /// self-deadlock in the child, where that lock is inherited held.
+  /// Caller must hold every heap lock (lockForFork) and not yet hold
+  /// the InternalHeap lock.
+  void flushDirtyForFork();
+
+  /// Fork-child arena recovery (the copy-to-fresh-memfd protocol):
+  /// rebuilds the arena on a private memfd so the child stops sharing
+  /// data pages with the parent. Drives
+  /// MemfdArena::reinitializeAfterFork() with a page-table walk that
+  /// enumerates every MiniHeap once (at its physical span's first
+  /// page) and replays its full span list — identity mapping plus
+  /// meshed aliases. The dirty bins are guaranteed empty here
+  /// (flushDirtyForFork ran in prepare), so committedPages() already
+  /// equals exactly what the copy replays. Must run in the atfork
+  /// child handler, before any lock is released and before the
+  /// mesher's deferred restart can be consumed; allocation-free and
+  /// bounded-syscalls end to end.
+  void reinitializeArenaAfterFork();
+
   /// Flushes dirty spans back to the OS (also happens automatically
   /// past the dirty budget).
   size_t flushDirtyPages();
@@ -228,6 +253,11 @@ public:
     return pagesToBytes(Arena.committedPages());
   }
   size_t dirtyBytes() const { return pagesToBytes(Arena.dirtyPages()); }
+  /// Kernel ground truth for the arena file, in pages. Always <=
+  /// committedPages (committed counts whole spans; the kernel only
+  /// charges materialized pages) — an invariant the fork tests assert
+  /// survives the child-side arena rebuild.
+  size_t kernelFilePages() const { return Arena.kernelFilePages(); }
 
   MeshStats &stats() { return Stats; }
   const MeshStats &stats() const { return Stats; }

@@ -83,6 +83,9 @@ public:
 
   /// Pages currently backed by physical memory (the RSS analogue).
   size_t committedPages() const { return Arena.committedPages(); }
+  /// Kernel ground truth: file blocks actually allocated to the arena
+  /// memfd, in pages (observability / accounting-agreement checks).
+  size_t kernelFilePages() const { return Arena.kernelFilePages(); }
   size_t dirtyPages() const { return DirtyPageCount; }
   /// High-water mark of the bump frontier, in pages.
   size_t frontierPages() const { return HighWaterPage; }

@@ -12,7 +12,9 @@
 #include <cassert>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <mutex>
+#include <unistd.h>
 
 namespace mesh {
 
@@ -28,20 +30,35 @@ namespace mesh {
 ///              ArenaLock: refills allocate metadata under it). The
 ///              child therefore inherits every lock in the released
 ///              state with no critical section torn mid-way.
-///   parent   — release in reverse, restart the meshers.
-///   child    — additionally clear epoch reader counts orphaned by
-///              parent threads that do not exist here, then release.
+///   parent   — wait on the copy fence (below), then release in
+///              reverse and restart the meshers.
+///   child    — FIRST rebuild every runtime's arena on a private memfd
+///              (GlobalHeap::reinitializeArenaAfterFork, the
+///              copy-to-fresh-memfd protocol): the child inherits
+///              MAP_SHARED arena data pages under COW-private
+///              allocator metadata, so without this both sides hand
+///              out the same slots and corrupt each other. Then signal
+///              the copy fence, clear epoch reader counts orphaned by
+///              parent threads that do not exist here, and release.
 ///              The mesher is NOT restarted here: pthread_create is
 ///              not async-signal-safe in the forked child of a
 ///              multithreaded process, so the child handler only
 ///              re-initializes the mesher's wake mutex/condvar (a
 ///              poking parent thread may have owned the mutex at the
 ///              fork instant) and defers the thread spawn to the first
-///              post-fork poke. The memfd arena itself stays shared
-///              with the parent (fork-then-exec is fully supported; a
-///              child that keeps allocating long-term shares span
-///              pages with the parent — see DESIGN.md for this
-///              documented gap).
+///              post-fork poke — which is also why the arena rebuild
+///              must come first: by the time any deferred restart (or
+///              any allocation at all) can run in the child, the
+///              shared file is already out of the picture.
+///
+/// The copy fence: prepare() opens a pipe. The child copies span
+/// contents out of the *shared* memfd using its fork-instant metadata
+/// snapshot; if the parent released its heap locks first, a parent
+/// mutator could rewrite or punch the very pages mid-copy. So the
+/// parent handler blocks on the pipe until the child reports the copy
+/// done (or EOF — a failed fork() or a child that aborted mid-reinit —
+/// which releases the fence just the same). The reference
+/// implementation uses the identical fence for the identical reason.
 class RuntimeForkSupport {
 public:
   static void registerRuntime(Runtime *R) {
@@ -93,11 +110,41 @@ private:
       if (R->BgMesher != nullptr)
         R->BgMesher->quiesceForFork();
       R->Global.lockForFork();
+      // Flush dirty bins while allocation is still legal (the
+      // InternalHeap lock below is not yet held): the child's arena
+      // rebuild skips dirty spans, and the child itself must not
+      // allocate — see GlobalHeap::flushDirtyForFork.
+      R->Global.flushDirtyForFork();
     }
     InternalHeap::global().lockForFork();
+    // The copy fence (see the class comment). On the off chance the
+    // pipe cannot be created, fork proceeds unfenced — the child's
+    // copy then races parent mutators, which is still strictly better
+    // than sharing the file forever — with a warning so the condition
+    // is visible.
+    if (pipe2(ForkFence, O_CLOEXEC) != 0) {
+      ForkFence[0] = ForkFence[1] = -1;
+      logWarning("fork copy-fence pipe creation failed (errno %d); "
+                 "forking without the parent-side fence",
+                 errno);
+    }
   }
 
   static void parent() {
+    // Fence before any unlock: no parent mutator may touch the shared
+    // file while the child is copying out of it. EOF covers both the
+    // failed-fork case (no child ever held the write end) and a child
+    // that aborted mid-reinitialization.
+    if (ForkFence[0] >= 0) {
+      close(ForkFence[1]);
+      char Byte;
+      ssize_t N;
+      do {
+        N = read(ForkFence[0], &Byte, 1);
+      } while (N < 0 && errno == EINTR);
+      close(ForkFence[0]);
+      ForkFence[0] = ForkFence[1] = -1;
+    }
     InternalHeap::global().unlockForFork();
     for (Runtime *R = Head; R != nullptr; R = R->NextRuntime) {
       R->Global.unlockForFork();
@@ -108,6 +155,25 @@ private:
   }
 
   static void child() {
+    // Arena rebuild first, with every lock still inherited held and
+    // the parent fenced: after this loop the child owns private
+    // file-backed storage and nothing in this process can reach the
+    // parent's pages. Ordered strictly before the mesher child
+    // recovery below — the deferred restart it arms is consumed by the
+    // first post-fork allocation, which must already see the fresh
+    // arena.
+    for (Runtime *R = Head; R != nullptr; R = R->NextRuntime)
+      R->Global.reinitializeArenaAfterFork();
+    if (ForkFence[1] >= 0) {
+      close(ForkFence[0]);
+      const char Byte = 1;
+      ssize_t N;
+      do {
+        N = write(ForkFence[1], &Byte, 1);
+      } while (N < 0 && errno == EINTR);
+      close(ForkFence[1]);
+      ForkFence[0] = ForkFence[1] = -1;
+    }
     InternalHeap::global().unlockForFork();
     for (Runtime *R = Head; R != nullptr; R = R->NextRuntime) {
       R->Global.resetEpochAfterFork();
@@ -123,11 +189,13 @@ private:
   static SpinLock RegistryLock;
   static Runtime *Head;
   static pthread_once_t Once;
+  static int ForkFence[2];
 };
 
 SpinLock RuntimeForkSupport::RegistryLock;
 Runtime *RuntimeForkSupport::Head = nullptr;
 pthread_once_t RuntimeForkSupport::Once = PTHREAD_ONCE_INIT;
+int RuntimeForkSupport::ForkFence[2] = {-1, -1};
 
 namespace {
 

@@ -41,4 +41,39 @@ void fatalError(const char *Fmt, ...) {
   abort();
 }
 
+void fatalErrorForkSafe(const char *Msg, int Err) {
+  // No vsnprintf, no locale, no allocation: memcpy into a stack buffer
+  // plus one write(2) and abort(), all async-signal-safe.
+  char Buf[512];
+  size_t Off = 0;
+  const auto Append = [&](const char *S, size_t N) {
+    if (N > sizeof(Buf) - 2 - Off)
+      N = sizeof(Buf) - 2 - Off;
+    memcpy(Buf + Off, S, N);
+    Off += N;
+  };
+  Append("mesh: fatal: ", 13);
+  Append(Msg, strlen(Msg));
+  if (Err != 0) {
+    Append(" (errno ", 8);
+    char Digits[12];
+    size_t N = 0;
+    unsigned V = Err < 0 ? static_cast<unsigned>(-Err)
+                         : static_cast<unsigned>(Err);
+    do {
+      Digits[N++] = static_cast<char>('0' + V % 10);
+      V /= 10;
+    } while (V != 0 && N < sizeof(Digits));
+    if (Err < 0)
+      Append("-", 1);
+    while (N > 0)
+      Append(&Digits[--N], 1);
+    Append(")", 1);
+  }
+  Buf[Off++] = '\n';
+  ssize_t Ignored = write(2, Buf, Off);
+  (void)Ignored;
+  abort();
+}
+
 } // namespace mesh

@@ -20,6 +20,14 @@ void logWarning(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
 [[noreturn]] void fatalError(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Async-signal-safe fatal report: concatenates \p Msg and (when
+/// nonzero) \p Err rendered in decimal with nothing but memcpy and one
+/// write(2), then aborts. fatalError's vsnprintf is not
+/// async-signal-safe, so every fatal path reachable from an atfork
+/// child handler — and the preload bring-up paths that run before libc
+/// is fully initialized — must use this instead.
+[[noreturn]] void fatalErrorForkSafe(const char *Msg, int Err = 0);
+
 } // namespace mesh
 
 #endif // MESH_SUPPORT_LOG_H

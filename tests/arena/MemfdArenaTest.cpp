@@ -12,6 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
 
 namespace mesh {
 namespace {
@@ -131,6 +134,147 @@ TEST(MemfdArenaTest, CommittedAccountingMatchesOperations) {
   EXPECT_EQ(A.committedPages(), 5u);
   A.commit(100, 2);
   EXPECT_EQ(A.committedPages(), 7u);
+}
+
+/// Scripted span source for reinitializeAfterFork: a fixed list of
+/// (virtual, physical, pages) triples, the shape the GlobalHeap walk
+/// produces from its page table.
+class FixedForkSpanSource final : public ForkSpanSource {
+public:
+  struct Entry {
+    size_t Virt, Phys, Pages;
+  };
+  explicit FixedForkSpanSource(std::vector<Entry> Entries)
+      : Entries(std::move(Entries)) {}
+  void forEachVirtualSpan(SpanVisitor Visit, void *Ctx) override {
+    for (const Entry &E : Entries)
+      Visit(Ctx, E.Virt, E.Phys, E.Pages);
+  }
+
+private:
+  std::vector<Entry> Entries;
+};
+
+TEST(MemfdArenaTest, ReinitializeAfterForkPreservesDataAndHoles) {
+  MemfdArena A(kTestArena);
+  // A 4-page physical span: pages 0,1,3 written, page 2 left a hole
+  // (never touched — a committed-but-unmaterialized page).
+  for (size_t P : {size_t{0}, size_t{1}, size_t{3}})
+    snprintf(A.ptrForPage(0) + P * kPageSize, 32, "span-page-%zu", P);
+  A.commit(0, 4);
+  ASSERT_EQ(A.kernelFilePages(), 3u);
+
+  FixedForkSpanSource Spans({{0, 0, 4}});
+  A.reinitializeAfterFork(Spans);
+
+  // Hole geometry identical — checked *before* any read of page 2: a
+  // tmpfs read fault materializes a hole page, so the order matters
+  // (kernelFilePages would already read 4 if the copy had written the
+  // hole as zeroes).
+  EXPECT_EQ(A.kernelFilePages(), 3u);
+  // Contents identical, accounting untouched.
+  for (size_t P : {size_t{0}, size_t{1}, size_t{3}}) {
+    char Want[32];
+    snprintf(Want, sizeof(Want), "span-page-%zu", P);
+    EXPECT_STREQ(A.ptrForPage(0) + P * kPageSize, Want);
+  }
+  EXPECT_EQ(A.ptrForPage(2)[0], 0);
+  EXPECT_EQ(A.committedPages(), 4u);
+  // The fresh file is fully writable through the existing mapping.
+  strcpy(A.ptrForPage(2), "late-write");
+  EXPECT_STREQ(A.ptrForPage(2), "late-write");
+  EXPECT_EQ(A.kernelFilePages(), 4u);
+}
+
+TEST(MemfdArenaTest, ReinitializeAfterForkDropsUnreplayedSpans) {
+  MemfdArena A(kTestArena);
+  // Page 0 is a live span; page 10 holds stale data nothing owns (a
+  // dirty span in heap terms). Only page 0 is replayed: the stale data
+  // must not be charged to the fresh file.
+  strcpy(A.ptrForPage(0), "live");
+  strcpy(A.ptrForPage(10), "stale");
+  A.commit(0, 1);
+  ASSERT_EQ(A.kernelFilePages(), 2u);
+
+  FixedForkSpanSource Spans({{0, 0, 1}});
+  A.reinitializeAfterFork(Spans);
+
+  // Kernel charge first (a read fault on the unreplayed page would
+  // materialize it), then contents.
+  EXPECT_EQ(A.kernelFilePages(), 1u);
+  EXPECT_STREQ(A.ptrForPage(0), "live");
+  EXPECT_EQ(A.ptrForPage(10)[0], 0) << "unreplayed span must read zero";
+}
+
+TEST(MemfdArenaTest, ReinitializeAfterForkReplaysAliases) {
+  MemfdArena A(kTestArena);
+  // Mirror a real mesh: two carved spans (both committed), victim 10
+  // meshed onto keeper 0, victim's own file page punched.
+  strcpy(A.ptrForPage(0), "keeper");
+  strcpy(A.ptrForPage(10), "victim");
+  A.commit(0, 1);
+  A.commit(10, 1);
+  A.alias(/*VictimPageOff=*/10, /*KeeperPageOff=*/0, 1);
+  A.release(10, 1);
+  ASSERT_STREQ(A.ptrForPage(10), "keeper");
+  ASSERT_EQ(A.committedPages(), 1u);
+
+  // The heap walk reports the physical span once (identity) plus the
+  // alias pointing at it.
+  FixedForkSpanSource Spans({{0, 0, 1}, {10, 0, 1}});
+  A.reinitializeAfterFork(Spans);
+
+  EXPECT_STREQ(A.ptrForPage(0), "keeper");
+  EXPECT_STREQ(A.ptrForPage(10), "keeper") << "alias lost in the replay";
+  // Still one physical page; writes through either view stay shared.
+  EXPECT_EQ(A.kernelFilePages(), 1u);
+  strcpy(A.ptrForPage(10) + 100, "via-alias");
+  EXPECT_STREQ(A.ptrForPage(0) + 100, "via-alias");
+  strcpy(A.ptrForPage(0) + 200, "via-keeper");
+  EXPECT_STREQ(A.ptrForPage(10) + 200, "via-keeper");
+}
+
+TEST(MemfdArenaTest, ReinitializeAfterForkIsolatesForkedChild) {
+  // The protocol end to end at the substrate level: fork, rebuild in
+  // the child, then prove writes no longer cross the process boundary
+  // in either direction. (The arena is standalone — no Runtime, so no
+  // atfork handlers interfere; the child drives the rebuild itself.)
+  MemfdArena A(kTestArena);
+  strcpy(A.ptrForPage(0), "fork-instant");
+  A.commit(0, 1);
+
+  int ToChild[2], ToParent[2];
+  ASSERT_EQ(pipe(ToChild), 0);
+  ASSERT_EQ(pipe(ToParent), 0);
+  const pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    FixedForkSpanSource Spans({{0, 0, 1}});
+    A.reinitializeAfterFork(Spans);
+    if (strcmp(A.ptrForPage(0), "fork-instant") != 0)
+      _exit(2); // copy lost the fork-instant contents
+    strcpy(A.ptrForPage(0), "child-write");
+    char Byte = 1;
+    if (write(ToParent[1], &Byte, 1) != 1)
+      _exit(3);
+    if (read(ToChild[0], &Byte, 1) != 1) // parent has written its side
+      _exit(4);
+    _exit(strcmp(A.ptrForPage(0), "child-write") == 0 ? 0 : 5);
+  }
+  char Byte = 0;
+  ASSERT_EQ(read(ToParent[0], &Byte, 1), 1); // child rebuilt + wrote
+  EXPECT_STREQ(A.ptrForPage(0), "fork-instant")
+      << "child write leaked into the parent";
+  strcpy(A.ptrForPage(0), "parent-write");
+  ASSERT_EQ(write(ToChild[1], &Byte, 1), 1);
+  int Status = 0;
+  ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+  EXPECT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 0)
+      << "child saw the parent's post-rebuild write";
+  EXPECT_STREQ(A.ptrForPage(0), "parent-write");
+  for (int Fd : {ToChild[0], ToChild[1], ToParent[0], ToParent[1]})
+    close(Fd);
 }
 
 } // namespace

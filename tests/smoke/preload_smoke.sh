@@ -8,11 +8,10 @@
 #
 # Usage: preload_smoke.sh <path-to-libmesh.so> <repo-source-dir>
 #
-# Two cases are *known* failures recorded as XFAIL so the day they
-# start passing — or the day ls/git/bash regress — shows up in CI
-# immediately: python3 segfaults during interpreter startup, and a
-# forked bash child that never execs corrupts the parent through the
-# MAP_SHARED arena (both tracked as ROADMAP.md open items).
+# Everything here is a hard expected-pass. Fork-without-exec
+# (subshells, command substitution, pipelines to builtins) and python3
+# — whose historical startup segfault was the fork gap in disguise —
+# are requirements since the copy-to-fresh-memfd fork protocol landed.
 #===------------------------------------------------------------------------===#
 set -u
 
@@ -36,6 +35,20 @@ run_case() {
   fi
 }
 
+# Like run_case, but bounded by timeout(1): these cases' historical
+# failure mode is cross-process heap corruption, which can hang (a
+# wedged lock in the corrupted parent) rather than crash.
+run_case_bounded() {
+  NAME="$1"
+  shift
+  if timeout 30 env LD_PRELOAD="$LIB" "$@" >/dev/null 2>&1; then
+    echo "PASS: $NAME"
+  else
+    echo "FAIL: $NAME (exit $? under LD_PRELOAD=$LIB)"
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
 run_case "ls"         ls /
 run_case "bash -c"    bash -c 'echo preload-ok && true'
 if command -v git >/dev/null 2>&1 && [ -d "$SRCDIR/.git" ]; then
@@ -44,30 +57,38 @@ else
   echo "SKIP: git status (no git or no repo at $SRCDIR)"
 fi
 
-# Known failure: a forked bash child that never execs (subshell,
-# command substitution, pipe-to-builtin). Parent and child fork with
-# identical allocator metadata over a MAP_SHARED arena, hand out the
-# same slots, and the child's writes corrupt the parent (ROADMAP.md
-# "Fork gap"; fix is copy-to-fresh-memfd in the atfork child handler).
-# Fork-then-exec — the run_case lines above — is unaffected.
-if timeout 30 env LD_PRELOAD="$LIB" bash -c 'x=$(echo hi); test "$x" = hi' >/dev/null 2>&1; then
-  echo "XPASS: bash fork-without-exec unexpectedly survives the" \
-       "shared-arena gap — update the ROADMAP.md open item"
-else
-  echo "XFAIL: bash fork-without-exec (known shared-arena gap," \
-       "tracked in ROADMAP.md)"
-fi
+# Fork-without-exec (subshell, command substitution, pipe-to-builtin):
+# hard expected-pass since the copy-to-fresh-memfd fork protocol. The
+# child's atfork handler rebuilds the arena on a private memfd, so a
+# forked bash child that keeps allocating no longer shares (and
+# corrupts) the parent's span pages. Historically these corrupted the
+# *parent* bash — any regression here is a fork-protocol regression.
+run_case_bounded "bash fork-without-exec: subshell" \
+  bash -c '(echo hi)'
+run_case_bounded "bash fork-without-exec: comsub" \
+  bash -c 'x=$(echo hi); test "$x" = hi'
+run_case_bounded "bash fork-without-exec: pipeline" \
+  bash -c 'echo hi | { read x; test "$x" = hi; }'
+run_case_bounded "bash fork-without-exec: nested chain" \
+  bash -c 'for i in 1 2 3; do x=$( (echo hi | { read y; echo "$y"; }) ); test "$x" = hi || exit 1; done'
 
-# Known failure: python3 startup (ROADMAP.md open item). Expected to
-# crash; treated as XFAIL. If it ever passes, say so loudly (and go
-# check the ROADMAP item off) without failing the fence.
+# python3: a hard expected-pass since the fork protocol landed. The
+# long-standing "python3 startup segfault" turned out to be the fork
+# gap wearing a different hat: interpreter startup forks (the
+# MESH_DEBUG_SHIM trace plus a fork-logging preload pinned it), and
+# those children allocate between fork and exec, which corrupted the
+# parent through the shared arena. Bounded like the bash fork cases —
+# the historical failure mode can hang, not just crash.
 if command -v python3 >/dev/null 2>&1; then
-  if LD_PRELOAD="$LIB" python3 -c 'print("ok")' >/dev/null 2>&1; then
-    echo "XPASS: python3 unexpectedly runs under the preload —" \
-         "update the ROADMAP.md open item"
-  else
-    echo "XFAIL: python3 startup (known, tracked in ROADMAP.md)"
-  fi
+  run_case_bounded "python3 startup" python3 -c 'print("ok")'
+  run_case_bounded "python3 fork-without-exec" \
+    python3 -c 'import os,sys; pid=os.fork()
+if pid == 0:
+    data=[bytes([i % 251]) * 64 for i in range(20000)]
+    os._exit(0 if all(b[0] == i % 251 for i, b in enumerate(data)) else 1)
+st=os.waitpid(pid, 0)[1]
+junk=[bytearray(64) for _ in range(20000)]
+sys.exit(0 if st == 0 else 1)'
 else
   echo "SKIP: python3 (not installed)"
 fi
@@ -76,6 +97,5 @@ if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES preload smoke case(s) regressed"
   exit 1
 fi
-echo "preload smoke green (bash fork-without-exec and python3 remain" \
-     "expected-fail)"
+echo "preload smoke green"
 exit 0
