@@ -7,13 +7,24 @@
 #include "support/Env.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 namespace mesh {
 
 inline double toMiB(double Bytes) { return Bytes / (1024.0 * 1024.0); }
+
+/// Version stamped as "schema" into every JSON result line. The CI
+/// comparator (tools/bench_compare.py) and the committed BENCH_*.json
+/// trajectory refuse to interpret lines whose version they do not
+/// know, so bump this whenever a key changes meaning or type — adding
+/// new keys is backward compatible and needs no bump.
+constexpr int kBenchJsonSchemaVersion = 1;
 
 /// True after benchInit saw --smoke: the ctest registrations run every
 /// benchmark in this mode so CI catches bench rot without paying for
@@ -32,24 +43,162 @@ inline bool &benchJsonMode() {
   return Json;
 }
 
-/// Parses benchmark argv (--smoke, --json). Call first in main.
-/// Unrecognized arguments are an error: a typoed --smoke silently
-/// running the full measurement workload would defeat the ctest smoke
-/// registrations.
-inline void benchInit(int argc, char **argv) {
+/// Destination for a copy of every JSON line when --json-out=PATH was
+/// given (stdout always gets the lines too). Owned here; intentionally
+/// never fclosed — benches _exit through main's return and the stream
+/// is flushed per line.
+inline FILE *&benchJsonOutFile() {
+  static FILE *Out = nullptr;
+  return Out;
+}
+
+/// Parses benchmark argv: --smoke, --json, --json-out=PATH (implies
+/// --json). Call first in main. \p ExtraArg lets a bench accept its
+/// own flags (return true when consumed). Unrecognized arguments are
+/// an error: a typoed --smoke silently running the full measurement
+/// workload would defeat the ctest smoke registrations.
+inline void benchInit(int argc, char **argv,
+                      bool (*ExtraArg)(const char *) = nullptr) {
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--smoke") == 0) {
       benchSmokeMode() = true;
     } else if (std::strcmp(argv[I], "--json") == 0) {
       benchJsonMode() = true;
+    } else if (std::strncmp(argv[I], "--json-out=", 11) == 0) {
+      const char *Path = argv[I] + 11;
+      FILE *Out = fopen(Path, "w");
+      if (Out == nullptr) {
+        fprintf(stderr, "%s: cannot open --json-out file '%s'\n", argv[0],
+                Path);
+        exit(2);
+      }
+      benchJsonOutFile() = Out;
+      benchJsonMode() = true;
+    } else if (ExtraArg != nullptr && ExtraArg(argv[I])) {
+      // Consumed by the bench's own flag handler.
     } else {
       fprintf(stderr,
-              "%s: unknown argument '%s' (supported: --smoke, --json)\n",
+              "%s: unknown argument '%s' (supported: --smoke, --json, "
+              "--json-out=PATH)\n",
               argv[0], argv[I]);
       exit(2);
     }
   }
 }
+
+/// Writes one finished JSON line to stdout and, when --json-out is
+/// active, to the output file. Lines are flushed immediately so a
+/// crashed bench still leaves every completed measurement on disk.
+inline void benchEmitJsonLine(const std::string &Line) {
+  fprintf(stdout, "%s\n", Line.c_str());
+  fflush(stdout);
+  if (FILE *Out = benchJsonOutFile()) {
+    fprintf(Out, "%s\n", Line.c_str());
+    fflush(Out);
+  }
+}
+
+/// Incremental builder for one schema-versioned JSON result line.
+/// Handles only what the benches need — fixed ASCII keys, numbers,
+/// short strings without escapes, and arrays (optionally nested one
+/// level for [op, seconds, value] series rows). benchReportJson is the
+/// convenience wrapper for flat all-numeric lines; the soak harness
+/// drives this directly for its series-bearing documents.
+class BenchJsonWriter {
+public:
+  BenchJsonWriter(const char *Bench, const char *Config) {
+    Line.reserve(512);
+    Line += "{\"schema\":";
+    appendNumber(kBenchJsonSchemaVersion);
+    Line += ",\"bench\":\"";
+    Line += Bench;
+    Line += '"';
+    if (Config != nullptr && Config[0] != '\0') {
+      Line += ",\"config\":\"";
+      Line += Config;
+      Line += '"';
+    }
+    if (benchSmokeMode())
+      Line += ",\"smoke\":true";
+  }
+
+  void number(const char *Key, double Value) {
+    key(Key);
+    appendNumber(Value);
+  }
+
+  void string(const char *Key, const char *Value) {
+    key(Key);
+    Line += '"';
+    Line += Value;
+    Line += '"';
+  }
+
+  void beginArray(const char *Key) {
+    key(Key);
+    Line += '[';
+    FirstElement = true;
+  }
+
+  /// One nested fixed-width row, e.g. a [op, seconds, mib] series
+  /// sample.
+  void arrayRow(std::initializer_list<double> Values) {
+    element();
+    Line += '[';
+    bool First = true;
+    for (double V : Values) {
+      if (!First)
+        Line += ',';
+      First = false;
+      appendNumber(V);
+    }
+    Line += ']';
+  }
+
+  void arrayNumber(double Value) {
+    element();
+    appendNumber(Value);
+  }
+
+  void endArray() { Line += ']'; }
+
+  /// Finishes the line and hands it to benchEmitJsonLine when --json
+  /// is active (mirrors benchReportJson's no-op-without---json
+  /// contract so call sites need no mode checks).
+  void emit() {
+    Line += '}';
+    if (benchJsonMode())
+      benchEmitJsonLine(Line);
+  }
+
+  /// The closed document without emitting (tests).
+  std::string finish() {
+    Line += '}';
+    return Line;
+  }
+
+private:
+  void key(const char *Key) {
+    Line += ",\"";
+    Line += Key;
+    Line += "\":";
+  }
+
+  void element() {
+    if (!FirstElement)
+      Line += ',';
+    FirstElement = false;
+  }
+
+  void appendNumber(double Value) {
+    char Buf[32];
+    snprintf(Buf, sizeof(Buf), "%.17g", Value);
+    Line += Buf;
+  }
+
+  std::string Line;
+  bool FirstElement = true;
+};
 
 /// One metric in a JSON result line. Values are doubles; counts and
 /// byte totals fit exactly up to 2^53.
@@ -60,7 +209,7 @@ struct BenchMetric {
 
 /// Emits one line of machine-readable results when --json is active:
 ///
-///   {"bench":"bench_redis","config":"Mesh","ops_per_sec":1.2e6,...}
+///   {"schema":1,"bench":"bench_redis","config":"Mesh","ops_per_sec":...}
 ///
 /// \p Config distinguishes multiple measurements within one binary
 /// (allocator under test, workload mix); pass "" for single-config
@@ -69,15 +218,32 @@ inline void benchReportJson(const char *Bench, const char *Config,
                             std::initializer_list<BenchMetric> Metrics) {
   if (!benchJsonMode())
     return;
-  printf("{\"bench\":\"%s\"", Bench);
-  if (Config != nullptr && Config[0] != '\0')
-    printf(",\"config\":\"%s\"", Config);
-  if (benchSmokeMode())
-    printf(",\"smoke\":true");
+  BenchJsonWriter W(Bench, Config);
   for (const BenchMetric &M : Metrics)
-    printf(",\"%s\":%.17g", M.Key, M.Value);
-  printf("}\n");
-  fflush(stdout);
+    W.number(M.Key, M.Value);
+  W.emit();
+}
+
+/// Interpolated quantile over \p Samples (sorted in place), \p Q in
+/// [0, 1]. Linear interpolation between closest ranks (R type 7 /
+/// numpy default): unlike the old nearest-rank `size()*99/100`
+/// shortcut, a p99 over fewer than 100 samples no longer degenerates
+/// to the sample maximum. Callers should report the sample count
+/// alongside (samples_n) so consumers can judge how much the tail
+/// estimate is worth.
+inline double benchQuantile(std::vector<uint64_t> &Samples, double Q) {
+  if (Samples.empty())
+    return 0.0;
+  std::sort(Samples.begin(), Samples.end());
+  if (Samples.size() == 1)
+    return static_cast<double>(Samples[0]);
+  const double Rank = Q * static_cast<double>(Samples.size() - 1);
+  const size_t Lo =
+      std::min(static_cast<size_t>(Rank), Samples.size() - 2);
+  const double Frac = Rank - static_cast<double>(Lo);
+  return static_cast<double>(Samples[Lo]) +
+         Frac * (static_cast<double>(Samples[Lo + 1]) -
+                 static_cast<double>(Samples[Lo]));
 }
 
 /// Divides an iteration count by \p Divisor in smoke mode (floor 1).

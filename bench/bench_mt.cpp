@@ -91,14 +91,6 @@ constexpr int kAllocThreads = 4;
 constexpr int kFreeThreads = 4;
 constexpr int kLatencySampleEvery = 64;
 
-double p99(std::vector<uint64_t> &Samples) {
-  if (Samples.empty())
-    return 0;
-  const size_t Idx = Samples.size() * 99 / 100;
-  std::nth_element(Samples.begin(), Samples.begin() + Idx, Samples.end());
-  return static_cast<double>(Samples[Idx]);
-}
-
 /// One benchmark configuration: \p RemotePermille of allocations are
 /// handed to a freeing thread (0 = local-only mix). \p AllClasses
 /// draws sizes uniformly from every size class instead of the 16B-512B
@@ -220,8 +212,11 @@ MixResult runMix(const char *Name, uint32_t RemotePermille,
     AllMallocs.insert(AllMallocs.end(), S.begin(), S.end());
   for (auto &S : FreeSamples)
     AllFrees.insert(AllFrees.end(), S.begin(), S.end());
-  Result.P99MallocNs = p99(AllMallocs);
-  Result.P99FreeNs = p99(AllFrees);
+  // Shared interpolated-quantile helper (BenchUtil.h): the old local
+  // `size()*99/100` nearest-rank was ~= max() on the small smoke-mode
+  // sample sets, which made --smoke --json p99s pure noise.
+  Result.P99MallocNs = benchQuantile(AllMallocs, 0.99);
+  Result.P99FreeNs = benchQuantile(AllFrees, 0.99);
 
   // Pass attribution (who executed compaction): with MESH_BACKGROUND=1
   // every pass should land on the mesher thread and the foreground max
@@ -244,6 +239,10 @@ MixResult runMix(const char *Name, uint32_t RemotePermille,
        {"ops_per_sec", Result.OpsPerSec},
        {"p99_malloc_ns", Result.P99MallocNs},
        {"p99_free_ns", Result.P99FreeNs},
+       // Sample counts let consumers judge the tail estimates: a p99
+       // over a dozen smoke-mode samples is shape, not measurement.
+       {"samples_n_malloc", static_cast<double>(AllMallocs.size())},
+       {"samples_n_free", static_cast<double>(AllFrees.size())},
        {"peak_rss_mib", Result.PeakRssMiB},
        {"background_enabled", Bg != nullptr && Bg->running() ? 1.0 : 0.0},
        {"background_wakeups",

@@ -25,6 +25,11 @@ class HeapBackend {
 public:
   virtual ~HeapBackend() = default;
 
+  /// Contract (all implementations, pinned by BackendContractTest):
+  /// malloc(0) returns a distinct, non-null pointer that free()
+  /// accepts, matching glibc — workload code (KVStore empty values,
+  /// trace replay) relies on it and never null-checks zero-size
+  /// allocations specially.
   virtual void *malloc(size_t Bytes) = 0;
   virtual void free(void *Ptr) = 0;
   virtual size_t usableSize(const void *Ptr) const = 0;

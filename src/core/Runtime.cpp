@@ -526,6 +526,12 @@ int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
   if (strcmp(Name, "stats.peak_committed_bytes") == 0)
     return ReadU64(pagesToBytes(
         Global.stats().PeakCommittedPages.load(std::memory_order_relaxed)));
+  if (strcmp(Name, "stats.kernel_file_bytes") == 0)
+    // Pages the arena file actually charges the kernel for — differs
+    // from committed_bytes by meshed-away pages and punched holes, so
+    // (committed - kernel_file) is the meshing-effectiveness number
+    // the soak harness tracks. Preload runs read it via mesh_mallctl.
+    return ReadU64(pagesToBytes(Global.kernelFilePages()));
   if (strcmp(Name, "stats.mesh_count") == 0)
     return ReadU64(Global.stats().MeshCount.load(std::memory_order_relaxed));
   if (strcmp(Name, "stats.pages_meshed") == 0)

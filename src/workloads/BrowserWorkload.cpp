@@ -46,6 +46,16 @@ BrowserWorkloadResult runBrowserWorkload(HeapBackend &Backend,
                                          const BrowserWorkloadConfig &Cfg) {
   BrowserWorkloadResult Result;
   Rng Random(Cfg.Seed);
+  // Upper bound on recorded ops: per episode, every allocation can
+  // record twice (alloc + churn) plus once at teardown, and the
+  // periodic cache drop re-records surviving objects — 4x covers all
+  // of it. Dwell and cooldown sampleNow() calls ride in the slack.
+  // Reserving up front keeps the meter's own series allocation out of
+  // the measured window.
+  Meter.reserveForOps(static_cast<uint64_t>(Cfg.Episodes) *
+                          Cfg.AllocsPerEpisode * 4,
+                      static_cast<size_t>(Cfg.Episodes) * 3 +
+                          static_cast<size_t>(Cfg.CooldownRounds) + 16);
   const double Start = nowSeconds();
   uint64_t TotalOps = 0;
 

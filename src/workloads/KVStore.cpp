@@ -42,9 +42,12 @@ KVStore::Node **KVStore::bucketFor(std::string_view Key) {
 }
 
 KVStore::Node *KVStore::find(std::string_view Key) {
+  // KeyLen == 0 short-circuits the memcmp: an empty lookup key's
+  // data() may be nullptr, which memcmp must never see even for a
+  // zero length.
   for (Node *N = *bucketFor(Key); N != nullptr; N = N->HashNext)
     if (Key.size() == N->KeyLen &&
-        memcmp(Key.data(), N->Key, N->KeyLen) == 0)
+        (N->KeyLen == 0 || memcmp(Key.data(), N->Key, N->KeyLen) == 0))
       return N;
   return nullptr;
 }
@@ -72,8 +75,16 @@ void KVStore::pushFrontLru(Node *N) {
 }
 
 char *KVStore::copyString(std::string_view S) {
+  // Backend malloc(0) contract (pinned by BackendContractTest
+  // .MallocZeroReturnsDistinctFreeablePointers): every HeapBackend
+  // returns a distinct, non-null, freeable pointer for zero-size
+  // requests, so empty keys and values need no null sentinel in the
+  // node. The memcpy is still guarded: an empty string_view's data()
+  // may legally be nullptr, and memcpy(p, nullptr, 0) is UB.
   char *Mem = static_cast<char *>(Heap.malloc(S.size()));
-  memcpy(Mem, S.data(), S.size());
+  assert(Mem != nullptr && "backend malloc returned null");
+  if (!S.empty())
+    memcpy(Mem, S.data(), S.size());
   return Mem;
 }
 
@@ -198,7 +209,7 @@ bool KVStore::del(std::string_view Key) {
   while (*Slot != nullptr) {
     Node *N = *Slot;
     if (Key.size() == N->KeyLen &&
-        memcmp(Key.data(), N->Key, N->KeyLen) == 0) {
+        (N->KeyLen == 0 || memcmp(Key.data(), N->Key, N->KeyLen) == 0)) {
       *Slot = N->HashNext;
       detachLru(N);
       destroyNode(N);
@@ -212,19 +223,29 @@ bool KVStore::del(std::string_view Key) {
 size_t KVStore::activeDefrag() {
   // Walk every entry, copy key and value into fresh allocations, free
   // the old ones (Redis's approach: hope the allocator packs the new
-  // copies contiguously).
+  // copies contiguously). Invalidates every outstanding get() view; in
+  // Debug the superseded bytes are poisoned before the free so a stale
+  // view read shows 0xDB garbage instead of silently-still-correct
+  // data that happens to survive in the freed slot.
   size_t Moved = 0;
   for (size_t B = 0; B < BucketCount; ++B) {
     for (Node *N = Buckets[B]; N != nullptr; N = N->HashNext) {
       char *NewKey = copyString(std::string_view(N->Key, N->KeyLen));
+#ifndef NDEBUG
+      memset(N->Key, 0xDB, N->KeyLen);
+#endif
       Heap.free(N->Key);
       N->Key = NewKey;
       char *NewValue = copyString(std::string_view(N->Value, N->ValueLen));
+#ifndef NDEBUG
+      memset(N->Value, 0xDB, N->ValueLen);
+#endif
       Heap.free(N->Value);
       N->Value = NewValue;
       Moved += N->KeyLen + N->ValueLen;
     }
   }
+  ++DefragGeneration;
   return Moved;
 }
 

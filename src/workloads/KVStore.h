@@ -47,6 +47,15 @@ public:
 
   /// Returns the value (marking the entry most-recently-used), or an
   /// empty view when absent.
+  ///
+  /// Lifetime: the returned view aliases the store's own copy of the
+  /// value and is invalidated by the next set()/del() of that key, by
+  /// eviction, and — easy to miss — by activeDefrag(), which
+  /// re-allocates *every* entry's storage. defragGeneration() ticks on
+  /// each defrag pass so callers can assert their views are still
+  /// current; Debug builds additionally poison the superseded bytes
+  /// (0xDB) before freeing them, so a stale read fails loudly instead
+  /// of returning quietly wrong data.
   std::string_view get(std::string_view Key);
 
   /// Removes the entry; returns true if it existed.
@@ -58,9 +67,14 @@ public:
 
   /// Redis-style active defragmentation: copies every entry's key and
   /// value into freshly allocated memory and frees the originals, in
-  /// the hope the allocator packs the new copies densely.
+  /// the hope the allocator packs the new copies densely. Every view
+  /// previously returned by get() is invalidated (see get()).
   /// \returns the number of bytes re-allocated.
   size_t activeDefrag();
+
+  /// Number of activeDefrag() passes completed. A view from get() is
+  /// valid only while this (and the entry itself) is unchanged.
+  uint64_t defragGeneration() const { return DefragGeneration; }
 
 private:
   struct Node {
@@ -91,6 +105,7 @@ private:
   unsigned EvictionSamples;
   Rng SampleRng{0x4C5255}; // "LRU"
   uint64_t LruClock = 0;
+  uint64_t DefragGeneration = 0;
   Node **Buckets = nullptr;
   size_t BucketCount = 0;
   size_t Count = 0;

@@ -2,8 +2,10 @@
 
 #include "workloads/MemoryMeter.h"
 
+#include <cassert>
 #include <cstdio>
 #include <ctime>
+#include <unistd.h>
 
 namespace mesh {
 
@@ -20,8 +22,21 @@ MemoryMeter::MemoryMeter(HeapBackend &B, uint64_t Cadence)
   sampleNow();
 }
 
+void MemoryMeter::reserveForOps(uint64_t ExpectedOps, size_t ExtraSamples) {
+  const size_t Expected =
+      static_cast<size_t>(ExpectedOps / OpsPerSample) + ExtraSamples;
+  Samples.reserve(Samples.size() + Expected);
+  Reserved = true;
+}
+
 void MemoryMeter::sampleNow() {
   Backend.tick();
+  // A regrowth here would allocate from (and be measured by) the heap
+  // under test; reserveForOps sizes the series so it never happens.
+  // Harnesses that under-estimated their op count must widen the
+  // reservation, not silently absorb the perturbation.
+  assert((!Reserved || Samples.size() < Samples.capacity()) &&
+         "sample series reallocated inside the measured window");
   Samples.push_back(Sample{Ops, (nowNs() - StartNs) * 1e-9,
                            Backend.committedBytes()});
 }
@@ -48,10 +63,27 @@ double MemoryMeter::elapsedSeconds() const {
 }
 
 void MemoryMeter::printSeries(const char *Label) const {
-  for (const Sample &S : Samples)
-    printf("series\t%s\t%llu\t%.4f\t%.2f\n", Label,
-           static_cast<unsigned long long>(S.OpIndex), S.ElapsedSeconds,
-           static_cast<double>(S.CommittedBytes) / (1024.0 * 1024.0));
+  // Keep ordering with anything already printf'd, then bypass stdio:
+  // its output buffer is heap-allocated on first flush, which would
+  // land inside the measured window when a series is dumped mid-run.
+  fflush(stdout);
+  for (const Sample &S : Samples) {
+    char Row[192];
+    const int Len = snprintf(
+        Row, sizeof(Row), "series\t%s\t%llu\t%.4f\t%.2f\n", Label,
+        static_cast<unsigned long long>(S.OpIndex), S.ElapsedSeconds,
+        static_cast<double>(S.CommittedBytes) / (1024.0 * 1024.0));
+    if (Len <= 0)
+      continue;
+    size_t Off = 0;
+    while (Off < static_cast<size_t>(Len)) {
+      const ssize_t Wrote =
+          write(STDOUT_FILENO, Row + Off, static_cast<size_t>(Len) - Off);
+      if (Wrote <= 0)
+        return;
+      Off += static_cast<size_t>(Wrote);
+    }
+  }
 }
 
 } // namespace mesh

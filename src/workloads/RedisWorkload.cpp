@@ -43,6 +43,12 @@ RedisWorkloadResult runRedisWorkload(HeapBackend &Backend,
   const auto Budget =
       static_cast<size_t>(Config.LruBudgetBytes * Config.Scale);
 
+  // One recordOp per set plus one out-of-cadence sample per idle
+  // round: reserve the whole series so the meter never grows its
+  // vector from the heap it is measuring (see MemoryMeter.h).
+  Meter.reserveForOps(Phase1 + Phase2,
+                      static_cast<size_t>(Config.IdleRounds) + 16);
+
   KVStore Store(Backend, Budget);
   char Key[20];
   // Values are filled with a repeating pattern; contents are irrelevant

@@ -23,6 +23,16 @@ double nowSeconds() {
 RubyWorkloadResult runRubyWorkload(HeapBackend &Backend, MemoryMeter &Meter,
                                    const RubyWorkloadConfig &Config) {
   RubyWorkloadResult Result;
+  // Each round records one op per allocated and one per filtered
+  // string (2 * BytesPerRound / Len), with Len doubling: the geometric
+  // sum is < 4 * BytesPerRound / InitialStringLen. Dwell and cooldown
+  // sampleNow() calls ride in the slack. Reserving up front keeps the
+  // meter's own series allocation out of the measured window.
+  Meter.reserveForOps(4 * Config.BytesPerRound /
+                          (Config.InitialStringLen == 0
+                               ? 1
+                               : Config.InitialStringLen),
+                      static_cast<size_t>(Config.Rounds) * 4 + 16);
   const double Start = nowSeconds();
   uint64_t Checksum = 0;
 

@@ -1,0 +1,80 @@
+//===- Zipfian.h - Skewed key-popularity generator --------------*- C++ -*-===//
+///
+/// \file
+/// Zipfian-distributed index generator (Gray et al., "Quickly
+/// generating billion-record synthetic databases", SIGMOD '94 — the
+/// same construction YCSB uses). Server-scale soaks draw keys from
+/// this so a small hot set absorbs most requests while a long cold
+/// tail ages in place: exactly the popularity shape that scatters
+/// frees across spans and builds the fragmentation meshing exists to
+/// reclaim. A uniform draw would churn every span equally and
+/// understate both fragmentation and eviction pressure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_WORKLOADS_ZIPFIAN_H
+#define MESH_WORKLOADS_ZIPFIAN_H
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace mesh {
+
+class ZipfianGenerator {
+public:
+  /// Items are indices [0, \p N). \p Theta in (0, 1) is the skew
+  /// (0.99 is the YCSB default: ~10% of items draw ~80% of requests).
+  /// Construction is O(N) (one zeta sum); draws are O(1).
+  ZipfianGenerator(uint64_t N, double Theta = 0.99)
+      : Items(N), Theta(Theta) {
+    assert(N > 0 && "empty keyspace");
+    assert(Theta > 0.0 && Theta < 1.0 && "theta outside (0,1)");
+    Zeta2 = zeta(2, Theta);
+    ZetaN = zeta(N, Theta);
+    Alpha = 1.0 / (1.0 - Theta);
+    Eta = (1.0 - std::pow(2.0 / static_cast<double>(N), 1.0 - Theta)) /
+          (1.0 - Zeta2 / ZetaN);
+  }
+
+  /// Draws the next index using \p Random. Index 0 is the hottest key;
+  /// callers wanting hot keys scattered through their key space should
+  /// permute the result (e.g. multiply by a large odd constant mod N).
+  uint64_t next(Rng &Random) const {
+    const double U = Random.nextDouble();
+    const double Uz = U * ZetaN;
+    if (Uz < 1.0)
+      return 0;
+    if (Uz < 1.0 + std::pow(0.5, Theta))
+      return 1;
+    const auto V = static_cast<uint64_t>(
+        static_cast<double>(Items) *
+        std::pow(Eta * U - Eta + 1.0, Alpha));
+    // U arbitrarily close to 1 can round the product up to exactly
+    // Items; clamp into range rather than hand out a phantom key.
+    return V >= Items ? Items - 1 : V;
+  }
+
+  uint64_t items() const { return Items; }
+
+private:
+  static double zeta(uint64_t N, double Theta) {
+    double Sum = 0.0;
+    for (uint64_t I = 1; I <= N; ++I)
+      Sum += 1.0 / std::pow(static_cast<double>(I), Theta);
+    return Sum;
+  }
+
+  uint64_t Items;
+  double Theta;
+  double Zeta2;
+  double ZetaN;
+  double Alpha;
+  double Eta;
+};
+
+} // namespace mesh
+
+#endif // MESH_WORKLOADS_ZIPFIAN_H

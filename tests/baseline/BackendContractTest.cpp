@@ -1,0 +1,58 @@
+//===- BackendContractTest.cpp - Cross-backend HeapBackend contract --------===//
+///
+/// Pins the parts of the HeapBackend contract that workload code
+/// depends on but that no single allocator's own suite states: most
+/// importantly the malloc(0) behavior KVStore::copyString builds on
+/// (zero-size requests return distinct, non-null, freeable pointers on
+/// every backend — glibc semantics).
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/FreeListAllocator.h"
+#include "baseline/SizeClassAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mesh {
+namespace {
+
+MeshOptions smallMeshOptions() {
+  MeshOptions Opts;
+  Opts.ArenaBytes = size_t{1} << 30;
+  Opts.MeshPeriodMs = 10;
+  Opts.Seed = 7;
+  return Opts;
+}
+
+void checkMallocZero(HeapBackend &Backend) {
+  SCOPED_TRACE(Backend.name());
+  std::set<void *> Seen;
+  for (int I = 0; I < 16; ++I) {
+    void *P = Backend.malloc(0);
+    ASSERT_NE(P, nullptr) << "malloc(0) must return a real pointer";
+    EXPECT_TRUE(Seen.insert(P).second)
+        << "malloc(0) pointers must be distinct while live";
+  }
+  for (void *P : Seen)
+    Backend.free(P); // Must be accepted like any other allocation.
+  // And the same address may now legitimately come back.
+  void *Again = Backend.malloc(0);
+  ASSERT_NE(Again, nullptr);
+  Backend.free(Again);
+}
+
+TEST(BackendContractTest, MallocZeroReturnsDistinctFreeablePointers) {
+  FreeListAllocator Glibc;
+  checkMallocZero(Glibc);
+
+  SizeClassAllocator Jemalloc(256 * 1024 * 1024, 0);
+  checkMallocZero(Jemalloc);
+
+  MeshBackend Meshy(smallMeshOptions());
+  checkMallocZero(Meshy);
+}
+
+} // namespace
+} // namespace mesh

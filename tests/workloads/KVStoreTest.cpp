@@ -87,6 +87,47 @@ TEST_F(KVStoreTest, ActiveDefragPreservesContents) {
               "value-" + std::to_string(I));
 }
 
+TEST_F(KVStoreTest, EmptyKeysAndValuesFullLifecycle) {
+  // Regression: copyString used to memcpy from a possibly-null
+  // string_view::data() through a malloc(0) pointer. Empty keys and
+  // empty values must survive the full set/get/del/defrag lifecycle.
+  KVStore Store(Heap, 0);
+  Store.set("", "empty-key-value");
+  Store.set("empty-value", "");
+  Store.set("", "overwritten"); // Overwrite through the empty key.
+  EXPECT_EQ(Store.get(""), "overwritten");
+  EXPECT_EQ(Store.get("empty-value"), "");
+  EXPECT_EQ(Store.entryCount(), 2u);
+  // An absent key and a present-but-empty value are distinguishable
+  // only through entryCount/del — both get() views are empty.
+  EXPECT_EQ(Store.get("absent"), "");
+  const size_t Moved = Store.activeDefrag();
+  EXPECT_EQ(Moved, Store.payloadBytes());
+  EXPECT_EQ(Store.get(""), "overwritten");
+  EXPECT_EQ(Store.get("empty-value"), "");
+  EXPECT_TRUE(Store.del(""));
+  EXPECT_FALSE(Store.del(""));
+  EXPECT_TRUE(Store.del("empty-value"));
+  EXPECT_EQ(Store.entryCount(), 0u);
+}
+
+TEST_F(KVStoreTest, DefragInvalidatesViewsAndTicksGeneration) {
+  KVStore Store(Heap, 0);
+  Store.set("key", "a-value-long-enough-to-not-be-inlined-anywhere");
+  EXPECT_EQ(Store.defragGeneration(), 0u);
+  const std::string_view Before = Store.get("key");
+  const uint64_t GenAtGet = Store.defragGeneration();
+  Store.activeDefrag();
+  // The view taken before the pass is now dangling (Debug builds
+  // poison the old bytes with 0xDB); the generation tick is how
+  // callers detect it without touching freed memory.
+  EXPECT_NE(Store.defragGeneration(), GenAtGet);
+  const std::string_view After = Store.get("key");
+  EXPECT_EQ(After, "a-value-long-enough-to-not-be-inlined-anywhere");
+  EXPECT_NE(After.data(), Before.data())
+      << "defrag must have moved the value to fresh storage";
+}
+
 TEST_F(KVStoreTest, DrainsHeapOnDestruction) {
   {
     KVStore Store(Heap, 0);

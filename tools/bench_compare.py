@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over bench_soak / bench_* JSON lines.
+
+Compares a freshly produced JSONL result file against the committed
+trajectory point (BENCH_<pr>.json) and fails when any watched metric
+regresses beyond its noise threshold:
+
+    tools/bench_compare.py BENCH_6.json fresh.jsonl
+
+Matching: lines pair up by (bench, config, profile).  A baseline line
+with no fresh counterpart fails the gate (a silently vanished
+configuration is exactly the rot the gate exists to catch); fresh lines
+with no baseline counterpart are reported but pass (new configurations
+enter the trajectory at the next BENCH_<pr>.json).
+
+Checked per matched pair:
+  - schema version equality (meaning drift is a hard error),
+  - run-shape keys (ops, threads) exact equality — comparing runs of
+    different shapes would make every threshold meaningless,
+  - ratio thresholds on RSS and latency/throughput metrics, sized to
+    shared-CI noise (latency on a loaded runner is far noisier than
+    RSS, hence the wide 2.5x band; RSS is the paper's headline metric
+    and gets the tight band),
+  - an absolute floor on meshing effectiveness (meshed_away_pct may
+    legitimately be ~0 in some configs, so a ratio would divide by
+    zero).
+
+Correctness canaries (get_mismatches) must be exactly zero.
+
+stdlib only; no third-party imports.
+"""
+
+import json
+import sys
+
+# (key, max_ratio fresh/baseline, direction) — direction "up" means
+# larger-is-worse (RSS, latency), "down" means smaller-is-worse
+# (throughput: fail when fresh < baseline / ratio).
+RATIO_CHECKS = [
+    ("rss_mean_mib", 1.35, "up"),
+    ("rss_peak_mib", 1.35, "up"),
+    ("committed_mib", 1.35, "up"),
+    ("p50_op_ns", 2.5, "up"),
+    ("p99_op_ns", 2.5, "up"),
+    ("p999_op_ns", 3.0, "up"),
+    ("ops_per_sec", 2.5, "down"),
+    ("max_pause_fg_ns", 3.0, "up"),
+]
+
+# Absolute-drop checks: fail when fresh < baseline - slack.
+ABSOLUTE_FLOOR_CHECKS = [
+    ("meshed_away_pct", 15.0),
+]
+
+# Must be exactly zero in fresh results regardless of baseline.
+ZERO_CHECKS = ["get_mismatches"]
+
+# Exact-match run-shape keys: a mismatch means the two runs are not
+# comparable at all (different profile wiring), which is a harness bug,
+# not a perf regression.
+SHAPE_KEYS = ["ops", "threads"]
+
+# Ignore this much absolute difference before applying ratio checks:
+# sub-microsecond latencies and sub-MiB footprints are all noise.
+RATIO_MIN_ABS = {
+    "rss_mean_mib": 4.0,
+    "rss_peak_mib": 4.0,
+    "committed_mib": 4.0,
+    "p50_op_ns": 400.0,
+    "p99_op_ns": 4000.0,
+    "p999_op_ns": 20000.0,
+    "ops_per_sec": 0.0,
+    "max_pause_fg_ns": 2_000_000.0,
+}
+
+
+def load_lines(path):
+    """Parses a JSONL file into {(bench, config, profile): line}."""
+    lines = {}
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            raw = raw.strip()
+            if not raw or not raw.startswith("{"):
+                continue  # Benches interleave human-readable output.
+            try:
+                doc = json.loads(raw)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: unparseable JSON line: {e}")
+            if "bench" not in doc or "schema" not in doc:
+                continue  # A JSON line, but not a bench result.
+            key = (doc["bench"], doc.get("config", ""), doc.get("profile", ""))
+            if key in lines:
+                sys.exit(f"{path}:{lineno}: duplicate result for {key}")
+            lines[key] = doc
+    if not lines:
+        sys.exit(f"{path}: no bench result lines found")
+    return lines
+
+
+def key_name(key):
+    bench, config, profile = key
+    return f"{bench}/{config or '-'}@{profile or '-'}"
+
+
+def compare_pair(key, base, fresh, failures):
+    name = key_name(key)
+    if base["schema"] != fresh["schema"]:
+        failures.append(
+            f"{name}: schema version changed {base['schema']} -> "
+            f"{fresh['schema']}; regenerate the baseline, do not compare"
+        )
+        return
+    for shape in SHAPE_KEYS:
+        if shape in base and base.get(shape) != fresh.get(shape):
+            failures.append(
+                f"{name}: run shape differs ({shape}: {base.get(shape)} vs "
+                f"{fresh.get(shape)}); baseline and CI must run the same "
+                f"profile"
+            )
+            return
+    for zkey in ZERO_CHECKS:
+        if fresh.get(zkey, 0) != 0:
+            failures.append(f"{name}: {zkey} = {fresh[zkey]} (must be 0)")
+    for rkey, max_ratio, direction in RATIO_CHECKS:
+        if rkey not in base or rkey not in fresh:
+            continue
+        b, f = float(base[rkey]), float(fresh[rkey])
+        if abs(f - b) <= RATIO_MIN_ABS.get(rkey, 0.0):
+            continue
+        if direction == "up":
+            if b > 0 and f > b * max_ratio:
+                failures.append(
+                    f"{name}: {rkey} regressed {b:.1f} -> {f:.1f} "
+                    f"(> {max_ratio}x)"
+                )
+        else:
+            if f > 0 and b > f * max_ratio:
+                failures.append(
+                    f"{name}: {rkey} regressed {b:.1f} -> {f:.1f} "
+                    f"(< 1/{max_ratio}x)"
+                )
+    for akey, slack in ABSOLUTE_FLOOR_CHECKS:
+        if akey not in base or akey not in fresh:
+            continue
+        b, f = float(base[akey]), float(fresh[akey])
+        if f < b - slack:
+            failures.append(
+                f"{name}: {akey} dropped {b:.1f} -> {f:.1f} "
+                f"(> {slack} points)"
+            )
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} BASELINE.json FRESH.jsonl")
+    baseline = load_lines(sys.argv[1])
+    fresh = load_lines(sys.argv[2])
+
+    failures = []
+    compared = 0
+    for key, base in sorted(baseline.items()):
+        if key not in fresh:
+            failures.append(
+                f"{key_name(key)}: present in baseline but missing from "
+                f"fresh results — a soak configuration stopped running"
+            )
+            continue
+        compare_pair(key, base, fresh[key], failures)
+        compared += 1
+    for key in sorted(fresh.keys()):
+        if key not in baseline:
+            print(f"note: {key_name(key)} is new (not in baseline); "
+                  f"it will be gated once committed to a BENCH_*.json")
+
+    print(f"bench_compare: {compared} configuration(s) compared against "
+          f"{sys.argv[1]}")
+    if failures:
+        print(f"bench_compare: FAIL ({len(failures)} regression(s)):")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("bench_compare: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Produces the committed perf-trajectory point BENCH_<pr>.json: the
+# "ci" soak profile in both allocator modes, concatenated into one
+# JSONL file. CI reruns exactly these invocations per PR and gates on
+# tools/bench_compare.py against the newest committed BENCH_*.json.
+#
+#   tools/make_bench_baseline.sh <build-dir> <out-file>
+#   e.g. tools/make_bench_baseline.sh build BENCH_6.json
+#
+# Run on a quiet machine: the thresholds in bench_compare.py assume
+# only shared-CI-grade noise on top of the committed numbers.
+
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: $0 <build-dir> <out-file>}
+OUT=${2:?usage: $0 <build-dir> <out-file>}
+
+SOAK="$BUILD_DIR/bench/bench_soak"
+SHIM="$BUILD_DIR/src/libmesh.so"
+[ -x "$SOAK" ] || { echo "$SOAK not built" >&2; exit 1; }
+[ -f "$SHIM" ] || { echo "$SHIM not built (MESH_SANITIZE build?)" >&2; exit 1; }
+
+TMP_IN=$(mktemp)
+TMP_PRE=$(mktemp)
+trap 'rm -f "$TMP_IN" "$TMP_PRE"' EXIT
+
+# In-process instance runtime (the library-API shape).
+"$SOAK" --profile=ci --json-out="$TMP_IN" >/dev/null
+
+# Interposed default runtime with background meshing (the production
+# server shape).
+LD_PRELOAD="$SHIM" MESH_BACKGROUND=1 \
+  "$SOAK" --profile=ci --backend=system --json-out="$TMP_PRE" >/dev/null
+
+cat "$TMP_IN" "$TMP_PRE" > "$OUT"
+echo "wrote $(wc -l < "$OUT") result line(s) to $OUT"
