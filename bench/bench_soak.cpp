@@ -38,6 +38,7 @@
 #include "core/Runtime.h"
 #include "runtime/PressureMonitor.h"
 #include "support/Rng.h"
+#include "support/Sys.h"
 #include "workloads/KVStore.h"
 #include "workloads/MemoryMeter.h"
 #include "workloads/Zipfian.h"
@@ -247,6 +248,10 @@ const SoakProfile kProfiles[] = {
 // Fork bursts and the coordinator loop.
 //===----------------------------------------------------------------------===//
 
+/// --faults: run the KVStore soak with the canned syscall fault storm
+/// armed (set in soakArg, consumed by the driver and the fork bursts).
+bool GFaults = false;
+
 /// Spreads the profile's fork budget across the soak at evenly spaced
 /// operation thresholds, so children always fork off a process whose
 /// worker threads are mid-mutation — the shape that historically
@@ -291,8 +296,13 @@ private:
           Backend.free(Held[Slot]);
         const size_t Size = size_t{16} << Random.inRange(0, 9); // 16B..8KiB
         Held[Slot] = Backend.malloc(Size);
-        if (Held[Slot] == nullptr)
-          _exit(4);
+        if (Held[Slot] == nullptr) {
+          // Under --faults a null is the expected degradation, not a
+          // protocol failure: skip the slot and keep churning.
+          if (!GFaults)
+            _exit(4);
+          continue;
+        }
         memset(Held[Slot], 0x5A, Size < 64 ? Size : 64);
       }
       for (void *P : Held)
@@ -682,6 +692,17 @@ const char *GProfileName = "full";
 const char *GWorkload = "all";
 bool GBackendMesh = true;
 
+/// The --faults canned storm. Ops chosen so degradation — not abort —
+/// is the correct response everywhere it lands: commit refusals make
+/// malloc return nullptr (KVStore sets fail cleanly), punch failures
+/// defer, madvise failures are best-effort anyway. The bring-up ops
+/// (memfd_create, ftruncate, mmap) are deliberately excluded: forked
+/// children rebuild their arena with them, and a child that cannot is
+/// *required* to abort (DESIGN.md "Failure policy"), which would be a
+/// correct crash but a useless soak.
+constexpr const char *kFaultStorm =
+    "commit:ENOMEM:every=3;fallocate:ENOSPC:every=7;madvise:ENOMEM:every=5";
+
 bool soakArg(const char *Arg) {
   if (strncmp(Arg, "--profile=", 10) == 0) {
     const char *Value = Arg + 10;
@@ -708,6 +729,10 @@ bool soakArg(const char *Arg) {
     GBackendMesh = false;
     return true;
   }
+  if (strcmp(Arg, "--faults") == 0) {
+    GFaults = true;
+    return true;
+  }
   return false;
 }
 
@@ -717,9 +742,11 @@ uint64_t runOne(const char *Workload, const SoakProfile &P) {
   // process-wide by nature.
   std::unique_ptr<HeapBackend> Backend;
   std::unique_ptr<StatsReader> Reader;
+  Runtime *FaultsRuntime = nullptr;
   if (GBackendMesh) {
     auto MB = std::make_unique<MeshBackend>(benchMeshOptions());
     Reader = std::make_unique<RuntimeStatsReader>(MB->runtime());
+    FaultsRuntime = &MB->runtime();
     Backend = std::move(MB);
   } else {
     Backend = std::make_unique<SystemBackend>();
@@ -732,16 +759,62 @@ uint64_t runOne(const char *Workload, const SoakProfile &P) {
   MemoryMeter Meter(*Backend, uint64_t{1} << 40);
   Meter.reserveForOps(0, kMaxRssSamples + 8);
 
+  // Arm the storm only after bring-up: arena construction deliberately
+  // aborts on failure (nothing to degrade onto yet), which is correct
+  // behavior but not what this soak measures.
+  const uint64_t InjectedBefore = sys::faultsInjected();
+  if (GFaults && !sys::configureFaults(kFaultStorm)) {
+    fprintf(stderr, "bench_soak: internal error: canned fault storm "
+                    "rejected by the parser\n");
+    exit(5);
+  }
+
   const AllocatorSnapshot Before = Reader->snapshot();
   SoakResult R = strcmp(Workload, "kvstore") == 0
                      ? runKvSoak(*Backend, Meter, P)
                      : runRedisSoak(*Backend, Meter, P);
+  if (GFaults)
+    sys::clearFaults();
   emitRun(Workload, P.Name, *Reader, Before, R, Meter);
   if (R.GetMismatches > 0)
     fprintf(stderr,
             "bench_soak: %llu get() fill-byte mismatches in %s — heap "
             "corruption under load\n",
             static_cast<unsigned long long>(R.GetMismatches), Workload);
+
+  if (GFaults) {
+    // The smoke contract: the storm must actually have fired and have
+    // been degraded into clean OOM returns — a soak where nothing bit
+    // proves nothing — and with the injector cleared the heap must
+    // serve every request again.
+    uint64_t OomReturns = 0;
+    size_t Len = sizeof(OomReturns);
+    if (FaultsRuntime->mallctl("faults.oom_returns", &OomReturns, &Len,
+                               nullptr, 0) != 0 ||
+        sys::faultsInjected() == InjectedBefore || OomReturns == 0) {
+      fprintf(stderr,
+              "bench_soak: --faults storm never bit (injected %llu, "
+              "oom_returns %llu)\n",
+              static_cast<unsigned long long>(sys::faultsInjected() -
+                                              InjectedBefore),
+              static_cast<unsigned long long>(OomReturns));
+      exit(5);
+    }
+    for (int I = 0; I < 256; ++I) {
+      void *Probe = Backend->malloc(4096);
+      if (Probe == nullptr) {
+        fprintf(stderr,
+                "bench_soak: heap did not recover after the fault storm\n");
+        exit(5);
+      }
+      Backend->free(Probe);
+    }
+    printf("  faults: injected %llu, oom_returns %llu, recovery probe "
+           "clean\n",
+           static_cast<unsigned long long>(sys::faultsInjected() -
+                                           InjectedBefore),
+           static_cast<unsigned long long>(OomReturns));
+  }
   return R.GetMismatches;
 }
 
@@ -751,6 +824,17 @@ int main(int argc, char **argv) {
   benchInit(argc, argv, soakArg);
   if (benchSmokeMode())
     GProfileName = "smoke";
+  if (GFaults) {
+    if (!GBackendMesh) {
+      fprintf(stderr, "bench_soak: --faults requires --backend=mesh (the "
+                      "system allocator has no injection seam)\n");
+      return 2;
+    }
+    // The fault smoke is a KVStore-only pass: the Redis soak's set()
+    // calls are load-bearing (phase 2 depends on phase 1's keys), so
+    // dropped sets there measure nothing extra.
+    GWorkload = "kvstore";
+  }
   const SoakProfile *Profile = nullptr;
   for (const SoakProfile &P : kProfiles)
     if (strcmp(P.Name, GProfileName) == 0)
@@ -758,9 +842,10 @@ int main(int argc, char **argv) {
 
   printHeader("Server soak",
               "long-haul KVStore/Redis aging with latency + RSS trajectory");
-  printf("profile %s, backend %s (flags: --profile=full|ci|smoke "
-         "--workload=kvstore|redis|all --backend=mesh|system)\n\n",
-         Profile->Name, GBackendMesh ? "mesh (in-process)" : "system malloc");
+  printf("profile %s, backend %s%s (flags: --profile=full|ci|smoke "
+         "--workload=kvstore|redis|all --backend=mesh|system --faults)\n\n",
+         Profile->Name, GBackendMesh ? "mesh (in-process)" : "system malloc",
+         GFaults ? ", fault storm armed" : "");
 
   uint64_t Mismatches = 0;
   if (strcmp(GWorkload, "kvstore") == 0 || strcmp(GWorkload, "all") == 0)

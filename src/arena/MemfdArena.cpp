@@ -3,6 +3,7 @@
 #include "arena/MemfdArena.h"
 
 #include "support/Log.h"
+#include "support/Sys.h"
 
 #include <cassert>
 #include <cerrno>
@@ -85,10 +86,10 @@ void remapAliasSpan(void *CtxP, size_t VirtPageOff, size_t PhysPageOff,
   if (VirtPageOff == PhysPageOff)
     return;
   auto *Ctx = static_cast<ForkReplayCtx *>(CtxP);
-  void *Res = mmap(Ctx->Base + pagesToBytes(VirtPageOff),
-                   pagesToBytes(Pages), PROT_READ | PROT_WRITE,
-                   MAP_SHARED | MAP_FIXED, Ctx->NewFd,
-                   static_cast<off_t>(pagesToBytes(PhysPageOff)));
+  void *Res = sys::mmapPtr(Ctx->Base + pagesToBytes(VirtPageOff),
+                           pagesToBytes(Pages), PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_FIXED, Ctx->NewFd,
+                           static_cast<off_t>(pagesToBytes(PhysPageOff)));
   if (Res == MAP_FAILED)
     fatalErrorForkSafe("fork child: alias replay mmap failed", errno);
 }
@@ -97,13 +98,15 @@ void remapAliasSpan(void *CtxP, size_t VirtPageOff, size_t PhysPageOff,
 
 MemfdArena::MemfdArena(size_t Bytes) : ArenaBytes(Bytes) {
   assert(Bytes % kPageSize == 0 && "arena size must be page aligned");
-  Fd = memfd_create("mesh-arena", MFD_CLOEXEC);
+  // Bring-up failures stay fatal: with no arena there is no heap to
+  // degrade onto, and the wrappers have already absorbed transients.
+  Fd = sys::memfdCreate("mesh-arena", MFD_CLOEXEC);
   if (Fd < 0)
     fatalErrorForkSafe("memfd_create failed", errno);
-  if (ftruncate(Fd, static_cast<off_t>(ArenaBytes)) != 0)
+  if (sys::ftruncateFd(Fd, static_cast<off_t>(ArenaBytes)) != 0)
     fatalErrorForkSafe("arena ftruncate failed", errno);
-  void *Mem = mmap(nullptr, ArenaBytes, PROT_READ | PROT_WRITE, MAP_SHARED,
-                   Fd, 0);
+  void *Mem = sys::mmapPtr(nullptr, ArenaBytes, PROT_READ | PROT_WRITE,
+                           MAP_SHARED, Fd, 0);
   if (Mem == MAP_FAILED)
     fatalErrorForkSafe("arena mmap failed", errno);
   Base = static_cast<char *>(Mem);
@@ -111,26 +114,30 @@ MemfdArena::MemfdArena(size_t Bytes) : ArenaBytes(Bytes) {
 
 MemfdArena::~MemfdArena() {
   if (Base != nullptr)
-    munmap(Base, ArenaBytes);
+    (void)sys::munmapPtr(Base, ArenaBytes);
   if (Fd >= 0)
     close(Fd);
 }
 
-void MemfdArena::commit([[maybe_unused]] size_t PageOff, size_t Pages) {
+bool MemfdArena::commit([[maybe_unused]] size_t PageOff, size_t Pages) {
   assert(PageOff + Pages <= arenaPages() && "commit beyond arena");
+  if (!sys::commitGate())
+    return false;
   Committed.fetch_add(Pages, std::memory_order_relaxed);
+  return true;
 }
 
-void MemfdArena::release(size_t PageOff, size_t Pages) {
+bool MemfdArena::release(size_t PageOff, size_t Pages) {
   assert(PageOff + Pages <= arenaPages() && "release beyond arena");
-  if (fallocate(Fd, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
-                static_cast<off_t>(pagesToBytes(PageOff)),
-                static_cast<off_t>(pagesToBytes(Pages))) != 0)
-    fatalErrorForkSafe("fallocate punch-hole failed", errno);
+  if (sys::fallocateFd(Fd, FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                       static_cast<off_t>(pagesToBytes(PageOff)),
+                       static_cast<off_t>(pagesToBytes(Pages))) != 0)
+    return false;
   Committed.fetch_sub(Pages, std::memory_order_relaxed);
+  return true;
 }
 
-void MemfdArena::alias(size_t VictimPageOff, size_t KeeperPageOff,
+bool MemfdArena::alias(size_t VictimPageOff, size_t KeeperPageOff,
                        size_t Pages) {
   assert(KeeperPageOff != VictimPageOff && "cannot mesh a span with itself");
   // Atomically swing the victim's virtual pages onto the keeper's file
@@ -138,26 +145,32 @@ void MemfdArena::alias(size_t VictimPageOff, size_t KeeperPageOff,
   // where the address range is unmapped, which is what makes concurrent
   // reads safe (paper Section 4.5.2: "the atomic semantics of mmap").
   void *Target = ptrForPage(VictimPageOff);
-  void *Res = mmap(Target, pagesToBytes(Pages), PROT_READ | PROT_WRITE,
-                   MAP_SHARED | MAP_FIXED, Fd,
-                   static_cast<off_t>(pagesToBytes(KeeperPageOff)));
-  if (Res == MAP_FAILED)
-    fatalErrorForkSafe("mesh remap failed", errno);
+  void *Res = sys::mmapPtr(Target, pagesToBytes(Pages),
+                           PROT_READ | PROT_WRITE, MAP_SHARED | MAP_FIXED, Fd,
+                           static_cast<off_t>(pagesToBytes(KeeperPageOff)));
+  return Res != MAP_FAILED;
 }
 
-void MemfdArena::resetMapping(size_t PageOff, size_t Pages) {
+bool MemfdArena::resetMapping(size_t PageOff, size_t Pages) {
   void *Target = ptrForPage(PageOff);
-  void *Res = mmap(Target, pagesToBytes(Pages), PROT_READ | PROT_WRITE,
-                   MAP_SHARED | MAP_FIXED, Fd,
-                   static_cast<off_t>(pagesToBytes(PageOff)));
-  if (Res == MAP_FAILED)
-    fatalErrorForkSafe("identity remap failed", errno);
+  void *Res = sys::mmapPtr(Target, pagesToBytes(Pages),
+                           PROT_READ | PROT_WRITE, MAP_SHARED | MAP_FIXED, Fd,
+                           static_cast<off_t>(pagesToBytes(PageOff)));
+  return Res != MAP_FAILED;
 }
 
-void MemfdArena::protect(size_t PageOff, size_t Pages, bool ReadOnly) {
+bool MemfdArena::protect(size_t PageOff, size_t Pages, bool ReadOnly) {
   const int Prot = ReadOnly ? PROT_READ : (PROT_READ | PROT_WRITE);
-  if (mprotect(ptrForPage(PageOff), pagesToBytes(Pages), Prot) != 0)
-    fatalErrorForkSafe("mprotect failed", errno);
+  return sys::mprotectPtr(ptrForPage(PageOff), pagesToBytes(Pages), Prot) == 0;
+}
+
+void MemfdArena::dropResident(size_t PageOff, size_t Pages) {
+  // On a MAP_SHARED file mapping MADV_DONTNEED only drops the PTEs —
+  // contents survive in the file and refault on next touch — so this
+  // is safe even if the span is still carrying data. Best-effort by
+  // design: if it also fails, the pages simply stay resident.
+  (void)sys::madvisePtr(ptrForPage(PageOff), pagesToBytes(Pages),
+                        MADV_DONTNEED);
 }
 
 size_t MemfdArena::kernelFilePages() const {
@@ -174,11 +187,17 @@ void MemfdArena::reinitializeAfterFork(ForkSpanSource &Spans) {
   // 1 (reported via write(2) + abort, never allocation) leaves the
   // inherited mapping exactly as fork delivered it — usable for
   // fork-then-exec, never half-initialized.
-  const int NewFd = memfd_create("mesh-arena", MFD_CLOEXEC);
+  // These failures abort even in degraded mode: a child that cannot
+  // rebuild its private file still shares physical pages with the
+  // parent, and "degrading" here would mean silently corrupting both
+  // processes. Transients were already absorbed by the wrappers, so a
+  // failure reaching this point is persistent (see DESIGN.md "Failure
+  // policy", fork-child exception).
+  const int NewFd = sys::memfdCreate("mesh-arena", MFD_CLOEXEC);
   if (NewFd < 0)
     fatalErrorForkSafe("fork child: memfd_create for the fresh arena failed",
                        errno);
-  if (ftruncate(NewFd, static_cast<off_t>(ArenaBytes)) != 0)
+  if (sys::ftruncateFd(NewFd, static_cast<off_t>(ArenaBytes)) != 0)
     fatalErrorForkSafe("fork child: ftruncate on the fresh arena failed",
                        errno);
 
@@ -192,8 +211,8 @@ void MemfdArena::reinitializeAfterFork(ForkSpanSource &Spans) {
   // identity mapping. This covers every non-span region too (clean and
   // dirty span bins, the un-carved frontier): after this, no virtual
   // address in the arena can reach the parent's file.
-  void *Res = mmap(Base, ArenaBytes, PROT_READ | PROT_WRITE,
-                   MAP_SHARED | MAP_FIXED, NewFd, 0);
+  void *Res = sys::mmapPtr(Base, ArenaBytes, PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_FIXED, NewFd, 0);
   if (Res == MAP_FAILED)
     fatalErrorForkSafe("fork child: arena identity remap failed", errno);
 

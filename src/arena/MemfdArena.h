@@ -94,30 +94,49 @@ public:
 
   /// Marks \p Pages pages at \p PageOff as committed (about to be
   /// touched). Pages in a memfd materialize on first write; this keeps
-  /// our accounting in sync with what the OS will charge us.
-  void commit(size_t PageOff, size_t Pages);
+  /// our accounting in sync with what the OS will charge us. Returns
+  /// false — without committing anything — when the sys::commitGate
+  /// fault-injection gate refuses the pages (the stand-in for the
+  /// kernel's refusal, which un-injected arrives as SIGBUS at first
+  /// touch; see DESIGN.md "Failure policy").
+  [[nodiscard]] bool commit(size_t PageOff, size_t Pages);
 
   /// Punches a hole over the file pages under the identity mapping at
   /// \p PageOff, returning physical memory to the OS. The virtual pages
   /// remain mapped and read back as zero (and re-commit on next touch).
-  void release(size_t PageOff, size_t Pages);
+  /// Returns false with the committed count unchanged when the punch
+  /// fails; the caller decides how to degrade (the pages stay backed
+  /// and keep their contents).
+  [[nodiscard]] bool release(size_t PageOff, size_t Pages);
 
   /// Remaps the virtual span at \p VictimPageOff onto the file offset
   /// of \p KeeperPageOff (both spans are \p Pages long). Step 2 of a
   /// mesh; the caller has already copied live objects and must have
   /// arranged that no thread writes the victim span during the remap
   /// (see WriteBarrier). Does not touch the committed-page count: the
-  /// caller releases the victim's own file pages separately.
-  void alias(size_t VictimPageOff, size_t KeeperPageOff, size_t Pages);
+  /// caller releases the victim's own file pages separately. Returns
+  /// false when the remap fails; the victim mapping is unchanged (mmap
+  /// over an existing mapping either fully replaces it or fails with
+  /// the old mapping intact), so the caller can roll the mesh back.
+  [[nodiscard]] bool alias(size_t VictimPageOff, size_t KeeperPageOff,
+                           size_t Pages);
 
   /// Restores the identity virtual->file mapping for \p Pages pages at
   /// \p PageOff. Used when a previously-meshed virtual span is recycled
   /// for a fresh allocation. The underlying file pages are holes, so
-  /// the span reads back as zero.
-  void resetMapping(size_t PageOff, size_t Pages);
+  /// the span reads back as zero. Returns false when the remap fails
+  /// (old alias mapping intact).
+  [[nodiscard]] bool resetMapping(size_t PageOff, size_t Pages);
 
   /// Applies mprotect with \p ReadOnly to the span (write barrier).
-  void protect(size_t PageOff, size_t Pages, bool ReadOnly);
+  /// Returns false when the protection change fails.
+  [[nodiscard]] bool protect(size_t PageOff, size_t Pages, bool ReadOnly);
+
+  /// Best-effort MADV_DONTNEED over the identity-mapped span — the
+  /// degraded substitute when release() fails: drops the PTEs and RSS
+  /// charge, but file pages (and kernelFilePages) stay allocated until
+  /// a later punch succeeds. Only meaningful on identity mappings.
+  void dropResident(size_t PageOff, size_t Pages);
 
   /// Pages this arena believes are backed by physical memory.
   size_t committedPages() const {

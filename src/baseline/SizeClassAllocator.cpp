@@ -28,6 +28,8 @@ MiniHeap *SizeClassAllocator::newSpan(int Class) {
   const SizeClassInfo &Info = sizeClassInfo(Class);
   bool IsClean = false;
   const uint32_t Off = Arena.allocSpan(Info.SpanPages, &IsClean);
+  if (Off == MeshableArena::kInvalidSpanOff)
+    return nullptr;
   auto *MH = InternalHeap::global().makeNew<MiniHeap>(
       Off, Info.SpanPages, Info.ObjectSize, Info.ObjectCount,
       static_cast<int8_t>(Class), /*Meshable=*/false);
@@ -62,6 +64,8 @@ void *SizeClassAllocator::allocSmall(int Class) {
     List.pop_back();
   }
   MiniHeap *MH = newSpan(Class);
+  if (MH == nullptr)
+    return nullptr;
   List.push_back(MH);
   MH->bitmap().tryToSet(0);
   return MH->ptrForOffset(0, Arena.arenaBase());
@@ -69,9 +73,13 @@ void *SizeClassAllocator::allocSmall(int Class) {
 
 void *SizeClassAllocator::allocLarge(size_t Bytes) {
   const size_t Pages = bytesToPages(Bytes == 0 ? 1 : Bytes);
+  if (Pages > Arena.vm().arenaPages())
+    return nullptr; // Unsatisfiable; also guards the uint32 narrowing.
   bool IsClean = false;
   const uint32_t Off = Arena.allocSpan(static_cast<uint32_t>(Pages),
                                        &IsClean);
+  if (Off == MeshableArena::kInvalidSpanOff)
+    return nullptr;
   auto *MH = InternalHeap::global().makeNew<MiniHeap>(
       Off, static_cast<uint32_t>(Pages), Bytes);
   Arena.setOwner(Off, static_cast<uint32_t>(Pages), MH);

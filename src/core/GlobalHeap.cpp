@@ -287,12 +287,19 @@ MiniHeap *GlobalHeap::allocMiniHeapForClass(int SizeClass) {
     std::lock_guard<SpinLock> Guard(ArenaLock);
     bool IsClean = false;
     const uint32_t Off = Arena.allocSpan(Info.SpanPages, &IsClean);
-    MH = InternalHeap::global().makeNew<MiniHeap>(
-        Off, Info.SpanPages, Info.ObjectSize, Info.ObjectCount,
-        static_cast<int8_t>(SizeClass), Info.Meshable);
-    Arena.setOwner(Off, Info.SpanPages, MH);
-    MH->setAttached(true);
-    Stats.updatePeak(Arena.committedPages());
+    if (Off != MeshableArena::kInvalidSpanOff) {
+      MH = InternalHeap::global().makeNew<MiniHeap>(
+          Off, Info.SpanPages, Info.ObjectSize, Info.ObjectCount,
+          static_cast<int8_t>(SizeClass), Info.Meshable);
+      Arena.setOwner(Off, Info.SpanPages, MH);
+      MH->setAttached(true);
+      Stats.updatePeak(Arena.committedPages());
+    } else {
+      // Span commit refused or arena exhausted: unwind with no span
+      // carved, no MiniHeap, no lock held — the caller's malloc
+      // returns nullptr with errno = ENOMEM.
+      Stats.OomReturns.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   unlockShard(SizeClass);
   // The meshing trigger: remote frees no longer take any lock, so the
@@ -318,6 +325,14 @@ void GlobalHeap::releaseMiniHeap(MiniHeap *MH) {
 
 void *GlobalHeap::largeAllocZeroed(size_t Bytes, bool *WasZeroed) {
   const size_t Pages = bytesToPages(Bytes == 0 ? 1 : Bytes);
+  // Refuse before the uint32 page-count narrowing below can truncate:
+  // a request larger than the whole arena is unsatisfiable by
+  // definition (this also catches the absurd sizes, e.g. the
+  // malloc(PTRDIFF_MAX) probes glibc's tests are fond of).
+  if (Pages > Arena.vm().arenaPages()) {
+    Stats.OomReturns.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   // A fresh span is invisible to other threads until returned, so the
   // large-object shard lock is not needed here — only the arena is
   // touched.
@@ -325,6 +340,10 @@ void *GlobalHeap::largeAllocZeroed(size_t Bytes, bool *WasZeroed) {
   bool IsClean = false;
   const uint32_t Off = Arena.allocSpan(static_cast<uint32_t>(Pages),
                                        &IsClean);
+  if (Off == MeshableArena::kInvalidSpanOff) {
+    Stats.OomReturns.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   auto *MH = InternalHeap::global().makeNew<MiniHeap>(
       Off, static_cast<uint32_t>(Pages), Bytes);
   Arena.setOwner(Off, static_cast<uint32_t>(Pages), MH);
@@ -643,8 +662,9 @@ void GlobalHeap::flushDirtyForFork() {
   // cannot wait for the child: the flush's clean-bin push_back may
   // grow an InternalVector, and that InternalHeap allocation would
   // self-deadlock against the inherited-held InternalHeap lock in the
-  // single-threaded child.
-  Arena.flushDirty();
+  // single-threaded child. DeferFailures: under a fault storm a punch
+  // may fail, and the child's rebuild requires an empty dirty set.
+  Arena.flushDirty(/*DeferFailures=*/true);
 }
 
 void GlobalHeap::reinitializeArenaAfterFork() {
@@ -659,6 +679,7 @@ void GlobalHeap::reinitializeArenaAfterFork() {
          "fork child inherited unflushed dirty spans");
   PageTableForkSpanSource Spans(Arena);
   Arena.vm().reinitializeAfterFork(Spans);
+  Arena.resetDeferredAfterFork();
 }
 
 size_t GlobalHeap::flushDirtyPages() {
@@ -806,38 +827,108 @@ size_t GlobalHeap::meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src) {
   const uint32_t Pages = Src->spanPages();
   WriteBarrier &Barrier = WriteBarrier::instance();
 
+  const auto &SrcSpans = Src->spans();
+
+  // Rollback operations must land: a half-rolled-back pair has no
+  // valid state, so each is retried hard (every attempt re-draws the
+  // fault injector, which is what lets every-N storms recover) and
+  // only persistent failure aborts — the one abort left on the mesh
+  // path (see DESIGN.md "Failure policy").
+  constexpr int kRollbackRetries = 64;
+  auto unprotectSpan = [&](uint32_t Off) {
+    for (int Try = 0; Try < kRollbackRetries; ++Try)
+      if (Arena.vm().protect(Off, Pages, /*ReadOnly=*/false))
+        return;
+    fatalError("mesh rollback failed: cannot restore write access to span "
+               "at page %u",
+               Off);
+  };
+
   // 1. Write barrier: mark every virtual span of the source read-only
-  //    so no thread mutates objects while they are being relocated.
+  //    so no thread mutates objects while they are being relocated. A
+  //    failed protect abandons the pair before anything moved: undo
+  //    the protected prefix and leave both spans exactly as found.
   if (Opts.BarrierEnabled) {
     Barrier.beginEpoch();
-    for (uint32_t Off : Src->spans()) {
+    for (uint32_t I = 0; I < SrcSpans.size(); ++I) {
+      const uint32_t Off = SrcSpans[I];
       Barrier.addProtectedRange(Base + pagesToBytes(Off),
                                 pagesToBytes(Pages));
-      Arena.vm().protect(Off, Pages, /*ReadOnly=*/true);
+      if (!Arena.vm().protect(Off, Pages, /*ReadOnly=*/true)) {
+        for (uint32_t J = 0; J <= I; ++J)
+          unprotectSpan(SrcSpans[J]);
+        Barrier.endEpoch();
+        Stats.MeshRollbacks.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
     }
   }
 
   // 2. Consolidate: copy live source objects into the keeper's holes.
-  //    Offsets are preserved, so virtual addresses never change.
+  //    Offsets are preserved, so virtual addresses never change. The
+  //    keeper's bitmap is merged only after the remap commits: until
+  //    then the copied bytes sit in slots still marked free in Dst, so
+  //    abandoning the pair needs no undo.
   const size_t Copied = meshCopyBarrierProtected(Dst, Src, Base);
-  Dst->bitmap().mergeFrom(Src->bitmap());
 
+  bool RemapFailed = false;
   {
     std::lock_guard<SpinLock> Guard(ArenaLock);
     // 3. Retarget page-table entries so frees of source-span pointers
     //    find the keeper.
-    for (uint32_t Off : Src->spans())
-      Arena.setOwner(Off, Pages, Dst);
+    for (uint32_t I = 0; I < SrcSpans.size(); ++I)
+      Arena.setOwner(SrcSpans[I], Pages, Dst);
 
     // 4. Remap every source virtual span onto the keeper's physical
     //    span (atomic per-span; concurrent readers are never
     //    interrupted), then release the source's physical pages to the
-    //    OS.
+    //    OS. On a failed remap, re-point the already-swung spans at
+    //    the source's own pages — their contents are untouched, the
+    //    copy only wrote into the keeper's holes — and restore
+    //    ownership: the pair ends as two valid unmeshed spans.
     const uint32_t SrcPhys = Src->physicalSpanOffset();
-    for (uint32_t Off : Src->spans())
-      Arena.vm().alias(Off, Dst->physicalSpanOffset(), Pages);
-    Arena.vm().release(SrcPhys, Pages);
+    const uint32_t DstPhys = Dst->physicalSpanOffset();
+    uint32_t Swung = 0;
+    for (; Swung < SrcSpans.size(); ++Swung)
+      if (!Arena.vm().alias(SrcSpans[Swung], DstPhys, Pages))
+        break;
+    if (Swung < SrcSpans.size()) {
+      for (uint32_t J = 0; J < Swung; ++J) {
+        const uint32_t Off = SrcSpans[J];
+        bool Ok = false;
+        for (int Try = 0; Try < kRollbackRetries && !Ok; ++Try)
+          Ok = Off == SrcPhys ? Arena.vm().resetMapping(Off, Pages)
+                              : Arena.vm().alias(Off, SrcPhys, Pages);
+        if (!Ok)
+          fatalError("mesh rollback failed: cannot re-point span at page "
+                     "%u back to its source",
+                     Off);
+      }
+      for (uint32_t I = 0; I < SrcSpans.size(); ++I)
+        Arena.setOwner(SrcSpans[I], Pages, Src);
+      RemapFailed = true;
+    } else {
+      // Punch failure inside releaseForMesh is a degradation, not a
+      // rollback: the mesh itself committed, the pages just linger
+      // until a deferred punch lands.
+      Arena.releaseForMesh(SrcPhys, Pages);
+    }
   }
+
+  if (RemapFailed) {
+    if (Opts.BarrierEnabled) {
+      // The re-pointed spans came back writable from the fresh mmap;
+      // the never-swung tail is still read-only. Unprotect everything
+      // (idempotent) before dropping the barrier.
+      for (uint32_t I = 0; I < SrcSpans.size(); ++I)
+        unprotectSpan(SrcSpans[I]);
+      Barrier.endEpoch();
+    }
+    Stats.MeshRollbacks.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+
+  Dst->bitmap().mergeFrom(Src->bitmap());
 
   // 5. Bookkeeping: the keeper absorbs the source's virtual spans and
   //    moves to its new occupancy bin; the source MiniHeap dies. A

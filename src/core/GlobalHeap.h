@@ -82,7 +82,9 @@ public:
   /// non-empty occupancy bin is scanned and a random member chosen
   /// (Section 3.1). Touches only \p SizeClass's shard (plus the arena
   /// lock when a fresh span must be carved), so refills for different
-  /// classes proceed in parallel.
+  /// classes proceed in parallel. Returns nullptr — no span carved, no
+  /// locks held, faults.oom_returns ticked — when the arena cannot
+  /// produce a fresh span (commit refused or frontier exhausted).
   MiniHeap *allocMiniHeapForClass(int SizeClass);
 
   /// Returns a MiniHeap previously attached by a thread-local heap
@@ -97,7 +99,9 @@ public:
   /// Like largeAlloc, but additionally reports whether the span is
   /// known demand-zero (freshly committed memfd pages, never dirtied) —
   /// the calloc path skips its memset when \p WasZeroed comes back
-  /// true. \p WasZeroed may be null.
+  /// true. \p WasZeroed may be null. Returns nullptr on resource
+  /// exhaustion (request larger than the arena, commit refused, or
+  /// frontier exhausted); the shim layer turns that into ENOMEM.
   void *largeAllocZeroed(size_t Bytes, bool *WasZeroed);
 
   /// Non-local free (Section 4.4.4): epoch-protected constant-time
@@ -258,6 +262,8 @@ public:
   /// charges materialized pages) — an invariant the fork tests assert
   /// survives the child-side arena rebuild.
   size_t kernelFilePages() const { return Arena.kernelFilePages(); }
+  /// Degraded punch/remap operations (faults.punch_fallbacks).
+  uint64_t punchFallbackCount() const { return Arena.punchFallbackCount(); }
 
   MeshStats &stats() { return Stats; }
   const MeshStats &stats() const { return Stats; }

@@ -41,6 +41,13 @@ struct MeshStats {
   std::atomic<uint64_t> MaxForegroundPassNs{0};
   std::atomic<uint64_t> MaxBackgroundPassNs{0};
 
+  /// Degradation counters (faults.* mallctl namespace): malloc paths
+  /// that returned nullptr/ENOMEM on span-commit failure or arena
+  /// exhaustion, and mesh pairs rolled back to two valid unmeshed
+  /// spans after a remap/protect failure.
+  std::atomic<uint64_t> OomReturns{0};
+  std::atomic<uint64_t> MeshRollbacks{0};
+
   void recordPass(uint64_t Ns, MeshPassOrigin Origin) {
     MeshPasses.fetch_add(1, std::memory_order_relaxed);
     TotalMeshNs.fetch_add(Ns, std::memory_order_relaxed);

@@ -35,12 +35,22 @@ int MeshableArena::binForPages(uint32_t Pages) {
   return static_cast<int>(log2Floor(Pages));
 }
 
+void MeshableArena::binClean(uint32_t PageOff, uint32_t Pages) {
+  const int Bin = binForPages(Pages);
+  if (Bin >= 0)
+    CleanBins[Bin].push_back(PageOff);
+  else
+    OddCleanSpans.push_back(Span{PageOff, Pages});
+}
+
 uint32_t MeshableArena::allocSpan(uint32_t Pages, bool *IsClean) {
   assert(Pages > 0 && "zero-length span request");
   const int Bin = binForPages(Pages);
   if (Bin >= 0) {
     // Prefer dirty spans: their pages are already committed, so reuse
-    // costs nothing (Section 4.4.1: used pages are likely needed soon).
+    // costs nothing (Section 4.4.1: used pages are likely needed soon)
+    // — and needs no commit, which is what lets the heap keep serving
+    // from recycled memory while fresh commits are being refused.
     if (!DirtyBins[Bin].empty()) {
       const uint32_t Off = DirtyBins[Bin].back();
       DirtyBins[Bin].pop_back();
@@ -50,8 +60,9 @@ uint32_t MeshableArena::allocSpan(uint32_t Pages, bool *IsClean) {
     }
     if (!CleanBins[Bin].empty()) {
       const uint32_t Off = CleanBins[Bin].back();
+      if (!Arena.commit(Off, Pages))
+        return kInvalidSpanOff; // span stays binned; nothing leaked
       CleanBins[Bin].pop_back();
-      Arena.commit(Off, Pages);
       *IsClean = true;
       return Off;
     }
@@ -60,21 +71,23 @@ uint32_t MeshableArena::allocSpan(uint32_t Pages, bool *IsClean) {
     for (size_t I = 0; I < OddCleanSpans.size(); ++I) {
       if (OddCleanSpans[I].Pages == Pages) {
         const uint32_t Off = OddCleanSpans[I].PageOff;
+        if (!Arena.commit(Off, Pages))
+          return kInvalidSpanOff; // entry stays in place
         OddCleanSpans[I] = OddCleanSpans.back();
         OddCleanSpans.pop_back();
-        Arena.commit(Off, Pages);
         *IsClean = true;
         return Off;
       }
     }
   }
-  // Extend the bump frontier.
+  // Extend the bump frontier. Exhaustion is an allocation failure, not
+  // a crash: the caller turns kInvalidSpanOff into nullptr/ENOMEM.
   if (HighWaterPage + Pages > Arena.arenaPages())
-    fatalError("arena exhausted: %zu pages requested past %zu-page arena",
-               static_cast<size_t>(Pages), Arena.arenaPages());
+    return kInvalidSpanOff;
   const uint32_t Off = static_cast<uint32_t>(HighWaterPage);
+  if (!Arena.commit(Off, Pages))
+    return kInvalidSpanOff;
   HighWaterPage += Pages;
-  Arena.commit(Off, Pages);
   *IsClean = true;
   return Off;
 }
@@ -93,39 +106,143 @@ void MeshableArena::freeDirtySpan(uint32_t PageOff, uint32_t Pages) {
 }
 
 void MeshableArena::freeReleasedSpan(uint32_t PageOff, uint32_t Pages) {
-  Arena.release(PageOff, Pages);
+  if (Arena.release(PageOff, Pages)) {
+    binClean(PageOff, Pages);
+    return;
+  }
+  PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
   const int Bin = binForPages(Pages);
-  if (Bin >= 0)
-    CleanBins[Bin].push_back(PageOff);
-  else
-    OddCleanSpans.push_back(Span{PageOff, Pages});
+  if (Bin >= 0) {
+    // A failed punch leaves the contents intact, so the span is dirty,
+    // never clean (clean spans must read back as zero — calloc skips
+    // its memset on them). No flush trigger here: it would retry the
+    // same punch immediately.
+    DirtyBins[Bin].push_back(PageOff);
+    DirtyPageCount += Pages;
+  } else {
+    // Odd lengths have no dirty bin; shed the RSS at least and retry
+    // the punch at the next flush.
+    Arena.dropResident(PageOff, Pages);
+    DeferredSpans.push_back(DeferredSpan{PageOff, Pages, /*NeedsReset=*/false,
+                                         /*NeedsPunch=*/true,
+                                         /*Reusable=*/true});
+  }
+}
+
+void MeshableArena::releaseForMesh(uint32_t PageOff, uint32_t Pages) {
+  if (Arena.release(PageOff, Pages))
+    return;
+  PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+  // The virtual span at PageOff now aliases the keeper, so there is no
+  // identity mapping to MADV_DONTNEED through, and the span cannot be
+  // rebinned (it is still owned by the retired source MiniHeap). Park
+  // it: not reusable until freeAliasSpan recycles the virtual span.
+  DeferredSpans.push_back(DeferredSpan{PageOff, Pages, /*NeedsReset=*/false,
+                                       /*NeedsPunch=*/true,
+                                       /*Reusable=*/false});
 }
 
 void MeshableArena::freeAliasSpan(uint32_t PageOff, uint32_t Pages) {
+  size_t DI = DeferredSpans.size();
+  for (size_t I = 0; I < DeferredSpans.size(); ++I) {
+    if (DeferredSpans[I].PageOff == PageOff) {
+      DI = I;
+      break;
+    }
+  }
+  if (!Arena.resetMapping(PageOff, Pages)) {
+    // Still aliased to the keeper — unusable until the remap lands.
+    PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (DI < DeferredSpans.size()) {
+      DeferredSpans[DI].NeedsReset = true;
+      DeferredSpans[DI].Reusable = true;
+    } else {
+      DeferredSpans.push_back(DeferredSpan{PageOff, Pages,
+                                           /*NeedsReset=*/true,
+                                           /*NeedsPunch=*/false,
+                                           /*Reusable=*/true});
+    }
+    return;
+  }
+  if (DI < DeferredSpans.size()) {
+    // The span's own file pages still await a deferred punch (the mesh
+    // that created this alias could not punch them), so they are not
+    // holes and the span is not demand-zero yet. Hand it back to the
+    // deferred list; the punch retry rebins it.
+    DeferredSpans[DI].NeedsReset = false;
+    DeferredSpans[DI].Reusable = true;
+    return;
+  }
   // The span's own file pages were punched when it was meshed away;
   // restoring the identity mapping yields a demand-zero span.
-  Arena.resetMapping(PageOff, Pages);
-  const int Bin = binForPages(Pages);
-  if (Bin >= 0)
-    CleanBins[Bin].push_back(PageOff);
-  else
-    OddCleanSpans.push_back(Span{PageOff, Pages});
+  binClean(PageOff, Pages);
 }
 
-size_t MeshableArena::flushDirty() {
+size_t MeshableArena::flushDirty(bool DeferFailures) {
   size_t Released = 0;
+  // Deferred spans first: punches and remaps owed from earlier
+  // degraded operations. Each retry re-draws the fault injector, so an
+  // every-N storm drains this list once faults clear.
+  for (size_t I = 0; I < DeferredSpans.size();) {
+    DeferredSpan &D = DeferredSpans[I];
+    if (D.NeedsReset && Arena.resetMapping(D.PageOff, D.Pages))
+      D.NeedsReset = false;
+    if (D.NeedsPunch && Arena.release(D.PageOff, D.Pages)) {
+      D.NeedsPunch = false;
+      Released += D.Pages;
+    }
+    if (!D.NeedsReset && !D.NeedsPunch) {
+      if (D.Reusable)
+        binClean(D.PageOff, D.Pages);
+      DeferredSpans[I] = DeferredSpans.back();
+      DeferredSpans.pop_back();
+      continue; // re-examine the swapped-in entry
+    }
+    ++I;
+  }
   for (uint32_t Bin = 0; Bin < kNumLenBins; ++Bin) {
     const uint32_t Pages = 1u << Bin;
-    for (uint32_t Off : DirtyBins[Bin]) {
-      Arena.release(Off, Pages);
-      CleanBins[Bin].push_back(Off);
-      Released += Pages;
+    size_t Keep = 0;
+    for (size_t I = 0; I < DirtyBins[Bin].size(); ++I) {
+      const uint32_t Off = DirtyBins[Bin][I];
+      if (Arena.release(Off, Pages)) {
+        CleanBins[Bin].push_back(Off);
+        Released += Pages;
+        DirtyPageCount -= Pages;
+        continue;
+      }
+      PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+      if (DeferFailures) {
+        // Pre-fork flush: the dirty set must reach zero (the child's
+        // rebuild replays only owned spans), so park the failure on
+        // the deferred list instead of keeping it dirty.
+        Arena.dropResident(Off, Pages);
+        DeferredSpans.push_back(DeferredSpan{Off, Pages,
+                                             /*NeedsReset=*/false,
+                                             /*NeedsPunch=*/true,
+                                             /*Reusable=*/true});
+        DirtyPageCount -= Pages;
+      } else {
+        // Keep it dirty — still committed, still reusable as-is.
+        DirtyBins[Bin][Keep++] = Off;
+      }
     }
-    DirtyBins[Bin].clear();
+    DirtyBins[Bin].resize(Keep);
   }
-  assert(Released == DirtyPageCount && "dirty accounting out of sync");
-  DirtyPageCount = 0;
+  assert((!DeferFailures || DirtyPageCount == 0) &&
+         "pre-fork flush left dirty pages");
   return Released;
+}
+
+void MeshableArena::resetDeferredAfterFork() {
+  // Pass 2 of the child's arena rebuild swung the whole reservation
+  // back to the identity mapping, satisfying every pending remap.
+  // Pending punches are kept on purpose: ownerless spans were not
+  // copied into the fresh file, so the pages are already holes and the
+  // retried punch (trivially succeeding) re-syncs the inherited
+  // committed-page overcount.
+  for (size_t I = 0; I < DeferredSpans.size(); ++I)
+    DeferredSpans[I].NeedsReset = false;
 }
 
 void MeshableArena::setOwner(uint32_t PageOff, uint32_t Pages,

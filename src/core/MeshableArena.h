@@ -45,9 +45,16 @@ public:
   char *arenaBase() const { return Arena.base(); }
   bool contains(const void *Ptr) const { return Arena.contains(Ptr); }
 
-  /// Allocates a span of \p Pages pages. Sets \p IsClean true when the
-  /// span is known demand-zero (fresh or previously punched); dirty
-  /// spans may contain stale bytes and callers must not assume zero.
+  /// Sentinel returned by allocSpan when the arena cannot produce a
+  /// span (frontier exhausted, or page commit refused under fault
+  /// injection). Callers translate it into nullptr/ENOMEM.
+  static constexpr uint32_t kInvalidSpanOff = ~0u;
+
+  /// Allocates a span of \p Pages pages, or kInvalidSpanOff on
+  /// resource exhaustion (nothing is leaked: a span whose commit fails
+  /// stays in its bin). Sets \p IsClean true when the span is known
+  /// demand-zero (fresh or previously punched); dirty spans may
+  /// contain stale bytes and callers must not assume zero.
   uint32_t allocSpan(uint32_t Pages, bool *IsClean);
 
   /// Returns a span whose physical pages are still live to the dirty
@@ -55,16 +62,48 @@ public:
   void freeDirtySpan(uint32_t PageOff, uint32_t Pages);
 
   /// Punches the span's pages immediately (used for large objects,
-  /// paper Section 4: "the pages are directly freed to the OS").
+  /// paper Section 4: "the pages are directly freed to the OS"). A
+  /// failed punch degrades: the span parks in the dirty bins (pow2
+  /// lengths) or the deferred list (odd lengths) — never the clean
+  /// bins, whose spans must read back as zero — and the punch is
+  /// retried at the next flushDirty.
   void freeReleasedSpan(uint32_t PageOff, uint32_t Pages);
+
+  /// Punches the meshed-away source span's file pages after a
+  /// successful mesh. Unlike freeReleasedSpan the span's *virtual*
+  /// range now aliases the keeper, so a failed punch only defers (no
+  /// rebinning, no MADV_DONTNEED — that would drop the keeper's
+  /// resident pages through the alias).
+  void releaseForMesh(uint32_t PageOff, uint32_t Pages);
 
   /// Recycles a virtual span that had been meshed onto another span:
   /// restores its identity mapping (its own file pages are holes) and
-  /// makes it available as a clean span.
+  /// makes it available as a clean span. Degrades by deferring when
+  /// the remap fails or when the span's own file pages still await a
+  /// deferred punch.
   void freeAliasSpan(uint32_t PageOff, uint32_t Pages);
 
-  /// Punches every dirty span now. Returns pages released.
-  size_t flushDirty();
+  /// Punches every dirty span now, retrying any deferred punches and
+  /// identity remaps first. Returns pages released. With
+  /// \p DeferFailures (the pre-fork flush), dirty spans whose punch
+  /// fails move to the deferred list so dirtyPages() reaches zero —
+  /// the fork child's rebuild replays only owned spans and requires an
+  /// empty dirty set.
+  size_t flushDirty(bool DeferFailures = false);
+
+  /// Fork-child fixup for the deferred list: the fresh-file rebuild
+  /// restored every identity mapping (pass 2), so pending remaps are
+  /// satisfied. Pending punches are deliberately kept: the child's
+  /// file already has holes there (ownerless spans are not copied), so
+  /// the retried punch trivially succeeds and re-syncs the inherited
+  /// committed-page overcount. Runs in the atfork child handler —
+  /// allocates nothing, takes no locks.
+  void resetDeferredAfterFork();
+
+  /// Punch/remap operations that failed and degraded (faults.punch_fallbacks).
+  uint64_t punchFallbackCount() const {
+    return PunchFallbacks.load(std::memory_order_relaxed);
+  }
 
   /// Page-table maintenance: records \p Owner for all \p Pages pages
   /// starting at \p PageOff (nullptr clears).
@@ -94,6 +133,9 @@ private:
   static constexpr uint32_t kNumLenBins = 6; // lengths 1,2,4,8,16,32
   static int binForPages(uint32_t Pages);
 
+  /// Files \p PageOff into the clean bins (pow2) or odd-span list.
+  void binClean(uint32_t PageOff, uint32_t Pages);
+
   MemfdArena Arena;
   std::atomic<MiniHeap *> *PageTable = nullptr;
   size_t PageTableBytes = 0;
@@ -103,13 +145,28 @@ private:
     uint32_t Pages;
   };
 
+  /// A span parked because a punch or identity remap failed. The span
+  /// is in no bin while parked; flushDirty retries the pending
+  /// operations and rebins it (clean — both punch and remap done mean
+  /// demand-zero) once Reusable.
+  struct DeferredSpan {
+    uint32_t PageOff;
+    uint32_t Pages;
+    bool NeedsReset; ///< Identity remap still owed (failed freeAliasSpan).
+    bool NeedsPunch; ///< Hole punch still owed (failed release).
+    bool Reusable;   ///< False while the virtual span is still a live
+                     ///< mesh alias; freeAliasSpan flips it.
+  };
+
   InternalVector<uint32_t> CleanBins[kNumLenBins];
   InternalVector<uint32_t> DirtyBins[kNumLenBins];
   InternalVector<Span> OddCleanSpans;
+  InternalVector<DeferredSpan> DeferredSpans;
 
   size_t MaxDirtyBytes;
   size_t DirtyPageCount = 0;
   size_t HighWaterPage = 0;
+  std::atomic<uint64_t> PunchFallbacks{0};
 };
 
 } // namespace mesh

@@ -7,6 +7,7 @@
 #include "support/InternalHeap.h"
 #include "support/Log.h"
 #include "support/MathUtils.h"
+#include "support/Sys.h"
 
 #include <atomic>
 #include <cassert>
@@ -543,6 +544,25 @@ int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
   if (strcmp(Name, "stats.max_pause_ns") == 0)
     return ReadU64(
         Global.stats().MaxMeshPassNs.load(std::memory_order_relaxed));
+  if (strncmp(Name, "faults.", 7) == 0) {
+    // Degradation observability (see DESIGN.md "Failure policy"):
+    // injected/retried count fault-injector activity at the syscall
+    // seam; the rest count real degradations taken, injected or not.
+    const char *Leaf = Name + 7;
+    if (strcmp(Leaf, "injected") == 0)
+      return ReadU64(sys::faultsInjected());
+    if (strcmp(Leaf, "retried") == 0)
+      return ReadU64(sys::faultsRetried());
+    if (strcmp(Leaf, "oom_returns") == 0)
+      return ReadU64(
+          Global.stats().OomReturns.load(std::memory_order_relaxed));
+    if (strcmp(Leaf, "mesh_rollbacks") == 0)
+      return ReadU64(
+          Global.stats().MeshRollbacks.load(std::memory_order_relaxed));
+    if (strcmp(Leaf, "punch_fallbacks") == 0)
+      return ReadU64(Global.punchFallbackCount());
+    return ENOENT;
+  }
   return ENOENT;
 }
 

@@ -47,6 +47,8 @@ void *ThreadLocalHeap::malloc(size_t Bytes) {
       Global->releaseMiniHeap(V.detach());
     }
     MiniHeap *MH = Global->allocMiniHeapForClass(SizeClass);
+    if (MH == nullptr)
+      return nullptr; // Arena exhausted/commit refused: caller sets ENOMEM.
     const uint32_t Pulled = V.attach(MH, Global->arenaBase());
     assert(Pulled > 0 && "global heap returned a full span");
     (void)Pulled;

@@ -102,11 +102,18 @@ void shimTrace(char Tag, size_t Arg) {
 
 void *shimMalloc(size_t Bytes) {
   mesh::Runtime &R = mesh::defaultRuntime();
-  if (Busy)
-    return R.global().largeAlloc(Bytes == 0 ? 1 : Bytes);
-  Busy = true;
-  void *Ptr = R.malloc(Bytes);
-  Busy = false;
+  void *Ptr;
+  if (Busy) {
+    Ptr = R.global().largeAlloc(Bytes == 0 ? 1 : Bytes);
+  } else {
+    Busy = true;
+    Ptr = R.malloc(Bytes);
+    Busy = false;
+  }
+  // POSIX contract: a failed allocation sets errno (the runtime layers
+  // only return nullptr; the libc surface is where errno belongs).
+  if (Ptr == nullptr)
+    errno = ENOMEM;
   return Ptr;
 }
 
@@ -140,23 +147,28 @@ void free(void *Ptr) {
 void *calloc(size_t Count, size_t Size) {
   if (Count != 0 && Size > SIZE_MAX / Count) {
     shimTrace('c', SIZE_MAX); // overflowing request; logged saturated
+    errno = ENOMEM;
     return nullptr;
   }
   const size_t Bytes = Count * Size;
   shimTrace('c', Bytes);
   mesh::Runtime &R = mesh::defaultRuntime();
+  void *Ptr;
   if (Busy) {
     // Nested request from heap setup: serve it directly and zero it.
-    void *Ptr = R.global().largeAlloc(Bytes == 0 ? 1 : Bytes);
+    Ptr = R.global().largeAlloc(Bytes == 0 ? 1 : Bytes);
     if (Ptr != nullptr)
       memset(Ptr, 0, Bytes);
-    return Ptr;
+  } else {
+    Busy = true;
+    // Runtime::calloc skips the memset for large allocations on
+    // pristine (never-dirtied) spans — those memfd pages are already
+    // zero.
+    Ptr = R.calloc(Count, Size);
+    Busy = false;
   }
-  Busy = true;
-  // Runtime::calloc skips the memset for large allocations on pristine
-  // (never-dirtied) spans — those memfd pages are already zero.
-  void *Ptr = R.calloc(Count, Size);
-  Busy = false;
+  if (Ptr == nullptr)
+    errno = ENOMEM;
   return Ptr;
 }
 

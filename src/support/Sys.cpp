@@ -1,0 +1,380 @@
+//===- Sys.cpp - Syscall seam with deterministic fault injection ----------===//
+
+#include "support/Sys.h"
+
+#include "support/Log.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace mesh {
+namespace sys {
+
+namespace detail {
+std::atomic<uint32_t> ArmedMask{kEnvUnparsed};
+} // namespace detail
+
+namespace {
+
+/// Transient errnos are retried this many times before the wrapper
+/// reports failure. Real EINTR storms resolve in one or two retries;
+/// the bound only exists so an injected every=1 transient storm cannot
+/// spin a caller forever.
+constexpr int kMaxTransientRetries = 16;
+
+/// Default stream seed for rate= specs that omit seed=.
+constexpr uint64_t kDefaultRateSeed = 0x5EEDFA17;
+
+std::atomic<uint64_t> InjectedCount{0};
+std::atomic<uint64_t> RetriedCount{0};
+/// Per-op call counters driving every=N / rate=N draws; reset whenever
+/// a new plan is armed so storms are reproducible.
+std::atomic<uint64_t> OpCalls[kNumOps] = {};
+
+/// The armed plan. Written only while ArmedMask is disarmed (or under
+/// ParseLock for the lazy env parse); wrapped calls racing a
+/// configureFaults swap may draw from either plan, which tests avoid
+/// by quiescing first.
+struct Plan {
+  int Errno[kNumOps] = {};
+  uint64_t EveryN[kNumOps] = {};
+  uint64_t RateN[kNumOps] = {};
+  uint64_t Seed = kDefaultRateSeed;
+};
+Plan ActivePlan;
+
+/// Serializes the lazy MESH_FAULT_INJECT parse (and plan swaps against
+/// it). A raw flag, not SpinLock: this must be usable before any
+/// static constructor and inside malloc.
+std::atomic_flag ParseLock = ATOMIC_FLAG_INIT;
+
+bool transientErrno(int E) { return E == EINTR || E == EAGAIN; }
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ULL;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+  return X ^ (X >> 31);
+}
+
+const char *findChar(const char *S, const char *End, char C) {
+  for (; S != End; ++S)
+    if (*S == C)
+      return S;
+  return End;
+}
+
+bool startsWith(const char *S, const char *End, const char *Lit) {
+  const size_t Len = strlen(Lit);
+  return static_cast<size_t>(End - S) >= Len && strncmp(S, Lit, Len) == 0;
+}
+
+bool parseU64Token(const char *S, const char *End, uint64_t *Out) {
+  if (S == End)
+    return false;
+  uint64_t V = 0;
+  for (; S != End; ++S) {
+    if (*S < '0' || *S > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(*S - '0');
+  }
+  *Out = V;
+  return true;
+}
+
+bool opBitsFor(const char *S, const char *End, uint32_t *Bits) {
+  static const struct {
+    const char *Name;
+    Op Val;
+  } Table[] = {
+      {"memfd_create", kMemfdCreate},
+      {"ftruncate", kFtruncate},
+      {"mmap", kMmap},
+      {"munmap", kMunmap},
+      {"fallocate", kFallocate},
+      {"madvise", kMadvise},
+      {"mprotect", kMprotect},
+      {"commit", kCommit},
+  };
+  const size_t Len = static_cast<size_t>(End - S);
+  if (Len == 3 && strncmp(S, "all", 3) == 0) {
+    *Bits = (1u << kNumOps) - 1;
+    return true;
+  }
+  for (const auto &E : Table) {
+    if (strlen(E.Name) == Len && strncmp(S, E.Name, Len) == 0) {
+      *Bits = 1u << E.Val;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool errnoFor(const char *S, const char *End, int *Err) {
+  static const struct {
+    const char *Name;
+    int Val;
+  } Table[] = {
+      {"ENOMEM", ENOMEM}, {"ENOSPC", ENOSPC}, {"EINTR", EINTR},
+      {"EAGAIN", EAGAIN}, {"EMFILE", EMFILE}, {"ENFILE", ENFILE},
+  };
+  const size_t Len = static_cast<size_t>(End - S);
+  for (const auto &E : Table) {
+    if (strlen(E.Name) == Len && strncmp(S, E.Name, Len) == 0) {
+      *Err = E.Val;
+      return true;
+    }
+  }
+  uint64_t V = 0;
+  if (parseU64Token(S, End, &V) && V > 0 && V < 4096) {
+    *Err = static_cast<int>(V);
+    return true;
+  }
+  return false;
+}
+
+bool parsePlan(const char *Spec, Plan &P, uint32_t *MaskOut) {
+  uint32_t Mask = 0;
+  const char *Cur = Spec;
+  while (*Cur != '\0') {
+    const char *SpecEnd = strchr(Cur, ';');
+    if (SpecEnd == nullptr)
+      SpecEnd = Cur + strlen(Cur);
+    const char *C1 = findChar(Cur, SpecEnd, ':');
+    if (C1 == SpecEnd)
+      return false;
+    uint32_t Bits = 0;
+    if (!opBitsFor(Cur, C1, &Bits))
+      return false;
+    const char *C2 = findChar(C1 + 1, SpecEnd, ':');
+    if (C2 == SpecEnd)
+      return false;
+    int Err = 0;
+    if (!errnoFor(C1 + 1, C2, &Err))
+      return false;
+    const char *Mode = C2 + 1;
+    uint64_t Every = 0;
+    uint64_t Rate = 0;
+    if (startsWith(Mode, SpecEnd, "every=")) {
+      if (!parseU64Token(Mode + 6, SpecEnd, &Every) || Every == 0)
+        return false;
+    } else if (startsWith(Mode, SpecEnd, "rate=")) {
+      const char *Comma = findChar(Mode, SpecEnd, ',');
+      if (!parseU64Token(Mode + 5, Comma, &Rate) || Rate == 0)
+        return false;
+      if (Comma != SpecEnd) {
+        if (!startsWith(Comma + 1, SpecEnd, "seed="))
+          return false;
+        uint64_t Seed = 0;
+        if (!parseU64Token(Comma + 6, SpecEnd, &Seed))
+          return false;
+        P.Seed = Seed;
+      }
+    } else {
+      return false;
+    }
+    for (unsigned O = 0; O < kNumOps; ++O) {
+      if ((Bits & (1u << O)) == 0)
+        continue;
+      P.Errno[O] = Err;
+      P.EveryN[O] = Every;
+      P.RateN[O] = Rate;
+    }
+    Mask |= Bits;
+    Cur = *SpecEnd == ';' ? SpecEnd + 1 : SpecEnd;
+  }
+  if (Mask == 0)
+    return false;
+  *MaskOut = Mask;
+  return true;
+}
+
+/// Installs \p Spec as the active plan (empty/null disarms). The
+/// caller owns serialization; on parse failure nothing is armed and
+/// false is returned.
+bool applySpec(const char *Spec) {
+  Plan P;
+  uint32_t Mask = 0;
+  if (Spec != nullptr && *Spec != '\0' && !parsePlan(Spec, P, &Mask))
+    return false;
+  ActivePlan = P;
+  for (auto &C : OpCalls)
+    C.store(0, std::memory_order_relaxed);
+  detail::ArmedMask.store(Mask, std::memory_order_release);
+  return true;
+}
+
+void parseEnvOnce() {
+  while (ParseLock.test_and_set(std::memory_order_acquire)) {
+  }
+  if (detail::ArmedMask.load(std::memory_order_relaxed) &
+      detail::kEnvUnparsed) {
+    const char *Env = std::getenv("MESH_FAULT_INJECT");
+    if (!applySpec(Env)) {
+      logWarning(
+          "ignoring invalid MESH_FAULT_INJECT=\"%s\" (expected "
+          "<op>:<errno>:every=<N> or <op>:<errno>:rate=<N>[,seed=<S>], "
+          "';'-separated); fault injection stays off",
+          Env);
+      detail::ArmedMask.store(0, std::memory_order_release);
+    }
+  }
+  ParseLock.clear(std::memory_order_release);
+}
+
+} // namespace
+
+namespace detail {
+
+bool shouldInjectSlow(Op O, int *Err) {
+  uint32_t Mask = ArmedMask.load(std::memory_order_acquire);
+  if (Mask & kEnvUnparsed) {
+    parseEnvOnce();
+    Mask = ArmedMask.load(std::memory_order_acquire);
+  }
+  if ((Mask & (1u << O)) == 0)
+    return false;
+  const uint64_t Call = OpCalls[O].fetch_add(1, std::memory_order_relaxed) + 1;
+  const Plan &P = ActivePlan;
+  bool Fire = false;
+  if (P.EveryN[O] != 0)
+    Fire = Call % P.EveryN[O] == 0;
+  else if (P.RateN[O] != 0)
+    Fire = splitmix64(P.Seed ^ (Call << 8) ^ (O + 1)) % P.RateN[O] == 0;
+  if (!Fire)
+    return false;
+  InjectedCount.fetch_add(1, std::memory_order_relaxed);
+  *Err = P.Errno[O];
+  return true;
+}
+
+} // namespace detail
+
+namespace {
+
+/// Shared retry loop for the int-returning wrappers. \p Real performs
+/// the actual syscall and returns its raw result (>= 0 success, -1
+/// failure with errno set).
+template <typename Fn> int wrapCall(Op O, Fn Real) {
+  for (int Attempt = 0;; ++Attempt) {
+    int Err = 0;
+    if (injectedFault(O, &Err)) {
+      if (transientErrno(Err) && Attempt < kMaxTransientRetries) {
+        RetriedCount.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      errno = Err;
+      return -1;
+    }
+    const int Rc = Real();
+    if (Rc >= 0)
+      return Rc;
+    if (transientErrno(errno) && Attempt < kMaxTransientRetries) {
+      RetriedCount.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    return -1;
+  }
+}
+
+} // namespace
+
+int memfdCreate(const char *Name, unsigned Flags) {
+  return wrapCall(kMemfdCreate,
+                  [&] { return ::memfd_create(Name, Flags); });
+}
+
+int ftruncateFd(int Fd, off_t Length) {
+  return wrapCall(kFtruncate, [&] { return ::ftruncate(Fd, Length); });
+}
+
+void *mmapPtr(void *Addr, size_t Length, int Prot, int Flags, int Fd,
+              off_t Offset) {
+  for (int Attempt = 0;; ++Attempt) {
+    int Err = 0;
+    if (injectedFault(kMmap, &Err)) {
+      if (transientErrno(Err) && Attempt < kMaxTransientRetries) {
+        RetriedCount.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      errno = Err;
+      return MAP_FAILED;
+    }
+    void *Res = ::mmap(Addr, Length, Prot, Flags, Fd, Offset);
+    if (Res != MAP_FAILED)
+      return Res;
+    // The kernel reports transient resource pressure on mmap as EAGAIN
+    // (locked-memory limits) — worth the same bounded retry.
+    if (transientErrno(errno) && Attempt < kMaxTransientRetries) {
+      RetriedCount.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    return MAP_FAILED;
+  }
+}
+
+int munmapPtr(void *Addr, size_t Length) {
+  return wrapCall(kMunmap, [&] { return ::munmap(Addr, Length); });
+}
+
+int fallocateFd(int Fd, int Mode, off_t Offset, off_t Length) {
+  return wrapCall(kFallocate,
+                  [&] { return ::fallocate(Fd, Mode, Offset, Length); });
+}
+
+int madvisePtr(void *Addr, size_t Length, int Advice) {
+  return wrapCall(kMadvise, [&] { return ::madvise(Addr, Length, Advice); });
+}
+
+int mprotectPtr(void *Addr, size_t Length, int Prot) {
+  return wrapCall(kMprotect, [&] { return ::mprotect(Addr, Length, Prot); });
+}
+
+bool commitGate() {
+  for (int Attempt = 0;; ++Attempt) {
+    int Err = 0;
+    if (!injectedFault(kCommit, &Err))
+      return true;
+    if (transientErrno(Err) && Attempt < kMaxTransientRetries) {
+      RetriedCount.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    errno = Err;
+    return false;
+  }
+}
+
+bool configureFaults(const char *Spec) {
+  while (ParseLock.test_and_set(std::memory_order_acquire)) {
+  }
+  detail::ArmedMask.store(0, std::memory_order_release);
+  const bool Ok = applySpec(Spec);
+  if (!Ok)
+    logWarning("ignoring invalid fault spec \"%s\"; fault injection stays "
+               "off",
+               Spec);
+  ParseLock.clear(std::memory_order_release);
+  return Ok;
+}
+
+void clearFaults() {
+  while (ParseLock.test_and_set(std::memory_order_acquire)) {
+  }
+  detail::ArmedMask.store(0, std::memory_order_release);
+  ParseLock.clear(std::memory_order_release);
+}
+
+uint64_t faultsInjected() {
+  return InjectedCount.load(std::memory_order_relaxed);
+}
+
+uint64_t faultsRetried() {
+  return RetriedCount.load(std::memory_order_relaxed);
+}
+
+} // namespace sys
+} // namespace mesh

@@ -2,6 +2,8 @@
 
 #include "workloads/KVStore.h"
 
+#include "support/Log.h"
+
 #include <cassert>
 #include <cstring>
 
@@ -10,8 +12,14 @@ namespace mesh {
 KVStore::KVStore(HeapBackend &Backend, size_t Budget, unsigned Samples)
     : Heap(Backend), MaxBytes(Budget), EvictionSamples(Samples) {
   BucketCount = 1024;
-  Buckets = static_cast<Node **>(
-      Heap.malloc(BucketCount * sizeof(Node *)));
+  // A store with no bucket array cannot degrade into anything useful,
+  // so the initial table is the one allocation worth retrying hard
+  // (each attempt re-draws the fault injector) and aborting on.
+  for (int Try = 0; Try < 8 && Buckets == nullptr; ++Try)
+    Buckets = static_cast<Node **>(
+        Heap.malloc(BucketCount * sizeof(Node *)));
+  if (Buckets == nullptr)
+    fatalError("KVStore: cannot allocate the initial bucket array");
   memset(Buckets, 0, BucketCount * sizeof(Node *));
 }
 
@@ -79,11 +87,12 @@ char *KVStore::copyString(std::string_view S) {
   // .MallocZeroReturnsDistinctFreeablePointers): every HeapBackend
   // returns a distinct, non-null, freeable pointer for zero-size
   // requests, so empty keys and values need no null sentinel in the
-  // node. The memcpy is still guarded: an empty string_view's data()
+  // node. A null here therefore always means backend OOM, which the
+  // caller must tolerate (set() fails cleanly, defrag skips the
+  // entry). The memcpy is still guarded: an empty string_view's data()
   // may legally be nullptr, and memcpy(p, nullptr, 0) is UB.
   char *Mem = static_cast<char *>(Heap.malloc(S.size()));
-  assert(Mem != nullptr && "backend malloc returned null");
-  if (!S.empty())
+  if (Mem != nullptr && !S.empty())
     memcpy(Mem, S.data(), S.size());
   return Mem;
 }
@@ -145,6 +154,8 @@ void KVStore::rehashIfNeeded() {
   const size_t NewCount = BucketCount * 4;
   Node **Fresh = static_cast<Node **>(
       Heap.malloc(NewCount * sizeof(Node *)));
+  if (Fresh == nullptr)
+    return; // Keep the crowded table; the next insert retries.
   memset(Fresh, 0, NewCount * sizeof(Node *));
   for (size_t B = 0; B < BucketCount; ++B) {
     Node *N = Buckets[B];
@@ -163,25 +174,42 @@ void KVStore::rehashIfNeeded() {
   BucketCount = NewCount;
 }
 
-void KVStore::set(std::string_view Key, std::string_view Value) {
+bool KVStore::set(std::string_view Key, std::string_view Value) {
   if (Node *Existing = find(Key)) {
+    // Copy-before-free: a failed copy must leave the old value intact
+    // (and the order also makes set(k, get(k)) — an aliasing
+    // self-assignment — safe).
+    char *NewValue = copyString(Value);
+    if (NewValue == nullptr)
+      return false;
     Payload -= Existing->ValueLen;
     Heap.free(Existing->Value);
-    Existing->Value = copyString(Value);
+    Existing->Value = NewValue;
     Existing->ValueLen = static_cast<uint32_t>(Value.size());
     Existing->LastUsed = ++LruClock;
     Payload += Value.size();
     detachLru(Existing);
     pushFrontLru(Existing);
     evictIfNeeded();
-    return;
+    return true;
   }
   auto *N = static_cast<Node *>(Heap.malloc(sizeof(Node)));
+  if (N == nullptr)
+    return false;
   N->HashNext = nullptr;
   N->LruPrev = N->LruNext = nullptr;
   N->Key = copyString(Key);
+  if (N->Key == nullptr) {
+    Heap.free(N);
+    return false;
+  }
   N->KeyLen = static_cast<uint32_t>(Key.size());
   N->Value = copyString(Value);
+  if (N->Value == nullptr) {
+    Heap.free(N->Key);
+    Heap.free(N);
+    return false;
+  }
   N->ValueLen = static_cast<uint32_t>(Value.size());
   N->LastUsed = ++LruClock;
   Node **Slot = bucketFor(Key);
@@ -192,6 +220,7 @@ void KVStore::set(std::string_view Key, std::string_view Value) {
   ++Count;
   rehashIfNeeded();
   evictIfNeeded();
+  return true;
 }
 
 std::string_view KVStore::get(std::string_view Key) {
@@ -230,19 +259,26 @@ size_t KVStore::activeDefrag() {
   size_t Moved = 0;
   for (size_t B = 0; B < BucketCount; ++B) {
     for (Node *N = Buckets[B]; N != nullptr; N = N->HashNext) {
-      char *NewKey = copyString(std::string_view(N->Key, N->KeyLen));
+      // Per-field: a failed copy skips just that field (the entry keeps
+      // its current storage) — defrag is an optimization and must not
+      // lose data under allocation pressure.
+      if (char *NewKey = copyString(std::string_view(N->Key, N->KeyLen))) {
 #ifndef NDEBUG
-      memset(N->Key, 0xDB, N->KeyLen);
+        memset(N->Key, 0xDB, N->KeyLen);
 #endif
-      Heap.free(N->Key);
-      N->Key = NewKey;
-      char *NewValue = copyString(std::string_view(N->Value, N->ValueLen));
+        Heap.free(N->Key);
+        N->Key = NewKey;
+        Moved += N->KeyLen;
+      }
+      if (char *NewValue =
+              copyString(std::string_view(N->Value, N->ValueLen))) {
 #ifndef NDEBUG
-      memset(N->Value, 0xDB, N->ValueLen);
+        memset(N->Value, 0xDB, N->ValueLen);
 #endif
-      Heap.free(N->Value);
-      N->Value = NewValue;
-      Moved += N->KeyLen + N->ValueLen;
+        Heap.free(N->Value);
+        N->Value = NewValue;
+        Moved += N->ValueLen;
+      }
     }
   }
   ++DefragGeneration;

@@ -42,8 +42,11 @@ public:
   KVStore &operator=(const KVStore &) = delete;
 
   /// Inserts or overwrites; evicts least-recently-used entries if the
-  /// budget is exceeded.
-  void set(std::string_view Key, std::string_view Value);
+  /// budget is exceeded. Returns false — leaving the store unchanged,
+  /// an overwritten entry keeping its old value — when the backend
+  /// cannot allocate (the fault-storm soak drives this path; a real
+  /// Redis answers OOM errors the same way).
+  bool set(std::string_view Key, std::string_view Value);
 
   /// Returns the value (marking the entry most-recently-used), or an
   /// empty view when absent.

@@ -50,8 +50,8 @@ TEST(MemfdArenaTest, ReleaseReturnsPagesToOS) {
   MemfdArena A(kTestArena);
   memset(A.ptrForPage(4), 7, 4 * kPageSize);
   ASSERT_EQ(A.kernelFilePages(), 4u);
-  A.commit(4, 4); // mirror the touch in our accounting
-  A.release(4, 4);
+  ASSERT_TRUE(A.commit(4, 4)); // mirror the touch in our accounting
+  ASSERT_TRUE(A.release(4, 4));
   EXPECT_EQ(A.kernelFilePages(), 0u);
   EXPECT_EQ(A.committedPages(), 0u);
   // Released pages read back as zero.
@@ -67,7 +67,7 @@ TEST(MemfdArenaTest, AliasSharesPhysicalStorage) {
   strcpy(Victim, "victim-data");
   EXPECT_EQ(A.kernelFilePages(), 2u);
 
-  A.alias(/*VictimPageOff=*/10, /*KeeperPageOff=*/0, 1);
+  ASSERT_TRUE(A.alias(/*VictimPageOff=*/10, /*KeeperPageOff=*/0, 1));
   EXPECT_STREQ(Victim, "keeper-data") << "alias must read keeper's bytes";
 
   // Writes through either virtual address are visible through both.
@@ -77,7 +77,7 @@ TEST(MemfdArenaTest, AliasSharesPhysicalStorage) {
   EXPECT_STREQ(Victim + 200, "through-keeper");
 
   // The victim's old file page is still allocated until released.
-  A.release(10, 1);
+  ASSERT_TRUE(A.release(10, 1));
   EXPECT_EQ(A.kernelFilePages(), 1u);
   // Aliased contents unaffected by punching the victim's old offset.
   EXPECT_STREQ(Victim, "keeper-data");
@@ -87,10 +87,10 @@ TEST(MemfdArenaTest, ResetMappingRestoresIdentity) {
   MemfdArena A(kTestArena);
   strcpy(A.ptrForPage(0), "zero");
   strcpy(A.ptrForPage(5), "five");
-  A.alias(5, 0, 1);
+  ASSERT_TRUE(A.alias(5, 0, 1));
   EXPECT_STREQ(A.ptrForPage(5), "zero");
-  A.release(5, 1); // punch old file pages under offset 5
-  A.resetMapping(5, 1);
+  ASSERT_TRUE(A.release(5, 1)); // punch old file pages under offset 5
+  ASSERT_TRUE(A.resetMapping(5, 1));
   // Identity restored: page 5 now shows its (punched, zero) file page.
   EXPECT_EQ(A.ptrForPage(5)[0], 0);
   // And writing it commits a fresh page without touching page 0.
@@ -107,7 +107,7 @@ TEST(MemfdArenaTest, MultiPageAlias) {
     snprintf(Keeper + P * kPageSize, 32, "keeper-%zu", P);
     snprintf(Victim + P * kPageSize, 32, "victim-%zu", P);
   }
-  A.alias(8, 0, Pages);
+  ASSERT_TRUE(A.alias(8, 0, Pages));
   for (size_t P = 0; P < Pages; ++P) {
     char Want[32];
     snprintf(Want, sizeof(Want), "keeper-%zu", P);
@@ -119,20 +119,20 @@ TEST(MemfdArenaTest, ProtectMakesSpanReadOnly) {
   MemfdArena A(kTestArena);
   char *P = A.ptrForPage(2);
   P[0] = 42;
-  A.protect(2, 1, /*ReadOnly=*/true);
+  ASSERT_TRUE(A.protect(2, 1, /*ReadOnly=*/true));
   EXPECT_EQ(P[0], 42) << "reads still succeed";
-  A.protect(2, 1, /*ReadOnly=*/false);
+  ASSERT_TRUE(A.protect(2, 1, /*ReadOnly=*/false));
   P[0] = 43; // writable again; would crash if protection remained
   EXPECT_EQ(P[0], 43);
 }
 
 TEST(MemfdArenaTest, CommittedAccountingMatchesOperations) {
   MemfdArena A(kTestArena);
-  A.commit(0, 8);
+  ASSERT_TRUE(A.commit(0, 8));
   EXPECT_EQ(A.committedPages(), 8u);
-  A.release(0, 3);
+  ASSERT_TRUE(A.release(0, 3));
   EXPECT_EQ(A.committedPages(), 5u);
-  A.commit(100, 2);
+  ASSERT_TRUE(A.commit(100, 2));
   EXPECT_EQ(A.committedPages(), 7u);
 }
 
@@ -161,7 +161,7 @@ TEST(MemfdArenaTest, ReinitializeAfterForkPreservesDataAndHoles) {
   // (never touched — a committed-but-unmaterialized page).
   for (size_t P : {size_t{0}, size_t{1}, size_t{3}})
     snprintf(A.ptrForPage(0) + P * kPageSize, 32, "span-page-%zu", P);
-  A.commit(0, 4);
+  ASSERT_TRUE(A.commit(0, 4));
   ASSERT_EQ(A.kernelFilePages(), 3u);
 
   FixedForkSpanSource Spans({{0, 0, 4}});
@@ -193,7 +193,7 @@ TEST(MemfdArenaTest, ReinitializeAfterForkDropsUnreplayedSpans) {
   // must not be charged to the fresh file.
   strcpy(A.ptrForPage(0), "live");
   strcpy(A.ptrForPage(10), "stale");
-  A.commit(0, 1);
+  ASSERT_TRUE(A.commit(0, 1));
   ASSERT_EQ(A.kernelFilePages(), 2u);
 
   FixedForkSpanSource Spans({{0, 0, 1}});
@@ -212,10 +212,10 @@ TEST(MemfdArenaTest, ReinitializeAfterForkReplaysAliases) {
   // meshed onto keeper 0, victim's own file page punched.
   strcpy(A.ptrForPage(0), "keeper");
   strcpy(A.ptrForPage(10), "victim");
-  A.commit(0, 1);
-  A.commit(10, 1);
-  A.alias(/*VictimPageOff=*/10, /*KeeperPageOff=*/0, 1);
-  A.release(10, 1);
+  ASSERT_TRUE(A.commit(0, 1));
+  ASSERT_TRUE(A.commit(10, 1));
+  ASSERT_TRUE(A.alias(/*VictimPageOff=*/10, /*KeeperPageOff=*/0, 1));
+  ASSERT_TRUE(A.release(10, 1));
   ASSERT_STREQ(A.ptrForPage(10), "keeper");
   ASSERT_EQ(A.committedPages(), 1u);
 
@@ -241,7 +241,7 @@ TEST(MemfdArenaTest, ReinitializeAfterForkIsolatesForkedChild) {
   // atfork handlers interfere; the child drives the rebuild itself.)
   MemfdArena A(kTestArena);
   strcpy(A.ptrForPage(0), "fork-instant");
-  A.commit(0, 1);
+  ASSERT_TRUE(A.commit(0, 1));
 
   int ToChild[2], ToParent[2];
   ASSERT_EQ(pipe(ToChild), 0);

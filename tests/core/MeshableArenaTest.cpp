@@ -112,8 +112,8 @@ TEST(MeshableArenaTest, AliasSpanRecycling) {
   strcpy(KeeperPtr, "keeper");
   strcpy(VictimPtr, "victim");
   // Mesh: remap victim onto keeper, release victim's physical pages.
-  A.vm().alias(Victim, Keeper, 1);
-  A.vm().release(Victim, 1);
+  ASSERT_TRUE(A.vm().alias(Victim, Keeper, 1));
+  ASSERT_TRUE(A.vm().release(Victim, 1));
   EXPECT_STREQ(VictimPtr, "keeper");
   EXPECT_EQ(A.committedPages(), 1u);
   // Later the merged MiniHeap dies; the alias span is recycled clean.

@@ -44,7 +44,7 @@ TEST(WriteBarrierTest, WriterBlocksUntilEpochEnds) {
 
   WB.beginEpoch();
   WB.addProtectedRange(Page, kPageSize);
-  Arena.protect(0, 1, /*ReadOnly=*/true);
+  ASSERT_TRUE(Arena.protect(0, 1, /*ReadOnly=*/true));
 
   std::atomic<bool> WriterDone{false};
   std::thread Writer([&] {
@@ -57,7 +57,7 @@ TEST(WriteBarrierTest, WriterBlocksUntilEpochEnds) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   EXPECT_FALSE(WriterDone.load()) << "writer must be stalled by the barrier";
 
-  Arena.protect(0, 1, /*ReadOnly=*/false);
+  ASSERT_TRUE(Arena.protect(0, 1, /*ReadOnly=*/false));
   WB.endEpoch();
   Writer.join();
   EXPECT_TRUE(WriterDone.load());
@@ -76,9 +76,9 @@ TEST(WriteBarrierTest, ReadsSucceedDuringEpoch) {
 
   WB.beginEpoch();
   WB.addProtectedRange(Page, kPageSize);
-  Arena.protect(0, 1, true);
+  ASSERT_TRUE(Arena.protect(0, 1, true));
   EXPECT_STREQ(Page, "readable") << "reads proceed during relocation";
-  Arena.protect(0, 1, false);
+  ASSERT_TRUE(Arena.protect(0, 1, false));
   WB.endEpoch();
   WB.unregisterArena(Arena.base());
 }

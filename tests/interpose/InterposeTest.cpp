@@ -108,6 +108,49 @@ TEST(InterposeTest, ReallocarrayChecksOverflow) {
   free(P);
 }
 
+TEST(InterposeTest, FailedAllocationsSetErrno) {
+  // The POSIX malloc contract at the libc surface: a failed allocation
+  // returns nullptr *and* sets errno to ENOMEM. The runtime layers
+  // only return nullptr; the shim owns errno. (volatile sizes so
+  // -Walloc-size-larger-than cannot flag the intentionally-huge
+  // requests at compile time.)
+  volatile size_t Huge = SIZE_MAX / 2;
+  errno = 0;
+  EXPECT_EQ(malloc(Huge), nullptr);
+  EXPECT_EQ(errno, ENOMEM);
+
+  // calloc: both the count*size overflow path and the plain too-big
+  // path.
+  volatile size_t Count = SIZE_MAX / 2;
+  errno = 0;
+  EXPECT_EQ(calloc(Count, 3), nullptr);
+  EXPECT_EQ(errno, ENOMEM);
+  errno = 0;
+  EXPECT_EQ(calloc(1, Huge), nullptr);
+  EXPECT_EQ(errno, ENOMEM);
+
+  // realloc: failure sets errno and leaves the old block intact. The
+  // pointer is laundered through a volatile integer: gcc otherwise
+  // assumes any realloc'd pointer is dead and flags the (intentional)
+  // post-failure read as use-after-free.
+  auto *P = static_cast<char *>(malloc(64));
+  ASSERT_NE(P, nullptr);
+  strcpy(P, "survives");
+  volatile uintptr_t Saved = reinterpret_cast<uintptr_t>(P);
+  errno = 0;
+  EXPECT_EQ(realloc(P, Huge), nullptr);
+  EXPECT_EQ(errno, ENOMEM);
+  auto *Alias = reinterpret_cast<char *>(Saved);
+  EXPECT_STREQ(Alias, "survives") << "failed realloc clobbered the block";
+  free(Alias);
+
+  // posix_memalign reports through its return value, not errno.
+  void *Out = nullptr;
+  errno = 0;
+  EXPECT_EQ(posix_memalign(&Out, 64, Huge), ENOMEM);
+  EXPECT_EQ(errno, 0) << "posix_memalign must not touch errno";
+}
+
 TEST(InterposeTest, MallocTrimRuns) {
   // Build some dirty pages (freed spans under the dirty budget), then
   // trim. The contract is "no crash, sane return"; whether pages were
