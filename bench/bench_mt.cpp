@@ -17,6 +17,12 @@
 ///     makes refills frequent: this mix measures the sharded
 ///     allocation path, where the old design serialized every refill,
 ///     re-bin, and pending-free drain on one global lock.
+///   - refillmiss mix: whole-span allocate/free batches with a TLS
+///     release between batches, so every batch misses the thread cache
+///     and lands on the global heap's refill and the arena's span
+///     recycling. This is the regression guard for the per-class arena
+///     shards: before the split, every one of these batches crossed
+///     one process-wide arena lock.
 ///
 /// Reports aggregate ops/sec (mallocs + frees) and sampled p99 per-op
 /// latency for each mix. This is the regression guard for the TLS heap
@@ -260,6 +266,120 @@ MixResult runMix(const char *Name, uint32_t RemotePermille,
   return Result;
 }
 
+/// The anti-cache mix: every batch allocates one whole span's worth of
+/// objects for a class and then frees all of them, ending with a TLS
+/// release — so the next batch's first allocation always misses the
+/// thread cache, refills from the global heap, and the free side
+/// destroys the emptied span back into the arena. Nothing here
+/// measures the TLS fast path; it is all shard refill + arena span
+/// recycling, the two paths the arena-bin sharding parallelized.
+/// Threads work disjoint class slices so a correctly sharded arena
+/// shows no cross-thread lock transfer at all.
+MixResult runRefillMiss(size_t BatchesPerThread) {
+  Runtime R(benchMeshOptions());
+  std::atomic<uint64_t> TotalOps{0};
+  std::vector<uint64_t> MallocSamples[kAllocThreads];
+  std::vector<uint64_t> FreeSamples[kAllocThreads];
+  constexpr int kClassesPerThread = kNumSizeClasses / kAllocThreads;
+
+  const uint64_t Start = nowNs();
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < kAllocThreads; ++T)
+    Threads.emplace_back([&, T] {
+      Rng Driver(4200 + T);
+      auto &Mallocs = MallocSamples[T];
+      auto &Frees = FreeSamples[T];
+      uint64_t Ops = 0;
+      std::vector<void *> Batch;
+      for (size_t B = 0; B < BatchesPerThread; ++B) {
+        const int Class =
+            T * kClassesPerThread +
+            static_cast<int>(Driver.inRange(0, kClassesPerThread - 1));
+        const SizeClassInfo &Info = sizeClassInfo(Class);
+        Batch.clear();
+        Batch.reserve(Info.ObjectCount);
+        for (uint32_t I = 0; I < Info.ObjectCount; ++I) {
+          void *P;
+          if (Ops % kLatencySampleEvery == 0) {
+            const uint64_t T0 = nowNs();
+            P = R.malloc(Info.ObjectSize);
+            Mallocs.push_back(nowNs() - T0);
+          } else {
+            P = R.malloc(Info.ObjectSize);
+          }
+          static_cast<char *>(P)[0] = static_cast<char>(I);
+          ++Ops;
+          Batch.push_back(P);
+        }
+        for (void *P : Batch) {
+          if (Ops % kLatencySampleEvery == 0) {
+            const uint64_t T0 = nowNs();
+            R.free(P);
+            Frees.push_back(nowNs() - T0);
+          } else {
+            R.free(P);
+          }
+          ++Ops;
+        }
+        // Hand the (now empty) spans back to the global heap so the
+        // next batch is a guaranteed refill miss.
+        R.localHeap().releaseAll();
+      }
+      TotalOps.fetch_add(Ops);
+    });
+  for (auto &Th : Threads)
+    Th.join();
+
+  const double Seconds = static_cast<double>(nowNs() - Start) / 1e9;
+  MixResult Result;
+  Result.OpsPerSec = static_cast<double>(TotalOps.load()) / Seconds;
+  Result.PeakRssMiB = toMiB(static_cast<double>(
+      pagesToBytes(R.global().stats().PeakCommittedPages.load())));
+  std::vector<uint64_t> AllMallocs, AllFrees;
+  for (auto &S : MallocSamples)
+    AllMallocs.insert(AllMallocs.end(), S.begin(), S.end());
+  for (auto &S : FreeSamples)
+    AllFrees.insert(AllFrees.end(), S.begin(), S.end());
+  Result.P99MallocNs = benchQuantile(AllMallocs, 0.99);
+  Result.P99FreeNs = benchQuantile(AllFrees, 0.99);
+
+  const auto &Stats = R.global().stats();
+  const double FgPasses = static_cast<double>(
+      Stats.MeshPassesForeground.load(std::memory_order_relaxed));
+  const double BgPasses = static_cast<double>(
+      Stats.MeshPassesBackground.load(std::memory_order_relaxed));
+  const BackgroundMesher *Bg = R.backgroundMesher();
+
+  printf("  %-12s %10.2f Mops/s   p99 malloc %7.0f ns   p99 free %7.0f ns"
+         "   peak RSS %7.1f MiB   passes fg/bg %.0f/%.0f\n",
+         "refillmiss", Result.OpsPerSec / 1e6, Result.P99MallocNs,
+         Result.P99FreeNs, Result.PeakRssMiB, FgPasses, BgPasses);
+  benchReportJson(
+      "bench_mt", "refillmiss",
+      {{"alloc_threads", kAllocThreads},
+       {"free_threads", 0},
+       {"ops_per_sec", Result.OpsPerSec},
+       {"p99_malloc_ns", Result.P99MallocNs},
+       {"p99_free_ns", Result.P99FreeNs},
+       {"samples_n_malloc", static_cast<double>(AllMallocs.size())},
+       {"samples_n_free", static_cast<double>(AllFrees.size())},
+       {"peak_rss_mib", Result.PeakRssMiB},
+       {"background_enabled", Bg != nullptr && Bg->running() ? 1.0 : 0.0},
+       {"background_wakeups",
+        Bg != nullptr ? static_cast<double>(Bg->wakeups()) : 0.0},
+       {"background_requests",
+        Bg != nullptr ? static_cast<double>(Bg->requests()) : 0.0},
+       {"background_passes", BgPasses},
+       {"foreground_passes", FgPasses},
+       {"max_pause_foreground_ns",
+        static_cast<double>(
+            Stats.MaxForegroundPassNs.load(std::memory_order_relaxed))},
+       {"max_pause_background_ns",
+        static_cast<double>(
+            Stats.MaxBackgroundPassNs.load(std::memory_order_relaxed))}});
+  return Result;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -275,5 +395,9 @@ int main(int argc, char **argv) {
   // 8 per span), so this mix is refill-dominated; scale it down to keep
   // the default run time comparable to the other mixes.
   runMix("multiclass", /*RemotePermille=*/900, Ops / 4, /*AllClasses=*/true);
+  // Batches, not ops: each batch is a span's worth of objects (8..256)
+  // plus a forced refill; ~100 ops per batch on average keeps this in
+  // the same time band as the mixes above.
+  runRefillMiss(benchScaled(20000, 16));
   return 0;
 }

@@ -27,7 +27,8 @@ SizeClassAllocator::~SizeClassAllocator() {
 MiniHeap *SizeClassAllocator::newSpan(int Class) {
   const SizeClassInfo &Info = sizeClassInfo(Class);
   bool IsClean = false;
-  const uint32_t Off = Arena.allocSpan(Info.SpanPages, &IsClean);
+  const uint32_t Off = Arena.allocSpanForClass(Class, Info.SpanPages,
+                                               &IsClean);
   if (Off == MeshableArena::kInvalidSpanOff)
     return nullptr;
   auto *MH = InternalHeap::global().makeNew<MiniHeap>(
@@ -41,7 +42,8 @@ MiniHeap *SizeClassAllocator::newSpan(int Class) {
 
 void SizeClassAllocator::releaseSpan(MiniHeap *MH) {
   Arena.setOwner(MH->physicalSpanOffset(), MH->spanPages(), nullptr);
-  Arena.freeDirtySpan(MH->physicalSpanOffset(), MH->spanPages());
+  Arena.freeDirtySpanForClass(MH->sizeClass(), MH->physicalSpanOffset(),
+                              MH->spanPages());
   InternalHeap::global().deleteObj(MH);
 }
 
@@ -76,8 +78,8 @@ void *SizeClassAllocator::allocLarge(size_t Bytes) {
   if (Pages > Arena.vm().arenaPages())
     return nullptr; // Unsatisfiable; also guards the uint32 narrowing.
   bool IsClean = false;
-  const uint32_t Off = Arena.allocSpan(static_cast<uint32_t>(Pages),
-                                       &IsClean);
+  const uint32_t Off =
+      Arena.allocLargeSpan(static_cast<uint32_t>(Pages), &IsClean);
   if (Off == MeshableArena::kInvalidSpanOff)
     return nullptr;
   auto *MH = InternalHeap::global().makeNew<MiniHeap>(
@@ -105,7 +107,7 @@ void SizeClassAllocator::free(void *Ptr) {
   }
   if (MH->isLargeAlloc()) {
     Arena.setOwner(MH->physicalSpanOffset(), MH->spanPages(), nullptr);
-    Arena.freeReleasedSpan(MH->physicalSpanOffset(), MH->spanPages());
+    Arena.freeReleasedLargeSpan(MH->physicalSpanOffset(), MH->spanPages());
     InternalHeap::global().deleteObj(MH);
     return;
   }

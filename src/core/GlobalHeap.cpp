@@ -5,6 +5,7 @@
 #include "core/Mesher.h"
 #include "core/WriteBarrier.h"
 #include "support/InternalHeap.h"
+#include "support/LockRank.h"
 #include "support/Log.h"
 
 #include <cassert>
@@ -24,20 +25,6 @@ uint64_t monotonicNs() {
 }
 
 uint64_t monotonicMs() { return monotonicNs() / 1000000ULL; }
-
-#ifndef NDEBUG
-/// Shard-lock ordering enforcement: the bits of every shard index this
-/// thread currently holds. Acquiring shard i while any bit >= i is set
-/// violates the ascending-order discipline (the mesh-pass rendezvous
-/// relies on it) and aborts. Process-wide rather than per-heap: no
-/// in-tree path holds one heap's shard lock while calling into another
-/// heap, so cross-heap false positives cannot occur.
-__thread uint32_t HeldShardMask = 0;
-
-bool shardOrderViolated(int ShardIdx) {
-  return (HeldShardMask >> ShardIdx) != 0;
-}
-#endif
 
 } // namespace
 
@@ -79,20 +66,14 @@ GlobalHeap::~GlobalHeap() {
 
 void GlobalHeap::lockShard(int ShardIdx) {
   assert(ShardIdx >= 0 && ShardIdx < kNumShards && "shard out of range");
-  assert(!shardOrderViolated(ShardIdx) &&
-         "shard locks must be acquired in ascending index order");
+  // Rank enforcement (ascending order, never after an arena lock)
+  // lives in LockRank.h — shared with the arena's own shard tier.
+  lockrank::acquireHeapShard(ShardIdx);
   Shards[ShardIdx].Lock.lock();
-#ifndef NDEBUG
-  HeldShardMask |= uint32_t{1} << ShardIdx;
-#endif
 }
 
 void GlobalHeap::unlockShard(int ShardIdx) {
-#ifndef NDEBUG
-  assert((HeldShardMask & (uint32_t{1} << ShardIdx)) != 0 &&
-         "unlocking a shard this thread does not hold");
-  HeldShardMask &= ~(uint32_t{1} << ShardIdx);
-#endif
+  lockrank::releaseHeapShard(ShardIdx);
   Shards[ShardIdx].Lock.unlock();
 }
 
@@ -148,18 +129,20 @@ void GlobalHeap::destroyMiniHeapLocked(Shard &S, MiniHeap *MH) {
   // reader's bitmap update on this (empty) bitmap is a detected double
   // free. Only the metadata delete must wait for the epoch — batched
   // in reapRetiredLocked so a drain destroying many spans pays one
-  // synchronize, not one per span.
-  {
-    std::lock_guard<SpinLock> Guard(ArenaLock);
-    for (uint32_t I = 0; I < Spans.size(); ++I)
-      Arena.setOwner(Spans[I], Pages, nullptr);
-    if (MH->isLargeAlloc() || !MH->isMeshable())
-      Arena.freeReleasedSpan(Spans[0], Pages);
-    else
-      Arena.freeDirtySpan(Spans[0], Pages);
-    for (uint32_t I = 1; I < Spans.size(); ++I)
-      Arena.freeAliasSpan(Spans[I], Pages);
-  }
+  // synchronize, not one per span. The arena calls below serialize on
+  // the span's own class shard (the heap shard lock we hold is what
+  // guarantees no other thread is moving these spans), so destroys of
+  // different classes run fully in parallel.
+  for (uint32_t I = 0; I < Spans.size(); ++I)
+    Arena.setOwner(Spans[I], Pages, nullptr);
+  if (MH->isLargeAlloc())
+    Arena.freeReleasedLargeSpan(Spans[0], Pages);
+  else if (!MH->isMeshable())
+    Arena.freeReleasedSpanForClass(MH->sizeClass(), Spans[0], Pages);
+  else
+    Arena.freeDirtySpanForClass(MH->sizeClass(), Spans[0], Pages);
+  for (uint32_t I = 1; I < Spans.size(); ++I)
+    Arena.freeAliasSpan(MH->sizeClass(), Spans[I], Pages);
   S.RetiredList.push_back(MH);
 }
 
@@ -279,14 +262,18 @@ MiniHeap *GlobalHeap::allocMiniHeapForClass(int SizeClass) {
     MH->setAttached(true);
   }
   if (MH == nullptr) {
-    // No partially full span: carve a fresh one out of the arena. Only
-    // this step touches cross-class state, and only under ArenaLock —
-    // concurrent refills of other classes keep their shards to
-    // themselves.
+    // No partially full span: carve a fresh one out of the arena. The
+    // hot case (recycling a span this class freed dirty) stays on
+    // arena shard SizeClass; only a recycling miss touches the shared
+    // clean reserve / frontier under ArenaLock — so refill-miss storms
+    // on different classes no longer serialize. Holding the heap shard
+    // lock across alloc + setOwner also closes the fork window: the
+    // fork quiesce needs this lock, so it can never snapshot a
+    // committed-but-unowned span.
     const SizeClassInfo &Info = sizeClassInfo(SizeClass);
-    std::lock_guard<SpinLock> Guard(ArenaLock);
     bool IsClean = false;
-    const uint32_t Off = Arena.allocSpan(Info.SpanPages, &IsClean);
+    const uint32_t Off =
+        Arena.allocSpanForClass(SizeClass, Info.SpanPages, &IsClean);
     if (Off != MeshableArena::kInvalidSpanOff) {
       MH = InternalHeap::global().makeNew<MiniHeap>(
           Off, Info.SpanPages, Info.ObjectSize, Info.ObjectCount,
@@ -333,20 +320,24 @@ void *GlobalHeap::largeAllocZeroed(size_t Bytes, bool *WasZeroed) {
     Stats.OomReturns.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  // A fresh span is invisible to other threads until returned, so the
-  // large-object shard lock is not needed here — only the arena is
-  // touched.
-  std::lock_guard<SpinLock> Guard(ArenaLock);
+  // A fresh span is invisible to other threads until returned, but the
+  // large heap shard's lock is still taken across alloc + setOwner:
+  // the fork quiesce acquires every heap shard, so a span can never be
+  // committed-but-unowned at the fork instant (the child's rebuild
+  // walks owners and would otherwise inherit an orphaned extent).
+  lockShard(kLargeShard);
   bool IsClean = false;
-  const uint32_t Off = Arena.allocSpan(static_cast<uint32_t>(Pages),
-                                       &IsClean);
+  const uint32_t Off =
+      Arena.allocLargeSpan(static_cast<uint32_t>(Pages), &IsClean);
   if (Off == MeshableArena::kInvalidSpanOff) {
+    unlockShard(kLargeShard);
     Stats.OomReturns.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   auto *MH = InternalHeap::global().makeNew<MiniHeap>(
       Off, static_cast<uint32_t>(Pages), Bytes);
   Arena.setOwner(Off, static_cast<uint32_t>(Pages), MH);
+  unlockShard(kLargeShard);
   Stats.updatePeak(Arena.committedPages());
   if (WasZeroed != nullptr)
     *WasZeroed = IsClean;
@@ -582,12 +573,12 @@ bool GlobalHeap::backgroundPressureMesh() {
 
 HeapFootprint GlobalHeap::sampleFootprint() const {
   HeapFootprint F;
-  // ArenaLock alone (rank: below every shard lock, so a sampling
-  // thread can never participate in a lock cycle): page-table entries
-  // only change under it, and a MiniHeap reachable through the table
-  // cannot complete destruction while we hold it — metadata deletion
-  // requires clearing these entries first.
-  std::lock_guard<SpinLock> Guard(ArenaLock);
+  // Lock-free sampling: the page table's entries are atomic, and a
+  // MiniHeap reachable through it cannot complete destruction while
+  // this epoch section is open — destruction clears the table entries
+  // first and the metadata delete waits out the epoch. No lock means a
+  // sampler never contends with (or deadlocks against) the allocator.
+  Epoch::Section Section(MiniHeapEpoch);
   const size_t Frontier = Arena.frontierPages();
   for (size_t Page = 0; Page < Frontier; ++Page) {
     const MiniHeap *MH = Arena.ownerOfPage(Page);
@@ -607,19 +598,20 @@ HeapFootprint GlobalHeap::sampleFootprint() const {
 
 void GlobalHeap::lockForFork() {
   // Full rank order, so this cannot deadlock against any in-flight
-  // allocator operation: MeshLock -> shards ascending -> ArenaLock ->
-  // EpochSyncLock. Once all are held, no other thread is inside any
-  // heap critical section and fork() may proceed.
+  // allocator operation: MeshLock -> heap shards ascending -> arena
+  // shards ascending -> ArenaLock -> EpochSyncLock. Once all are held,
+  // no other thread is inside any heap critical section and fork() may
+  // proceed.
   MeshLock.lock();
   for (int I = 0; I < kNumShards; ++I)
     lockShard(I);
-  ArenaLock.lock();
+  Arena.lockAllShards();
   EpochSyncLock.lock();
 }
 
 void GlobalHeap::unlockForFork() {
   EpochSyncLock.unlock();
-  ArenaLock.unlock();
+  Arena.unlockAllShards();
   for (int I = kNumShards - 1; I >= 0; --I)
     unlockShard(I);
   MeshLock.unlock();
@@ -632,8 +624,8 @@ namespace {
 /// physical span (alias pages resolve to the same owner at other
 /// offsets and are skipped; retired/meshed-away metadata is no longer
 /// reachable through the table at all). Runs in the atfork child —
-/// single-threaded, ArenaLock inherited held — so the plain walk needs
-/// no epoch section and must not allocate.
+/// single-threaded, every arena lock inherited held — so the plain
+/// walk needs no epoch section and must not allocate.
 class PageTableForkSpanSource final : public ForkSpanSource {
 public:
   explicit PageTableForkSpanSource(const MeshableArena &Arena)
@@ -664,7 +656,9 @@ void GlobalHeap::flushDirtyForFork() {
   // self-deadlock against the inherited-held InternalHeap lock in the
   // single-threaded child. DeferFailures: under a fault storm a punch
   // may fail, and the child's rebuild requires an empty dirty set.
-  Arena.flushDirty(/*DeferFailures=*/true);
+  // AssumeLocked: lockForFork already holds every arena shard lock and
+  // ArenaLock, so the flush must not re-acquire them.
+  Arena.flushDirtyAssumeLocked(/*DeferFailures=*/true);
 }
 
 void GlobalHeap::reinitializeArenaAfterFork() {
@@ -685,7 +679,6 @@ void GlobalHeap::reinitializeArenaAfterFork() {
 size_t GlobalHeap::flushDirtyPages() {
   // Destroy queued-up empty spans first so their pages flush too.
   drainAllShards();
-  std::lock_guard<SpinLock> Guard(ArenaLock);
   return pagesToBytes(Arena.flushDirty());
 }
 
@@ -787,10 +780,7 @@ size_t GlobalHeap::performMeshing(MeshPassOrigin Origin) {
   // Section 4.4.1: pages return to the OS after the dirty budget fills
   // *or whenever meshing is invoked* — a pass is already paying for
   // page-table work, so piggyback the dirty-page flush.
-  {
-    std::lock_guard<SpinLock> Guard(ArenaLock);
-    Arena.flushDirty();
-  }
+  Arena.flushDirty();
 
   const uint64_t Elapsed = monotonicNs() - Start;
   Stats.recordPass(Elapsed, Origin);
@@ -873,7 +863,10 @@ size_t GlobalHeap::meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src) {
 
   bool RemapFailed = false;
   {
-    std::lock_guard<SpinLock> Guard(ArenaLock);
+    // No arena-level lock: every structural operation on these spans is
+    // serialized by the heap shard lock this function runs under (see
+    // MeshableArena.h "Same-span serialization"); page-table stores are
+    // atomic and per-span syscalls race with nothing.
     // 3. Retarget page-table entries so frees of source-span pointers
     //    find the keeper.
     for (uint32_t I = 0; I < SrcSpans.size(); ++I)
@@ -911,7 +904,7 @@ size_t GlobalHeap::meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src) {
       // Punch failure inside releaseForMesh is a degradation, not a
       // rollback: the mesh itself committed, the pages just linger
       // until a deferred punch lands.
-      Arena.releaseForMesh(SrcPhys, Pages);
+      Arena.releaseForMesh(Src->sizeClass(), SrcPhys, Pages);
     }
   }
 

@@ -10,17 +10,21 @@
 /// shard owns its occupancy bins, its slice of the pending-free stash,
 /// its retired-metadata list, and its own spin lock, so refills, re-bins
 /// and drains for different classes never contend. A 25th shard serves
-/// large (singleton) allocations. Three further locks exist:
+/// large (singleton) allocations. The arena mirrors the shard map with
+/// its own per-class locks (span recycling, deferred punch/remap work;
+/// see MeshableArena.h), leaving three further locks here:
 ///
 ///   - MeshLock     serializes mesh passes and the rate-limiter state.
-///   - ArenaLock    guards arena-level span operations (span bins, the
-///                  bump frontier, page-table writes, dirty budget).
+///   - ArenaLock    (inside MeshableArena) guards the shared clean
+///                  reserve and the bump frontier — the innermost rank.
 ///   - EpochSyncLock serializes Epoch::synchronize callers (leaf).
 ///
-/// Lock order: MeshLock -> shard locks in ascending index -> ArenaLock;
-/// EpochSyncLock is a leaf acquired under either a shard lock (retired
-/// reaps) or MeshLock (the pass-start quiesce), never both. Debug
-/// builds enforce the shard order with a per-thread held-shard mask.
+/// Lock order: MeshLock -> heap shard locks in ascending index ->
+/// arena shard locks in ascending index -> ArenaLock; EpochSyncLock is
+/// a leaf acquired under either a shard lock (retired reaps) or
+/// MeshLock (the pass-start quiesce), never both. Debug builds enforce
+/// the full rank order with per-thread held-lock masks
+/// (support/LockRank.h).
 ///
 /// Non-local frees follow the paper's design: an epoch-protected
 /// page-table read plus one atomic bitmap update, no lock. Re-binning
@@ -201,10 +205,11 @@ public:
   /// \returns true iff a pass ran.
   bool backgroundPressureMesh();
 
-  /// Samples the heap's physical footprint: one page-table walk under
-  /// ArenaLock (no shard locks), cheap enough for a 100 ms sampling
-  /// cadence. The pressure monitor turns this into a fragmentation
-  /// ratio.
+  /// Samples the heap's physical footprint: one lock-free page-table
+  /// walk inside an epoch reader section (which holds off MiniHeap
+  /// metadata destruction exactly like the free fast path), cheap
+  /// enough for a 100 ms sampling cadence. The pressure monitor turns
+  /// this into a fragmentation ratio.
   HeapFootprint sampleFootprint() const;
 
   /// Fork-child recovery (called from the atfork child handler, single
@@ -217,10 +222,11 @@ public:
     RequestSinkEpoch.resetToQuiescent();
   }
 
-  /// Fork quiesce: acquires every heap lock in rank order so the child
-  /// inherits them free (no parent thread can be mid-critical-section
-  /// at the fork instant). Paired with unlockForFork in both parent
-  /// and child handlers.
+  /// Fork quiesce: acquires every heap lock in rank order — MeshLock,
+  /// heap shards, arena shards + ArenaLock (via the arena), the leaf
+  /// sync lock — so the child inherits them free (no parent thread can
+  /// be mid-critical-section at the fork instant). Paired with
+  /// unlockForFork in both parent and child handlers.
   void lockForFork();
   void unlockForFork();
 
@@ -311,6 +317,10 @@ public:
   /// use in production paths).
   void lockShardForTest(int ShardIdx) { lockShard(ShardIdx); }
   void unlockShardForTest(int ShardIdx) { unlockShard(ShardIdx); }
+
+  /// Test access to the arena (shard-lock counters, accounting
+  /// invariants, the arena-rank lock-order hooks).
+  MeshableArena &arenaForTest() { return Arena; }
 
   /// Maps an occupancy fraction to its bin. Quartiles are left-closed:
   /// bin 0 holds (0%, 25%), bin 1 [25%, 50%), bin 2 [50%, 75%), bin 3
@@ -412,9 +422,6 @@ private:
 
   Shard Shards[kNumShards];
 
-  /// Arena-level span operations: span bins, bump frontier, page-table
-  /// writes, dirty budget. Acquired after a shard lock (never before).
-  mutable SpinLock ArenaLock;
   /// Serializes mesh passes; also guards the rate-limiter state below.
   /// Acquired before any shard lock.
   mutable SpinLock MeshLock;

@@ -1,7 +1,8 @@
-//===- MeshableArena.cpp - Span allocation over the arena ------------------===//
+//===- MeshableArena.cpp - Sharded span allocation over the arena ----------===//
 
 #include "core/MeshableArena.h"
 
+#include "support/LockRank.h"
 #include "support/Log.h"
 #include "support/MathUtils.h"
 
@@ -29,13 +30,35 @@ MeshableArena::~MeshableArena() {
     munmap(PageTable, PageTableBytes);
 }
 
+void MeshableArena::lockShard(int Shard) const {
+  assert(Shard >= 0 && Shard < kNumArenaShards && "arena shard out of range");
+  lockrank::acquireArenaShard(Shard);
+  Shards[Shard].Lock.lock();
+  Shards[Shard].LockAcquisitions.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MeshableArena::unlockShard(int Shard) const {
+  lockrank::releaseArenaShard(Shard);
+  Shards[Shard].Lock.unlock();
+}
+
+void MeshableArena::lockArena() const {
+  lockrank::acquireArenaLock();
+  ArenaLock.lock();
+}
+
+void MeshableArena::unlockArena() const {
+  lockrank::releaseArenaLock();
+  ArenaLock.unlock();
+}
+
 int MeshableArena::binForPages(uint32_t Pages) {
   if (!isPowerOfTwo(Pages) || Pages > 32)
     return -1;
   return static_cast<int>(log2Floor(Pages));
 }
 
-void MeshableArena::binClean(uint32_t PageOff, uint32_t Pages) {
+void MeshableArena::binCleanLocked(uint32_t PageOff, uint32_t Pages) {
   const int Bin = binForPages(Pages);
   if (Bin >= 0)
     CleanBins[Bin].push_back(PageOff);
@@ -43,38 +66,93 @@ void MeshableArena::binClean(uint32_t PageOff, uint32_t Pages) {
     OddCleanSpans.push_back(Span{PageOff, Pages});
 }
 
-uint32_t MeshableArena::allocSpan(uint32_t Pages, bool *IsClean) {
+uint32_t MeshableArena::popDirtyLocked(ArenaShard &S, uint32_t Pages) {
+  // Back-to-front: a class shard's entries all share the class's span
+  // length, so the scan terminates immediately on the hot path; only
+  // the large shard (mixed lengths, punch-failure leftovers) ever
+  // walks further.
+  for (size_t I = S.DirtySpans.size(); I > 0; --I) {
+    if (S.DirtySpans[I - 1].Pages != Pages)
+      continue;
+    const uint32_t Off = S.DirtySpans[I - 1].PageOff;
+    S.DirtySpans[I - 1] = S.DirtySpans.back();
+    S.DirtySpans.pop_back();
+    S.DirtyPages -= Pages;
+    TotalDirtyPages.fetch_sub(Pages, std::memory_order_relaxed);
+    return Off;
+  }
+  return kInvalidSpanOff;
+}
+
+size_t MeshableArena::pushDirtyLocked(ArenaShard &S, uint32_t PageOff,
+                                      uint32_t Pages) {
+  S.DirtySpans.push_back(Span{PageOff, Pages});
+  S.DirtyPages += Pages;
+  return TotalDirtyPages.fetch_add(Pages, std::memory_order_relaxed) + Pages;
+}
+
+uint32_t MeshableArena::allocSpanForClass(int Class, uint32_t Pages,
+                                          bool *IsClean) {
+  assert(Class >= 0 && Class < kNumSizeClasses && "size class out of range");
   assert(Pages > 0 && "zero-length span request");
+  // Prefer the class's dirty spans: their pages are already committed,
+  // so reuse costs nothing (Section 4.4.1: used pages are likely
+  // needed soon) — and needs no commit, which is what lets the heap
+  // keep serving from recycled memory while fresh commits are being
+  // refused. This is the whole-shard-local hot path: no cross-class
+  // state is touched.
+  lockShard(Class);
+  const uint32_t Off = popDirtyLocked(Shards[Class], Pages);
+  unlockShard(Class);
+  if (Off != kInvalidSpanOff) {
+    *IsClean = false;
+    return Off;
+  }
+  return allocCleanSpan(Pages, IsClean);
+}
+
+uint32_t MeshableArena::allocLargeSpan(uint32_t Pages, bool *IsClean) {
+  assert(Pages > 0 && "zero-length span request");
+  // Exact-length reuse of punch-failure leftovers; misses fall through
+  // to the shared clean reserve like every class shard.
+  lockShard(kLargeArenaShard);
+  const uint32_t Off = popDirtyLocked(Shards[kLargeArenaShard], Pages);
+  unlockShard(kLargeArenaShard);
+  if (Off != kInvalidSpanOff) {
+    *IsClean = false;
+    return Off;
+  }
+  return allocCleanSpan(Pages, IsClean);
+}
+
+uint32_t MeshableArena::allocCleanSpan(uint32_t Pages, bool *IsClean) {
+  lockArena();
   const int Bin = binForPages(Pages);
   if (Bin >= 0) {
-    // Prefer dirty spans: their pages are already committed, so reuse
-    // costs nothing (Section 4.4.1: used pages are likely needed soon)
-    // — and needs no commit, which is what lets the heap keep serving
-    // from recycled memory while fresh commits are being refused.
-    if (!DirtyBins[Bin].empty()) {
-      const uint32_t Off = DirtyBins[Bin].back();
-      DirtyBins[Bin].pop_back();
-      DirtyPageCount -= Pages;
-      *IsClean = false;
-      return Off;
-    }
     if (!CleanBins[Bin].empty()) {
       const uint32_t Off = CleanBins[Bin].back();
-      if (!Arena.commit(Off, Pages))
+      if (!Arena.commit(Off, Pages)) {
+        unlockArena();
         return kInvalidSpanOff; // span stays binned; nothing leaked
+      }
       CleanBins[Bin].pop_back();
+      unlockArena();
       *IsClean = true;
       return Off;
     }
   } else {
-    // Large-object span lengths: exact-fit from recycled spans.
+    // Off-bin lengths (odd class geometries, large objects): exact-fit
+    // from recycled spans.
     for (size_t I = 0; I < OddCleanSpans.size(); ++I) {
       if (OddCleanSpans[I].Pages == Pages) {
         const uint32_t Off = OddCleanSpans[I].PageOff;
-        if (!Arena.commit(Off, Pages))
+        if (!Arena.commit(Off, Pages)) {
+          unlockArena();
           return kInvalidSpanOff; // entry stays in place
+        }
         OddCleanSpans[I] = OddCleanSpans.back();
         OddCleanSpans.pop_back();
+        unlockArena();
         *IsClean = true;
         return Off;
       }
@@ -82,70 +160,104 @@ uint32_t MeshableArena::allocSpan(uint32_t Pages, bool *IsClean) {
   }
   // Extend the bump frontier. Exhaustion is an allocation failure, not
   // a crash: the caller turns kInvalidSpanOff into nullptr/ENOMEM.
-  if (HighWaterPage + Pages > Arena.arenaPages())
+  const size_t Hwm = HighWaterPage.load(std::memory_order_relaxed);
+  if (Hwm + Pages > Arena.arenaPages()) {
+    unlockArena();
     return kInvalidSpanOff;
-  const uint32_t Off = static_cast<uint32_t>(HighWaterPage);
-  if (!Arena.commit(Off, Pages))
+  }
+  const uint32_t Off = static_cast<uint32_t>(Hwm);
+  if (!Arena.commit(Off, Pages)) {
+    unlockArena();
     return kInvalidSpanOff;
-  HighWaterPage += Pages;
+  }
+  HighWaterPage.store(Hwm + Pages, std::memory_order_release);
+  unlockArena();
   *IsClean = true;
   return Off;
 }
 
-void MeshableArena::freeDirtySpan(uint32_t PageOff, uint32_t Pages) {
-  const int Bin = binForPages(Pages);
-  if (Bin < 0) {
-    // Odd-length spans are always released eagerly.
-    freeReleasedSpan(PageOff, Pages);
-    return;
+void MeshableArena::freeDirtySpanForClass(int Class, uint32_t PageOff,
+                                          uint32_t Pages) {
+  assert(Class >= 0 && Class < kNumSizeClasses && "size class out of range");
+  lockShard(Class);
+  const size_t Total = pushDirtyLocked(Shards[Class], PageOff, Pages);
+  if (pagesToBytes(Total) > MaxDirtyBytes) {
+    // Budget trip: flush only this shard. The just-pushed span is
+    // always part of the sweep, so every over-budget push releases
+    // pages — the total stays bounded without a cross-shard sweep
+    // (the mesh pass's global flush covers idle shards).
+    flushShardLocked(Shards[Class], /*DeferFailures=*/false,
+                     /*ArenaLocked=*/false);
   }
-  DirtyBins[Bin].push_back(PageOff);
-  DirtyPageCount += Pages;
-  if (pagesToBytes(DirtyPageCount) > MaxDirtyBytes)
-    flushDirty();
+  unlockShard(Class);
 }
 
-void MeshableArena::freeReleasedSpan(uint32_t PageOff, uint32_t Pages) {
+void MeshableArena::freeDirtyLargeSpan(uint32_t PageOff, uint32_t Pages) {
+  lockShard(kLargeArenaShard);
+  const size_t Total =
+      pushDirtyLocked(Shards[kLargeArenaShard], PageOff, Pages);
+  if (pagesToBytes(Total) > MaxDirtyBytes)
+    flushShardLocked(Shards[kLargeArenaShard], /*DeferFailures=*/false,
+                     /*ArenaLocked=*/false);
+  unlockShard(kLargeArenaShard);
+}
+
+void MeshableArena::freeReleasedSpanForClass(int Class, uint32_t PageOff,
+                                             uint32_t Pages) {
+  assert(Class >= 0 && Class < kNumSizeClasses && "size class out of range");
   if (Arena.release(PageOff, Pages)) {
-    binClean(PageOff, Pages);
+    lockArena();
+    binCleanLocked(PageOff, Pages);
+    unlockArena();
     return;
   }
   PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
-  const int Bin = binForPages(Pages);
-  if (Bin >= 0) {
-    // A failed punch leaves the contents intact, so the span is dirty,
-    // never clean (clean spans must read back as zero — calloc skips
-    // its memset on them). No flush trigger here: it would retry the
-    // same punch immediately.
-    DirtyBins[Bin].push_back(PageOff);
-    DirtyPageCount += Pages;
-  } else {
-    // Odd lengths have no dirty bin; shed the RSS at least and retry
-    // the punch at the next flush.
-    Arena.dropResident(PageOff, Pages);
-    DeferredSpans.push_back(DeferredSpan{PageOff, Pages, /*NeedsReset=*/false,
-                                         /*NeedsPunch=*/true,
-                                         /*Reusable=*/true});
-  }
+  // A failed punch leaves the contents intact, so the span is dirty,
+  // never clean (clean spans must read back as zero — calloc skips
+  // its memset on them). No flush trigger here: it would retry the
+  // same punch immediately.
+  lockShard(Class);
+  pushDirtyLocked(Shards[Class], PageOff, Pages);
+  unlockShard(Class);
 }
 
-void MeshableArena::releaseForMesh(uint32_t PageOff, uint32_t Pages) {
+void MeshableArena::freeReleasedLargeSpan(uint32_t PageOff, uint32_t Pages) {
+  if (Arena.release(PageOff, Pages)) {
+    lockArena();
+    binCleanLocked(PageOff, Pages);
+    unlockArena();
+    return;
+  }
+  PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+  lockShard(kLargeArenaShard);
+  pushDirtyLocked(Shards[kLargeArenaShard], PageOff, Pages);
+  unlockShard(kLargeArenaShard);
+}
+
+void MeshableArena::releaseForMesh(int Class, uint32_t PageOff,
+                                   uint32_t Pages) {
   if (Arena.release(PageOff, Pages))
     return;
   PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
   // The virtual span at PageOff now aliases the keeper, so there is no
   // identity mapping to MADV_DONTNEED through, and the span cannot be
-  // rebinned (it is still owned by the retired source MiniHeap). Park
+  // reused (it is still owned by the retired source MiniHeap). Park
   // it: not reusable until freeAliasSpan recycles the virtual span.
-  DeferredSpans.push_back(DeferredSpan{PageOff, Pages, /*NeedsReset=*/false,
-                                       /*NeedsPunch=*/true,
-                                       /*Reusable=*/false});
+  lockShard(Class);
+  Shards[Class].Deferred.push_back(DeferredSpan{PageOff, Pages,
+                                                /*NeedsReset=*/false,
+                                                /*NeedsPunch=*/true,
+                                                /*Reusable=*/false});
+  unlockShard(Class);
 }
 
-void MeshableArena::freeAliasSpan(uint32_t PageOff, uint32_t Pages) {
-  size_t DI = DeferredSpans.size();
-  for (size_t I = 0; I < DeferredSpans.size(); ++I) {
-    if (DeferredSpans[I].PageOff == PageOff) {
+void MeshableArena::freeAliasSpan(int Class, uint32_t PageOff,
+                                  uint32_t Pages) {
+  lockShard(Class);
+  auto &Deferred = Shards[Class].Deferred;
+  size_t DI = Deferred.size();
+  for (size_t I = 0; I < Deferred.size(); ++I) {
+    if (Deferred[I].PageOff == PageOff) {
       DI = I;
       break;
     }
@@ -153,38 +265,54 @@ void MeshableArena::freeAliasSpan(uint32_t PageOff, uint32_t Pages) {
   if (!Arena.resetMapping(PageOff, Pages)) {
     // Still aliased to the keeper — unusable until the remap lands.
     PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
-    if (DI < DeferredSpans.size()) {
-      DeferredSpans[DI].NeedsReset = true;
-      DeferredSpans[DI].Reusable = true;
+    if (DI < Deferred.size()) {
+      Deferred[DI].NeedsReset = true;
+      Deferred[DI].Reusable = true;
     } else {
-      DeferredSpans.push_back(DeferredSpan{PageOff, Pages,
-                                           /*NeedsReset=*/true,
-                                           /*NeedsPunch=*/false,
-                                           /*Reusable=*/true});
+      Deferred.push_back(DeferredSpan{PageOff, Pages,
+                                      /*NeedsReset=*/true,
+                                      /*NeedsPunch=*/false,
+                                      /*Reusable=*/true});
     }
+    unlockShard(Class);
     return;
   }
-  if (DI < DeferredSpans.size()) {
+  if (DI < Deferred.size()) {
     // The span's own file pages still await a deferred punch (the mesh
     // that created this alias could not punch them), so they are not
     // holes and the span is not demand-zero yet. Hand it back to the
     // deferred list; the punch retry rebins it.
-    DeferredSpans[DI].NeedsReset = false;
-    DeferredSpans[DI].Reusable = true;
+    Deferred[DI].NeedsReset = false;
+    Deferred[DI].Reusable = true;
+    unlockShard(Class);
     return;
   }
+  unlockShard(Class);
   // The span's own file pages were punched when it was meshed away;
   // restoring the identity mapping yields a demand-zero span.
-  binClean(PageOff, Pages);
+  lockArena();
+  binCleanLocked(PageOff, Pages);
+  unlockArena();
 }
 
-size_t MeshableArena::flushDirty(bool DeferFailures) {
+size_t MeshableArena::flushShardLocked(ArenaShard &S, bool DeferFailures,
+                                       bool ArenaLocked) {
   size_t Released = 0;
+  // Rebinning a now-clean span needs the shared reserve; rank permits
+  // nesting ArenaLock under a shard lock, and the fork path (which
+  // already holds it) says so instead.
+  auto RebinClean = [&](uint32_t PageOff, uint32_t Pages) {
+    if (!ArenaLocked)
+      lockArena();
+    binCleanLocked(PageOff, Pages);
+    if (!ArenaLocked)
+      unlockArena();
+  };
   // Deferred spans first: punches and remaps owed from earlier
   // degraded operations. Each retry re-draws the fault injector, so an
   // every-N storm drains this list once faults clear.
-  for (size_t I = 0; I < DeferredSpans.size();) {
-    DeferredSpan &D = DeferredSpans[I];
+  for (size_t I = 0; I < S.Deferred.size();) {
+    DeferredSpan &D = S.Deferred[I];
     if (D.NeedsReset && Arena.resetMapping(D.PageOff, D.Pages))
       D.NeedsReset = false;
     if (D.NeedsPunch && Arena.release(D.PageOff, D.Pages)) {
@@ -192,45 +320,66 @@ size_t MeshableArena::flushDirty(bool DeferFailures) {
       Released += D.Pages;
     }
     if (!D.NeedsReset && !D.NeedsPunch) {
-      if (D.Reusable)
-        binClean(D.PageOff, D.Pages);
-      DeferredSpans[I] = DeferredSpans.back();
-      DeferredSpans.pop_back();
+      const DeferredSpan Done = D;
+      S.Deferred[I] = S.Deferred.back();
+      S.Deferred.pop_back();
+      if (Done.Reusable)
+        RebinClean(Done.PageOff, Done.Pages);
       continue; // re-examine the swapped-in entry
     }
     ++I;
   }
-  for (uint32_t Bin = 0; Bin < kNumLenBins; ++Bin) {
-    const uint32_t Pages = 1u << Bin;
-    size_t Keep = 0;
-    for (size_t I = 0; I < DirtyBins[Bin].size(); ++I) {
-      const uint32_t Off = DirtyBins[Bin][I];
-      if (Arena.release(Off, Pages)) {
-        CleanBins[Bin].push_back(Off);
-        Released += Pages;
-        DirtyPageCount -= Pages;
-        continue;
-      }
-      PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
-      if (DeferFailures) {
-        // Pre-fork flush: the dirty set must reach zero (the child's
-        // rebuild replays only owned spans), so park the failure on
-        // the deferred list instead of keeping it dirty.
-        Arena.dropResident(Off, Pages);
-        DeferredSpans.push_back(DeferredSpan{Off, Pages,
-                                             /*NeedsReset=*/false,
-                                             /*NeedsPunch=*/true,
-                                             /*Reusable=*/true});
-        DirtyPageCount -= Pages;
-      } else {
-        // Keep it dirty — still committed, still reusable as-is.
-        DirtyBins[Bin][Keep++] = Off;
-      }
+  size_t Keep = 0;
+  for (size_t I = 0; I < S.DirtySpans.size(); ++I) {
+    const Span Sp = S.DirtySpans[I];
+    if (Arena.release(Sp.PageOff, Sp.Pages)) {
+      RebinClean(Sp.PageOff, Sp.Pages);
+      Released += Sp.Pages;
+      S.DirtyPages -= Sp.Pages;
+      TotalDirtyPages.fetch_sub(Sp.Pages, std::memory_order_relaxed);
+      continue;
     }
-    DirtyBins[Bin].resize(Keep);
+    PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+    if (DeferFailures) {
+      // Pre-fork flush: the dirty set must reach zero (the child's
+      // rebuild replays only owned spans), so park the failure on
+      // the deferred list instead of keeping it dirty.
+      Arena.dropResident(Sp.PageOff, Sp.Pages);
+      S.Deferred.push_back(DeferredSpan{Sp.PageOff, Sp.Pages,
+                                        /*NeedsReset=*/false,
+                                        /*NeedsPunch=*/true,
+                                        /*Reusable=*/true});
+      S.DirtyPages -= Sp.Pages;
+      TotalDirtyPages.fetch_sub(Sp.Pages, std::memory_order_relaxed);
+    } else {
+      // Keep it dirty — still committed, still reusable as-is.
+      S.DirtySpans[Keep++] = Sp;
+    }
   }
-  assert((!DeferFailures || DirtyPageCount == 0) &&
-         "pre-fork flush left dirty pages");
+  S.DirtySpans.resize(Keep);
+  assert((!DeferFailures || S.DirtyPages == 0) &&
+         "deferring flush left dirty pages on the shard");
+  return Released;
+}
+
+size_t MeshableArena::flushDirty(bool DeferFailures) {
+  size_t Released = 0;
+  // One shard at a time — the flush never holds two shard locks, so
+  // it cannot rendezvous-deadlock with concurrent per-class traffic.
+  for (int S = 0; S < kNumArenaShards; ++S) {
+    lockShard(S);
+    Released += flushShardLocked(Shards[S], DeferFailures,
+                                 /*ArenaLocked=*/false);
+    unlockShard(S);
+  }
+  return Released;
+}
+
+size_t MeshableArena::flushDirtyAssumeLocked(bool DeferFailures) {
+  size_t Released = 0;
+  for (int S = 0; S < kNumArenaShards; ++S)
+    Released += flushShardLocked(Shards[S], DeferFailures,
+                                 /*ArenaLocked=*/true);
   return Released;
 }
 
@@ -241,8 +390,28 @@ void MeshableArena::resetDeferredAfterFork() {
   // copied into the fresh file, so the pages are already holes and the
   // retried punch (trivially succeeding) re-syncs the inherited
   // committed-page overcount.
-  for (size_t I = 0; I < DeferredSpans.size(); ++I)
-    DeferredSpans[I].NeedsReset = false;
+  for (int S = 0; S < kNumArenaShards; ++S)
+    for (size_t I = 0; I < Shards[S].Deferred.size(); ++I)
+      Shards[S].Deferred[I].NeedsReset = false;
+}
+
+void MeshableArena::lockAllShards() {
+  for (int S = 0; S < kNumArenaShards; ++S)
+    lockShard(S);
+  lockArena();
+}
+
+void MeshableArena::unlockAllShards() {
+  unlockArena();
+  for (int S = kNumArenaShards - 1; S >= 0; --S)
+    unlockShard(S);
+}
+
+size_t MeshableArena::dirtyPagesForShard(int Shard) const {
+  lockShard(Shard);
+  const size_t Pages = Shards[Shard].DirtyPages;
+  unlockShard(Shard);
+  return Pages;
 }
 
 void MeshableArena::setOwner(uint32_t PageOff, uint32_t Pages,

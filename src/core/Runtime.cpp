@@ -4,6 +4,7 @@
 
 #include "runtime/BackgroundMesher.h"
 #include "runtime/PressureMonitor.h"
+#include "support/Epoch.h"
 #include "support/InternalHeap.h"
 #include "support/Log.h"
 #include "support/MathUtils.h"
@@ -156,7 +157,13 @@ private:
   }
 
   static void child() {
-    // Arena rebuild first, with every lock still inherited held and
+    // Re-arm the expedited membarrier first: registration is per-mm
+    // and must not be trusted to survive fork. Falls back to the
+    // seq-cst protocol if the re-registration fails, so the epoch
+    // resets below always land in a sound mode. One syscall,
+    // async-signal-safe.
+    Epoch::reinitFenceModeAfterFork();
+    // Arena rebuild next, with every lock still inherited held and
     // the parent fenced: after this loop the child owns private
     // file-backed storage and nothing in this process can reach the
     // parent's pages. Ordered strictly before the mesher child
@@ -218,6 +225,10 @@ std::atomic<uint64_t> NextRuntimeId{1};
 Runtime::Runtime(const MeshOptions &Opts)
     : Global(Opts),
       Id(NextRuntimeId.fetch_add(1, std::memory_order_relaxed)) {
+  // Decide the epoch fence protocol eagerly (query + register the
+  // expedited membarrier): the lazy path would otherwise take the
+  // first registration syscall inside a hot free.
+  Epoch::decideFenceMode();
   if (pthread_key_create(&HeapKey, destroyThreadHeap) != 0)
     fatalError("pthread_key_create failed");
   RuntimeForkSupport::registerRuntime(this);
@@ -500,6 +511,10 @@ int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
   }
   if (strcmp(Name, "heap.num_shards") == 0)
     return ReadU64(GlobalHeap::kNumShards);
+  if (strcmp(Name, "epoch.fence_mode") == 0)
+    // 1 = asymmetric (expedited membarrier), 2 = seq-cst fallback;
+    // 0 (undecided) is unreachable here since the ctor decides.
+    return ReadU64(static_cast<uint64_t>(Epoch::fenceMode()));
   if (strcmp(Name, "heap.flush_dirty") == 0)
     return ReadU64(Global.flushDirtyPages());
   if (strcmp(Name, "stats.dirty_bytes") == 0)

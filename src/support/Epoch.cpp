@@ -1,0 +1,223 @@
+//===- Epoch.cpp - Fence-mode policy for the asymmetric epoch -------------===//
+///
+/// \file
+/// Everything that is *not* the reader fast path: the process-wide
+/// fence-mode decision (membarrier detection + registration), the
+/// synchronize-side heavy barrier, the seq-cst fallback protocol, and
+/// the mid-run degradation that keeps the epoch sound if an expedited
+/// membarrier ever fails after registration (in practice only under
+/// MESH_FAULT_INJECT=membarrier:...).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Epoch.h"
+
+#include "support/Env.h"
+#include "support/Log.h"
+#include "support/Sys.h"
+
+#include <cerrno>
+#include <sched.h>
+#include <sys/mman.h>
+
+#if __has_include(<linux/membarrier.h>)
+#include <linux/membarrier.h>
+#endif
+#ifndef MEMBARRIER_CMD_QUERY
+#define MEMBARRIER_CMD_QUERY 0
+#endif
+#ifndef MEMBARRIER_CMD_PRIVATE_EXPEDITED
+#define MEMBARRIER_CMD_PRIVATE_EXPEDITED (1 << 3)
+#endif
+#ifndef MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED
+#define MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED (1 << 4)
+#endif
+
+namespace mesh {
+
+namespace detail {
+std::atomic<uint8_t> EpochFenceModeAtomic{
+    static_cast<uint8_t>(EpochFenceMode::kUndecided)};
+} // namespace detail
+
+namespace {
+
+/// Serializes the mode decision (raw flag: usable before static
+/// constructors and inside malloc, like the Sys.cpp parse lock).
+std::atomic_flag DecisionLock = ATOMIC_FLAG_INIT;
+
+/// Set when the process degraded from kAsymmetric mid-run: readers
+/// that sampled the mode before the flip became globally visible may
+/// still be entering with plain stores, so every subsequent
+/// synchronize() keeps issuing a compensation barrier. Never cleared
+/// in the parent (degradation only happens under fault injection or a
+/// kernel walking back a registered command — both terminal); the fork
+/// child clears it, since it restarts with one thread and a fresh
+/// decision.
+std::atomic<bool> CompensateAfterDegrade{false};
+
+/// Page the last-resort compensation barrier toggles. mprotect on a
+/// resident page forces a TLB-shootdown IPI to every CPU in this mm's
+/// cpumask, and the IPI is a full barrier on each — the classic
+/// pre-membarrier portable trick. Page-aligned BSS so no allocation.
+alignas(4096) char CompensationPage[4096];
+
+void storeMode(EpochFenceMode M) {
+  detail::EpochFenceModeAtomic.store(static_cast<uint8_t>(M),
+                                     std::memory_order_release);
+}
+
+/// Process-wide barrier without membarrier: touch the compensation
+/// page (so it is resident and mapped on this CPU), then flip its
+/// protection both ways through the seam. Best-effort by design — it
+/// only runs when membarrier itself already failed.
+void compensationBarrier() {
+  CompensationPage[0] = 1;
+  if (sys::mprotectPtr(CompensationPage, sizeof(CompensationPage),
+                       PROT_READ) != 0 ||
+      sys::mprotectPtr(CompensationPage, sizeof(CompensationPage),
+                       PROT_READ | PROT_WRITE) != 0) {
+    logWarning("epoch: compensation mprotect barrier failed (errno %d); "
+               "relying on the seq-cst fallback ordering alone",
+               errno);
+  }
+}
+
+/// Flips the process to the symmetric protocol after an expedited
+/// membarrier failed mid-run. New readers will use seq-cst RMW once
+/// they observe the mode store; the compensation barrier both forces
+/// that store visible everywhere and orders the plain increments of
+/// any reader that raced the flip, and CompensateAfterDegrade keeps
+/// covering stragglers on later synchronizes.
+void degradeToSeqCst(int Err) {
+  logWarning("epoch: membarrier(PRIVATE_EXPEDITED) failed (errno %d); "
+             "degrading to the seq-cst fence protocol",
+             Err);
+  CompensateAfterDegrade.store(true, std::memory_order_relaxed);
+  storeMode(EpochFenceMode::kSeqCst);
+  compensationBarrier();
+}
+
+} // namespace
+
+EpochFenceMode Epoch::decideFenceMode() {
+  EpochFenceMode M = fenceMode();
+  if (M != EpochFenceMode::kUndecided)
+    return M;
+  while (DecisionLock.test_and_set(std::memory_order_acquire)) {
+  }
+  M = fenceMode();
+  if (M == EpochFenceMode::kUndecided) {
+    M = EpochFenceMode::kSeqCst;
+    if (envBool("MESH_MEMBARRIER", true)) {
+      const int Cmds = sys::membarrierCall(MEMBARRIER_CMD_QUERY, 0);
+      if (Cmds >= 0 &&
+          (Cmds & MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED) != 0 &&
+          (Cmds & MEMBARRIER_CMD_PRIVATE_EXPEDITED) != 0 &&
+          sys::membarrierCall(MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED, 0) ==
+              0) {
+        M = EpochFenceMode::kAsymmetric;
+      }
+    }
+    storeMode(M);
+  }
+  DecisionLock.clear(std::memory_order_release);
+  return M;
+}
+
+void Epoch::reinitFenceModeAfterFork() {
+  // Single-threaded context (atfork child): no lock needed, and no
+  // logging — stay async-signal-safe. Registration is per-mm; re-issue
+  // it rather than trusting the kernel to have copied it across fork.
+  CompensateAfterDegrade.store(false, std::memory_order_relaxed);
+  if (fenceMode() != EpochFenceMode::kAsymmetric)
+    return;
+  if (sys::membarrierCall(MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED, 0) != 0)
+    storeMode(EpochFenceMode::kSeqCst);
+}
+
+void Epoch::setFenceModeForTest(EpochFenceMode M) {
+  CompensateAfterDegrade.store(false, std::memory_order_relaxed);
+  detail::EpochFenceModeAtomic.store(static_cast<uint8_t>(M),
+                                     std::memory_order_seq_cst);
+}
+
+uint32_t Epoch::assignStripe() {
+  static std::atomic<uint32_t> NextStripe{0};
+  const uint32_t N = NextStripe.fetch_add(1, std::memory_order_relaxed);
+  return 1 +
+         (N < kStripes ? N : kStripes + (N - kStripes) % kOverflowStripes);
+}
+
+void Epoch::exitOverflow(Guard G) {
+  Overflow[G.Parity][G.Stripe - kStripes].Count.fetch_sub(
+      1, std::memory_order_release);
+}
+
+Epoch::Guard Epoch::enterSlow(uint32_t Stripe) {
+  if (fenceMode() == EpochFenceMode::kUndecided)
+    decideFenceMode();
+  // Overflow slots always use the RMW protocol (they are shared), and
+  // every slot uses it in kSeqCst mode. The seq_cst increment and
+  // re-validation pair with the writer's seq_cst era flip and counter
+  // scan: a store-buffering (Dekker) pattern that needs no kernel
+  // fence. If the mode is (or just became) kAsymmetric and this is an
+  // exclusive slot, enter() will take the plain-store path.
+  for (;;) {
+    if (Stripe < kStripes &&
+        detail::EpochFenceModeAtomic.load(std::memory_order_relaxed) ==
+            static_cast<uint8_t>(EpochFenceMode::kAsymmetric))
+      return enter();
+    const uint64_t E = Era.load(std::memory_order_acquire);
+    const uint32_t Parity = static_cast<uint32_t>(E & 1);
+    std::atomic<uint32_t> &C =
+        Stripe < kStripes ? Readers[Parity][Stripe].Count
+                          : Overflow[Parity][Stripe - kStripes].Count;
+    C.fetch_add(1, std::memory_order_seq_cst);
+    if (Era.load(std::memory_order_seq_cst) == E)
+      return Guard{Stripe, Parity};
+    C.fetch_sub(1, std::memory_order_release);
+    cpuRelax();
+  }
+}
+
+void Epoch::synchronize() {
+  const EpochFenceMode M = fenceMode() == EpochFenceMode::kUndecided
+                               ? decideFenceMode()
+                               : fenceMode();
+  // seq_cst flip in every mode: it is the writer side of the Dekker
+  // pairing for overflow/fallback readers, and one fence per
+  // synchronize is noise next to the membarrier below.
+  const uint64_t Old = Era.fetch_add(1, std::memory_order_seq_cst);
+  const uint32_t Parity = static_cast<uint32_t>(Old & 1);
+  if (M == EpochFenceMode::kAsymmetric) {
+    if (sys::membarrierCall(MEMBARRIER_CMD_PRIVATE_EXPEDITED, 0) != 0)
+      degradeToSeqCst(errno);
+  } else if (CompensateAfterDegrade.load(std::memory_order_relaxed)) {
+    compensationBarrier();
+  }
+  // Drain the old parity. Loads are seq_cst (plain movs on x86): the
+  // scan is the writer side of both pairings — after the membarrier
+  // for plain readers, after the seq_cst flip for RMW readers — and a
+  // reader's release-store exit gives the scan the happens-before edge
+  // that makes post-return reclamation safe.
+  for (uint32_t S = 0; S < kStripes + kOverflowStripes; ++S) {
+    std::atomic<uint32_t> &C = S < kStripes
+                                   ? Readers[Parity][S].Count
+                                   : Overflow[Parity][S - kStripes].Count;
+    int Spins = 0;
+    while (C.load(std::memory_order_seq_cst) != 0) {
+      // Reader sections are a handful of instructions; a non-zero
+      // count that persists means the reader was descheduled — hand
+      // it the CPU instead of pause-spinning the slice away.
+      if (++Spins < 64)
+        cpuRelax();
+      else {
+        sched_yield();
+        Spins = 0;
+      }
+    }
+  }
+}
+
+} // namespace mesh

@@ -1,4 +1,4 @@
-//===- Epoch.h - Striped epoch-based reclamation guard ----------*- C++ -*-===//
+//===- Epoch.h - Asymmetric striped epoch-based reclamation guard -*- C++ -*-===//
 ///
 /// \file
 /// The atomic lifetime primitive behind Mesh's lock-free global-free
@@ -8,21 +8,44 @@
 /// consolidate) a MiniHeap advances the epoch and waits until every
 /// reader that might still hold a stale pointer has left.
 ///
-/// The scheme is a two-slot epoch with striped reader counters:
+/// The scheme is a two-slot epoch with striped reader counters, made
+/// *asymmetric*: the cost of the store-buffering (Dekker) fence is
+/// moved entirely onto synchronize().
 ///
-///   - enter(): pick the counter stripe for this thread, increment the
-///     slot selected by the current epoch's parity, then re-check the
-///     epoch. If it moved, back out and retry — this closes the window
-///     where a reader increments a slot the writer already drained.
-///   - exit(): decrement the slot recorded at enter().
-///   - synchronize(): flip the epoch parity, then spin until the old
-///     parity's counters are all zero. New readers land in the new
-///     slot, so the wait is bounded by the readers already in flight.
+///   - enter(): pick the counter slot for this thread, increment the
+///     side selected by the current era's parity with a plain (relaxed)
+///     store, then re-check the era. If it moved, back out and retry —
+///     this closes the window where a reader increments a slot the
+///     writer already drained. In asymmetric mode the whole section is
+///     plain loads and stores plus a compiler barrier: zero fence
+///     instructions on the reader side (pinned by
+///     EpochAsymmetricTest.ReaderPathHasNoFenceInstructions).
+///   - exit(): decrement the slot recorded at enter() with a release
+///     store (a plain mov on x86).
+///   - synchronize(): flip the era parity, execute
+///     membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED) — an IPI-backed
+///     barrier on every CPU running a thread of this process — then
+///     spin until the old parity's counters are all zero. The
+///     membarrier is what makes the plain reader stores sound: a reader
+///     whose era re-check read the *old* era must have executed its
+///     increment before the IPI, so the writer's post-barrier counter
+///     scan observes it; a reader whose re-check runs after the IPI
+///     sees the new era and retries into the new parity.
 ///
-/// Counters are striped across cache-line-padded slots indexed by a
-/// per-thread token, so concurrent readers on different cores do not
-/// bounce one cache line (the enter/exit pair must stay cheap: it sits
-/// on every free that consults the page table).
+/// When the membarrier syscall (or the PRIVATE_EXPEDITED command) is
+/// unavailable — pre-4.14 kernels, seccomp deny lists, or the
+/// MESH_MEMBARRIER=0 escape hatch — the epoch falls back to the
+/// original fully-symmetric protocol: seq-cst RMW on enter paired with
+/// a seq-cst era flip, correct with no kernel help. The mode is decided
+/// once per process (Runtime init, or lazily at first use) and the
+/// syscall is routed through the Sys.h seam, so tests can fault-inject
+/// `membarrier:ENOSYS:every=1` and pin the degradation path.
+///
+/// Slot assignment is *exclusive* for the first kStripes threads: one
+/// thread per slot, which is what licenses the plain load+store
+/// increments (two owners would lose updates). Threads beyond that
+/// share a small set of overflow slots using seq-cst fetch_add — the
+/// old protocol, whose correctness never depended on membarrier.
 ///
 /// synchronize() callers must be serialized externally (Mesh routes
 /// every call through GlobalHeap::epochSynchronize, which takes a
@@ -40,19 +63,39 @@
 
 #include <atomic>
 #include <cstdint>
-#include <sched.h>
 
 namespace mesh {
 
+/// Process-wide fence protocol, shared by every Epoch instance (the
+/// membarrier registration is a property of the process, not of one
+/// epoch). Decided once; see Epoch::decideFenceMode().
+enum class EpochFenceMode : uint8_t {
+  kUndecided = 0, ///< First enter()/synchronize() decides.
+  kAsymmetric,    ///< Plain reader stores; synchronize pays membarrier.
+  kSeqCst,        ///< Symmetric seq-cst protocol (fallback).
+};
+
+namespace detail {
+/// Read on every enter(); written only by the mode-decision CAS and
+/// the mid-run degradation path in Epoch.cpp.
+extern std::atomic<uint8_t> EpochFenceModeAtomic;
+} // namespace detail
+
 class Epoch {
 public:
-  static constexpr uint32_t kStripes = 16;
+  /// Exclusive reader slots. Threads are assigned one for life (they
+  /// are never recycled — a thread-exit hook inside malloc is not
+  /// worth the plain-store fast path it would protect).
+  static constexpr uint32_t kStripes = 32;
+  /// Shared overflow slots for threads kStripes+1.. (seq-cst RMW).
+  static constexpr uint32_t kOverflowStripes = 8;
 
   Epoch() = default;
   Epoch(const Epoch &) = delete;
   Epoch &operator=(const Epoch &) = delete;
 
-  /// Opaque handle for one reader critical section.
+  /// Opaque handle for one reader critical section. Stripe >= kStripes
+  /// encodes overflow slot (Stripe - kStripes).
   struct Guard {
     uint32_t Stripe;
     uint32_t Parity;
@@ -62,55 +105,54 @@ public:
   /// page table at (or after) this point stay alive until exit().
   Guard enter() {
     const uint32_t Stripe = stripeForThisThread();
-    for (;;) {
-      const uint64_t E = Era.load(std::memory_order_acquire);
-      const uint32_t Parity = static_cast<uint32_t>(E & 1);
-      // The increment and the re-validation, like the writer's flip
-      // and counter scan, must be seq_cst: this is a store-buffering
-      // (Dekker) pattern, and with acquire/release alone both sides
-      // may miss each other's write — the reader validating a stale
-      // era while synchronize() reads its slot as zero. (On x86 the
-      // locked RMW makes this free; the loads compile to plain movs.)
-      Readers[Parity][Stripe].Count.fetch_add(1,
-                                              std::memory_order_seq_cst);
-      // Re-validate: if the era advanced between the load and the
-      // increment, the writer may already have drained our slot.
-      if (Era.load(std::memory_order_seq_cst) == E)
-        return Guard{Stripe, Parity};
-      Readers[Parity][Stripe].Count.fetch_sub(1,
-                                              std::memory_order_release);
-      cpuRelax();
+    if (__builtin_expect(
+            Stripe < kStripes &&
+                detail::EpochFenceModeAtomic.load(std::memory_order_relaxed) ==
+                    static_cast<uint8_t>(EpochFenceMode::kAsymmetric),
+            1)) {
+      for (;;) {
+        const uint64_t E = Era.load(std::memory_order_relaxed);
+        const uint32_t Parity = static_cast<uint32_t>(E & 1);
+        std::atomic<uint32_t> &C = Readers[Parity][Stripe].Count;
+        // Exclusively-owned slot: a plain load+store increment cannot
+        // lose updates, and synchronize()'s membarrier supplies the
+        // store->load ordering a fence would otherwise have to.
+        C.store(C.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+        // Compiler-only barrier: the increment must be *issued* before
+        // the era re-check so the membarrier IPI can order them.
+        std::atomic_signal_fence(std::memory_order_seq_cst);
+        if (__builtin_expect(Era.load(std::memory_order_acquire) == E, 1))
+          return Guard{Stripe, Parity};
+        // The era advanced between the load and the increment: the
+        // writer may already have drained our slot. Back out, retry
+        // into the new parity.
+        C.store(C.load(std::memory_order_relaxed) - 1,
+                std::memory_order_relaxed);
+        cpuRelax();
+      }
     }
+    return enterSlow(Stripe);
   }
 
   void exit(Guard G) {
-    Readers[G.Parity][G.Stripe].Count.fetch_sub(1,
-                                                std::memory_order_release);
+    if (__builtin_expect(G.Stripe < kStripes, 1)) {
+      // Exclusive slot: release store so the writer's counter scan
+      // (acquire) sees every access made inside the section. A plain
+      // mov on x86 — correct in both fence modes, since exclusivity,
+      // not the RMW, is what made the old fetch_sub atomic.
+      std::atomic<uint32_t> &C = Readers[G.Parity][G.Stripe].Count;
+      C.store(C.load(std::memory_order_relaxed) - 1,
+              std::memory_order_release);
+      return;
+    }
+    exitOverflow(G);
   }
 
   /// Advances the era and waits until every reader that entered under
   /// the previous era has exited. On return, memory published before
   /// the call is safe to reclaim. Callers must be serialized.
-  void synchronize() {
-    // seq_cst pairing with enter(); see the comment there.
-    const uint64_t Old = Era.fetch_add(1, std::memory_order_seq_cst);
-    const uint32_t Parity = static_cast<uint32_t>(Old & 1);
-    for (uint32_t S = 0; S < kStripes; ++S) {
-      int Spins = 0;
-      while (Readers[Parity][S].Count.load(std::memory_order_seq_cst) !=
-             0) {
-        // Reader sections are a handful of instructions; a non-zero
-        // count that persists means the reader was descheduled — hand
-        // it the CPU instead of pause-spinning the slice away.
-        if (++Spins < 64)
-          cpuRelax();
-        else {
-          sched_yield();
-          Spins = 0;
-        }
-      }
-    }
-  }
+  void synchronize();
 
   /// Fork-child recovery: zeroes every reader counter. A thread that
   /// was inside a reader section in the parent at fork() does not exist
@@ -119,9 +161,12 @@ public:
   /// reader or synchronize() can be running (the pthread_atfork child
   /// handler, where exactly one thread exists).
   void resetToQuiescent() {
-    for (uint32_t P = 0; P < 2; ++P)
+    for (uint32_t P = 0; P < 2; ++P) {
       for (uint32_t S = 0; S < kStripes; ++S)
         Readers[P][S].Count.store(0, std::memory_order_relaxed);
+      for (uint32_t S = 0; S < kOverflowStripes; ++S)
+        Overflow[P][S].Count.store(0, std::memory_order_relaxed);
+    }
   }
 
   /// RAII wrapper for reader sections.
@@ -137,29 +182,66 @@ public:
     Guard G;
   };
 
+  /// Decides the process-wide fence mode if still undecided and
+  /// returns it: MESH_MEMBARRIER=0 forces kSeqCst; otherwise probe
+  /// MEMBARRIER_CMD_QUERY and register PRIVATE_EXPEDITED through the
+  /// Sys.h seam. Idempotent and thread-safe; Runtime init calls it
+  /// eagerly so the preload shim never takes the syscall lazily inside
+  /// a hot free.
+  static EpochFenceMode decideFenceMode();
+
+  /// The mode currently in force (kUndecided until first decided).
+  static EpochFenceMode fenceMode() {
+    return static_cast<EpochFenceMode>(
+        detail::EpochFenceModeAtomic.load(std::memory_order_acquire));
+  }
+
+  /// Re-registers the membarrier intent in a fork child (registration
+  /// is per-mm; not all kernels carry it across fork) and drops back
+  /// to kSeqCst if that fails. Async-signal-safe: one syscall, no
+  /// allocation. Call from the atfork child handler before any epoch
+  /// traffic.
+  static void reinitFenceModeAfterFork();
+
+  /// Test hook: forces \p M (kUndecided re-arms lazy decision). The
+  /// caller owns quiescence — flipping modes with readers in flight is
+  /// exactly the race the production degradation path compensates for.
+  static void setFenceModeForTest(EpochFenceMode M);
+
 private:
   struct alignas(64) PaddedCounter {
     std::atomic<uint32_t> Count{0};
   };
 
+  /// Out-of-line slow path: overflow slots and the seq-cst fallback
+  /// protocol (also the first call in a process, which decides the
+  /// fence mode). Kept out of the header so the inlined fast path
+  /// stays fence-free and small.
+  Guard enterSlow(uint32_t Stripe);
+  /// Out-of-line for the same reason: the overflow decrement is a
+  /// locked RMW (the slot is shared) and must not sit in the inlined
+  /// exit().
+  void exitOverflow(Guard G);
+  /// One-time per-thread slot assignment (a locked RMW on the shared
+  /// cursor); out-of-line so the fence-free fast path stays pure.
+  static uint32_t assignStripe();
+
   static uint32_t stripeForThisThread() {
-    // Round-robin stripe assignment, cached per thread: guarantees the
-    // first kStripes threads never share a counter cache line (an
-    // address-hash scheme collides with high probability well below
-    // that). initial-exec TLS so the access can never allocate (this
-    // runs inside malloc/free). Stripe 0 doubles as "unassigned", so
-    // slot 0 is simply shared by thread #0 and any wrap-arounds.
-    static std::atomic<uint32_t> NextStripe{1};
+    // Sequential slot assignment, cached per thread: the first
+    // kStripes threads each own a slot outright (the plain-store
+    // license), later threads share the overflow slots round-robin.
+    // initial-exec TLS so the access can never allocate (this runs
+    // inside malloc/free).
     static __thread uint32_t Assigned
         __attribute__((tls_model("initial-exec"))) = 0;
-    if (Assigned == 0)
-      Assigned =
-          1 + NextStripe.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    if (__builtin_expect(Assigned == 0, 0))
+      Assigned = assignStripe();
     return Assigned - 1;
   }
 
   std::atomic<uint64_t> Era{0};
   PaddedCounter Readers[2][kStripes];
+  PaddedCounter Overflow[2][kOverflowStripes];
 };
 
 } // namespace mesh

@@ -1,0 +1,68 @@
+//===- LockRank.cpp - Debug lock-rank enforcement --------------------------===//
+
+#include "support/LockRank.h"
+
+#include <cassert>
+
+#ifndef NDEBUG
+
+namespace mesh {
+namespace lockrank {
+
+namespace {
+
+/// Process-wide rather than per-heap: no in-tree path holds one heap's
+/// locks while calling into another heap, so cross-heap false
+/// positives cannot occur (same argument the pre-split held-shard mask
+/// in GlobalHeap.cpp made).
+__thread uint32_t HeldHeapShardMask = 0;
+__thread uint32_t HeldArenaShardMask = 0;
+__thread bool ArenaLockHeld = false;
+
+} // namespace
+
+void acquireHeapShard(int Idx) {
+  assert((HeldHeapShardMask >> Idx) == 0 &&
+         "shard locks must be acquired in ascending index order");
+  assert(HeldArenaShardMask == 0 && !ArenaLockHeld &&
+         "heap shard locks must be acquired before any arena lock");
+  HeldHeapShardMask |= uint32_t{1} << Idx;
+}
+
+void releaseHeapShard(int Idx) {
+  assert((HeldHeapShardMask & (uint32_t{1} << Idx)) != 0 &&
+         "unlocking a shard this thread does not hold");
+  HeldHeapShardMask &= ~(uint32_t{1} << Idx);
+}
+
+void acquireArenaShard(int Idx) {
+  assert((HeldArenaShardMask >> Idx) == 0 &&
+         "arena shard locks must be acquired in ascending index order");
+  assert(!ArenaLockHeld &&
+         "arena shard locks must be acquired before ArenaLock");
+  HeldArenaShardMask |= uint32_t{1} << Idx;
+}
+
+void releaseArenaShard(int Idx) {
+  assert((HeldArenaShardMask & (uint32_t{1} << Idx)) != 0 &&
+         "unlocking an arena shard this thread does not hold");
+  HeldArenaShardMask &= ~(uint32_t{1} << Idx);
+}
+
+void acquireArenaLock() {
+  assert(!ArenaLockHeld && "ArenaLock is not recursive");
+  ArenaLockHeld = true;
+}
+
+void releaseArenaLock() {
+  assert(ArenaLockHeld && "unlocking an ArenaLock this thread does not hold");
+  ArenaLockHeld = false;
+}
+
+uint32_t heldArenaShards() { return HeldArenaShardMask; }
+uint32_t heldHeapShards() { return HeldHeapShardMask; }
+
+} // namespace lockrank
+} // namespace mesh
+
+#endif // NDEBUG

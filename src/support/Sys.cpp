@@ -9,6 +9,7 @@
 #include <cstring>
 #include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/syscall.h>
 #include <unistd.h>
 
 namespace mesh {
@@ -98,6 +99,7 @@ bool opBitsFor(const char *S, const char *End, uint32_t *Bits) {
       {"fallocate", kFallocate},
       {"madvise", kMadvise},
       {"mprotect", kMprotect},
+      {"membarrier", kMembarrier},
       {"commit", kCommit},
   };
   const size_t Len = static_cast<size_t>(End - S);
@@ -121,6 +123,7 @@ bool errnoFor(const char *S, const char *End, int *Err) {
   } Table[] = {
       {"ENOMEM", ENOMEM}, {"ENOSPC", ENOSPC}, {"EINTR", EINTR},
       {"EAGAIN", EAGAIN}, {"EMFILE", EMFILE}, {"ENFILE", ENFILE},
+      {"ENOSYS", ENOSYS}, {"EPERM", EPERM},   {"EINVAL", EINVAL},
   };
   const size_t Len = static_cast<size_t>(End - S);
   for (const auto &E : Table) {
@@ -332,6 +335,12 @@ int madvisePtr(void *Addr, size_t Length, int Advice) {
 
 int mprotectPtr(void *Addr, size_t Length, int Prot) {
   return wrapCall(kMprotect, [&] { return ::mprotect(Addr, Length, Prot); });
+}
+
+int membarrierCall(int Cmd, unsigned Flags) {
+  return wrapCall(kMembarrier, [&] {
+    return static_cast<int>(::syscall(SYS_membarrier, Cmd, Flags, 0));
+  });
 }
 
 bool commitGate() {

@@ -15,9 +15,9 @@
 ///        <op>:<errno>:rate=<N>[,seed=<S>]
 ///
 ///      where <op> is one of memfd_create, ftruncate, mmap, munmap,
-///      fallocate, madvise, mprotect, commit, or all; <errno> is a
-///      symbolic name (ENOMEM, ENOSPC, EINTR, EAGAIN, EMFILE, ENFILE)
-///      or a decimal number. every=N fails every Nth call of that op
+///      fallocate, madvise, mprotect, membarrier, commit, or all;
+///      <errno> is a symbolic name (ENOMEM, ENOSPC, EINTR, EAGAIN,
+///      EMFILE, ENFILE, ENOSYS, EPERM, EINVAL) or a decimal number. every=N fails every Nth call of that op
 ///      deterministically; rate=N fails ~1-in-N calls drawn from a
 ///      seeded splitmix64 stream. "commit" is a pseudo-op: the arena's
 ///      commit accounting gate, which has no real syscall behind it
@@ -50,7 +50,8 @@ enum Op : unsigned {
   kFallocate,
   kMadvise,
   kMprotect,
-  kCommit, ///< Pseudo-op: the arena's commit-accounting gate.
+  kMembarrier, ///< membarrier(2): the epoch's synchronize-side fence.
+  kCommit,     ///< Pseudo-op: the arena's commit-accounting gate.
   kNumOps
 };
 
@@ -93,6 +94,12 @@ int fallocateFd(int Fd, int Mode, off_t Offset, off_t Length);
 int madvisePtr(void *Addr, size_t Length, int Advice);
 /// mprotect(2). Returns 0, or -1 with errno set.
 int mprotectPtr(void *Addr, size_t Length, int Prot);
+/// membarrier(2) via syscall(2) — glibc has no wrapper. Returns the
+/// raw result (>= 0 success; QUERY returns the command bitmask), or
+/// -1 with errno set (ENOSYS on pre-4.3 kernels and under seccomp
+/// policies that blanket-deny unknown syscalls). Injection on this op
+/// is how tests force the epoch's seq-cst fallback at runtime.
+int membarrierCall(int Cmd, unsigned Flags);
 
 /// The commit pseudo-op: no syscall, just the injection gate. Returns
 /// true to proceed; false (with errno set) simulates the kernel

@@ -101,11 +101,23 @@ TEST(GlobalHeapTest, LargeAllocZeroedReportsSpanCleanliness) {
   memset(Span, 0xEE, pagesToBytes(MH->spanPages()));
   G.releaseMiniHeap(MH); // Empty: destroyed, span cached dirty.
 
-  // A 16 KiB large allocation takes a 4-page span; the dirty one is
-  // preferred and must be reported unclean.
+  // Dirty spans are class-local (arena shard per size class): a 16 KiB
+  // large allocation also needs a 4-page span, but it must NOT poach
+  // the class's dirty span — it draws from the shared clean reserve /
+  // frontier and stays demand-zero.
   void *B = G.largeAllocZeroed(16 * 1024, &Zeroed);
-  EXPECT_EQ(B, Span) << "dirty span should be reused first";
-  EXPECT_FALSE(Zeroed) << "recycled dirty span must demand a memset";
+  ASSERT_NE(B, nullptr);
+  EXPECT_NE(B, Span) << "dirty spans never cross size-class shards";
+  EXPECT_TRUE(Zeroed) << "clean-reserve span is demand-zero";
+
+  // The class itself reuses its dirty span — the recycling the shard
+  // exists for — and the stale bytes prove no punch happened.
+  MiniHeap *MH2 = G.allocMiniHeapForClass(Class);
+  ASSERT_NE(MH2, nullptr);
+  EXPECT_EQ(G.arenaBase() + pagesToBytes(MH2->physicalSpanOffset()), Span)
+      << "class-local dirty reuse";
+  EXPECT_EQ(Span[0], static_cast<char>(0xEE)) << "span kept its stale bytes";
+  G.releaseMiniHeap(MH2);
   G.free(A);
   G.free(B);
 }

@@ -3,11 +3,14 @@
 /// The sharded global heap's deadlock-freedom argument rests on one
 /// rule: shard locks are only ever acquired in ascending index order
 /// (the mesh-pass rendezvous walks shards 0..N and must never meet a
-/// thread holding a higher shard while wanting a lower one). Debug
-/// builds enforce the rule with a per-thread held-shard mask; these
-/// death tests pin the diagnostic so a refactor that silently drops the
-/// check — or a code path that violates the order — fails CI in the
-/// sanitizer (Debug) jobs rather than deadlocking in production.
+/// thread holding a higher shard while wanting a lower one), and the
+/// arena's own lock tier sits strictly below every heap shard:
+/// heap shards -> arena shards ascending -> ArenaLock (LockRank.h).
+/// Debug builds enforce the full rank with per-thread held masks;
+/// these death tests pin the diagnostics so a refactor that silently
+/// drops a check — or a code path that violates the order — fails CI
+/// in the sanitizer (Debug) jobs rather than deadlocking in
+/// production.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +39,29 @@ TEST(ShardLockOrderTest, AscendingAcquisitionIsAllowed) {
   G.unlockShardForTest(3);
   G.lockShardForTest(1);
   G.unlockShardForTest(1);
+}
+
+TEST(ShardLockOrderTest, FullRankDescentIsAllowed) {
+  Runtime R(testOptions());
+  GlobalHeap &G = R.global();
+  MeshableArena &A = G.arenaForTest();
+  // The deepest legal nesting any operation produces: a heap shard,
+  // then arena shards ascending, then ArenaLock (a refill miss under a
+  // destroy's rebin). Must not trip any diagnostic.
+  G.lockShardForTest(2);
+  A.lockShardForTest(2);
+  A.lockShardForTest(MeshableArena::kLargeArenaShard);
+  A.lockArenaForTest();
+  A.unlockArenaForTest();
+  A.unlockShardForTest(MeshableArena::kLargeArenaShard);
+  A.unlockShardForTest(2);
+  G.unlockShardForTest(2);
+  // An arena shard with no heap shard held (direct arena traffic) is
+  // fine too, as is re-descending after a full release.
+  A.lockShardForTest(0);
+  A.unlockShardForTest(0);
+  A.lockArenaForTest();
+  A.unlockArenaForTest();
 }
 
 #ifndef NDEBUG
@@ -80,6 +106,73 @@ TEST(ShardLockOrderDeathTest, UnlockingUnheldShardAborts) {
   Runtime R(testOptions());
   GlobalHeap &G = R.global();
   EXPECT_DEATH(G.unlockShardForTest(6), "does not hold");
+}
+
+TEST(ShardLockOrderDeathTest, ArenaShardDescendingAborts) {
+  Runtime R(testOptions());
+  MeshableArena &A = R.global().arenaForTest();
+  EXPECT_DEATH(
+      {
+        A.lockShardForTest(7);
+        A.lockShardForTest(2);
+      },
+      "ascending index order");
+}
+
+TEST(ShardLockOrderDeathTest, HeapShardAfterArenaShardAborts) {
+  Runtime R(testOptions());
+  GlobalHeap &G = R.global();
+  MeshableArena &A = G.arenaForTest();
+  // The inversion a destroy-path bug would produce: calling back up
+  // into the heap tier while holding arena state.
+  EXPECT_DEATH(
+      {
+        A.lockShardForTest(3);
+        G.lockShardForTest(3);
+      },
+      "before any arena lock");
+}
+
+TEST(ShardLockOrderDeathTest, HeapShardAfterArenaLockAborts) {
+  Runtime R(testOptions());
+  GlobalHeap &G = R.global();
+  MeshableArena &A = G.arenaForTest();
+  EXPECT_DEATH(
+      {
+        A.lockArenaForTest();
+        G.lockShardForTest(0);
+      },
+      "before any arena lock");
+}
+
+TEST(ShardLockOrderDeathTest, ArenaShardAfterArenaLockAborts) {
+  Runtime R(testOptions());
+  MeshableArena &A = R.global().arenaForTest();
+  // ArenaLock is the innermost arena rank; a shard acquired under it
+  // is the refill-miss path run backwards.
+  EXPECT_DEATH(
+      {
+        A.lockArenaForTest();
+        A.lockShardForTest(0);
+      },
+      "before ArenaLock");
+}
+
+TEST(ShardLockOrderDeathTest, RecursiveArenaLockAborts) {
+  Runtime R(testOptions());
+  MeshableArena &A = R.global().arenaForTest();
+  EXPECT_DEATH(
+      {
+        A.lockArenaForTest();
+        A.lockArenaForTest();
+      },
+      "not recursive");
+}
+
+TEST(ShardLockOrderDeathTest, UnlockingUnheldArenaShardAborts) {
+  Runtime R(testOptions());
+  MeshableArena &A = R.global().arenaForTest();
+  EXPECT_DEATH(A.unlockShardForTest(6), "does not hold");
 }
 
 #else

@@ -31,9 +31,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <dirent.h>
 #include <sys/wait.h>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -331,6 +333,80 @@ TEST(ForkCorruptionTest, FdCountStableAcrossForkGenerations) {
   EXPECT_EQ(WEXITSTATUS(Status), 0)
       << "fd count drifted across fork generations (243 = leak)";
   for (void *P : Warm)
+    R.free(P);
+}
+
+/// Forks while multiple threads storm the per-class arena shards —
+/// refill misses and span frees in flight on several shard locks at
+/// the fork instant. The quiesce must rendezvous with every arena
+/// shard (not just ArenaLock, as before the split), or the child
+/// inherits a shard lock mid-critical-section and deadlocks or
+/// corrupts span state on its first refill.
+TEST(ForkCorruptionTest, ForkUnderArenaShardContentionStaysCoherent) {
+#ifdef MESH_TEST_TSAN
+  GTEST_SKIP() << "forking while sibling threads run trips TSan's "
+                  "internal deadlock detection, not the allocator's";
+#endif
+  Runtime R(forkTestOptions());
+  const int Count = static_cast<int>(stressScaled(5000));
+  std::vector<void *> PreFork = allocFilled(R, Count, 'S');
+
+  // Churn threads, one per size class in the spread: with
+  // MaxDirtyBytes=0 every batch free flushes its own arena shard, so
+  // each thread continuously cycles its shard's lock through
+  // alloc/free/flush while the main thread forks.
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Churners;
+  for (int T = 0; T < kNumSizes; ++T) {
+    Churners.emplace_back([&R, &Stop, T] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        std::vector<void *> Batch;
+        for (int I = 0; I < 64; ++I) {
+          void *P = R.malloc(sizeFor(T));
+          if (P != nullptr) {
+            memset(P, patternFor(I, 'T'), sizeFor(T));
+            Batch.push_back(P);
+          }
+        }
+        for (void *P : Batch)
+          R.free(P);
+        R.localHeap().releaseAll();
+      }
+    });
+  }
+
+  // A handful of forks mid-storm; each child verifies the pre-fork
+  // set, reconciles accounting against the kernel, and proves its
+  // rebuilt arena still serves every class.
+  for (int Round = 0; Round < 3; ++Round) {
+    const pid_t Pid = fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      int Bad = countMismatches(PreFork, 'S');
+      if (R.global().dirtyBytes() != 0)
+        ++Bad; // pre-fork flush must have emptied every shard
+      if (pagesToBytes(R.global().kernelFilePages()) >
+          R.global().committedBytes())
+        ++Bad;
+      std::vector<void *> ChildSet = allocFilled(R, Count, 'U');
+      Bad += countMismatches(ChildSet, 'U');
+      for (void *P : ChildSet)
+        R.free(P);
+      _exit(Bad == 0 ? 0 : (Bad > 250 ? 250 : Bad));
+    }
+    int Status = 0;
+    ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(Status))
+        << "child crashed under shard contention (status " << Status << ")";
+    EXPECT_EQ(WEXITSTATUS(Status), 0) << "round " << Round;
+  }
+
+  Stop.store(true);
+  for (auto &T : Churners)
+    T.join();
+  EXPECT_EQ(countMismatches(PreFork, 'S'), 0)
+      << "storm or fork corrupted the parent's objects";
+  for (void *P : PreFork)
     R.free(P);
 }
 

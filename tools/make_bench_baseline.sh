@@ -16,13 +16,16 @@ BUILD_DIR=${1:?usage: $0 <build-dir> <out-file>}
 OUT=${2:?usage: $0 <build-dir> <out-file>}
 
 SOAK="$BUILD_DIR/bench/bench_soak"
+MT="$BUILD_DIR/bench/bench_mt"
 SHIM="$BUILD_DIR/src/libmesh.so"
 [ -x "$SOAK" ] || { echo "$SOAK not built" >&2; exit 1; }
+[ -x "$MT" ] || { echo "$MT not built" >&2; exit 1; }
 [ -f "$SHIM" ] || { echo "$SHIM not built (MESH_SANITIZE build?)" >&2; exit 1; }
 
 TMP_IN=$(mktemp)
 TMP_PRE=$(mktemp)
-trap 'rm -f "$TMP_IN" "$TMP_PRE"' EXIT
+TMP_MT=$(mktemp)
+trap 'rm -f "$TMP_IN" "$TMP_PRE" "$TMP_MT"' EXIT
 
 # In-process instance runtime (the library-API shape).
 "$SOAK" --profile=ci --json-out="$TMP_IN" >/dev/null
@@ -32,5 +35,9 @@ trap 'rm -f "$TMP_IN" "$TMP_PRE"' EXIT
 LD_PRELOAD="$SHIM" MESH_BACKGROUND=1 \
   "$SOAK" --profile=ci --backend=system --json-out="$TMP_PRE" >/dev/null
 
-cat "$TMP_IN" "$TMP_PRE" > "$OUT"
+# Hot-path mixes, including the refill-miss mix that lands entirely on
+# the per-class arena shards. In-process (library-API) shape.
+"$MT" --json-out="$TMP_MT" >/dev/null
+
+cat "$TMP_IN" "$TMP_PRE" "$TMP_MT" > "$OUT"
 echo "wrote $(wc -l < "$OUT") result line(s) to $OUT"
