@@ -13,6 +13,7 @@
 
 #include "BenchUtil.h"
 #include "core/Runtime.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -196,6 +197,40 @@ int main(int argc, char **argv) {
                     {{"mutator_max_pause_us", FgPauseNs / 1000.0},
                      {"background_max_pause_us", BgPauseNs / 1000.0},
                      {"background_passes", static_cast<double>(BgPasses)},
+                     {"freed_kib",
+                      static_cast<double>(Freed) / Runs / 1024.0}});
+  }
+
+  // --- Telemetry recording overhead on the slow path it instruments. ---
+  // Same fragmented image, same explicit passes, flight recorder +
+  // histograms off vs on. The delta is the total per-pass cost of the
+  // clock reads, ring stores, and histogram increments (the fast path
+  // is not instrumented at all — see the bench_mt guard in CI). This
+  // number backs the overhead budget in DESIGN.md "Observability".
+  for (bool Rec : {false, true}) {
+    uint64_t Ns = 0;
+    size_t Freed = 0;
+    for (int Run = 0; Run < Runs; ++Run) {
+      MeshOptions Opts = ablationOptions();
+      Opts.Seed = 300 + Run;
+      if (Rec)
+        telemetry::enable();
+      else
+        telemetry::disable();
+      Runtime R(Opts);
+      auto Kept = buildFragmentedHeap(R, SpanCount);
+      Freed += R.meshNow();
+      Ns += R.global().stats().TotalMeshNs.load();
+      for (void *P : Kept)
+        R.free(P);
+    }
+    telemetry::disable();
+    printf("RESULT mesh_pass_us_telemetry_%s %.1f (freed %.0f KiB avg)\n",
+           Rec ? "on" : "off", static_cast<double>(Ns) / Runs / 1000.0,
+           static_cast<double>(Freed) / Runs / 1024.0);
+    benchReportJson("bench_ablation",
+                    Rec ? "telemetry=on" : "telemetry=off",
+                    {{"pass_us", static_cast<double>(Ns) / Runs / 1000.0},
                      {"freed_kib",
                       static_cast<double>(Freed) / Runs / 1024.0}});
   }

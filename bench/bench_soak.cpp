@@ -39,6 +39,7 @@
 #include "runtime/PressureMonitor.h"
 #include "support/Rng.h"
 #include "support/Sys.h"
+#include "support/Telemetry.h"
 #include "workloads/KVStore.h"
 #include "workloads/MemoryMeter.h"
 #include "workloads/Zipfian.h"
@@ -89,6 +90,9 @@ struct AllocatorSnapshot {
   double MaxPauseBgNs = 0;
   double PassesFg = 0;
   double PassesBg = 0;
+  /// telemetry.hist.mesh_pass buckets (all zero for glibc). Deltas
+  /// between two snapshots give this run's pause distribution.
+  uint64_t MeshPassBuckets[telemetry::kHistBuckets] = {};
 };
 
 class StatsReader {
@@ -123,6 +127,10 @@ public:
         Stats.MeshPassesForeground.load(std::memory_order_relaxed));
     S.PassesBg = static_cast<double>(
         Stats.MeshPassesBackground.load(std::memory_order_relaxed));
+    // Instance heaps share the process-wide telemetry rings, so this
+    // reads the same histogram the mallctl leaf would.
+    telemetry::readHistogram(telemetry::HistId::kHistMeshPass,
+                             S.MeshPassBuckets);
     return S;
   }
 
@@ -162,6 +170,13 @@ public:
     S.MaxPauseBgNs = readU64(Ctl, "stats.max_pause_background_ns");
     S.PassesFg = readU64(Ctl, "stats.mesh_passes_foreground");
     S.PassesBg = readU64(Ctl, "stats.mesh_passes_background");
+    // The preloaded .so has its own telemetry globals (distinct from
+    // this binary's statically linked copy), so the buckets must come
+    // through its mallctl, not a direct telemetry:: call.
+    size_t Len = sizeof(S.MeshPassBuckets);
+    if (Ctl("telemetry.hist.mesh_pass", S.MeshPassBuckets, &Len, nullptr,
+            0) != 0)
+      memset(S.MeshPassBuckets, 0, sizeof(S.MeshPassBuckets));
     return S;
   }
 
@@ -593,6 +608,28 @@ SoakResult runRedisSoak(HeapBackend &Backend, MemoryMeter &Meter,
 // Reporting.
 //===----------------------------------------------------------------------===//
 
+/// Quantile estimate over log2 histogram buckets, matching
+/// tools/mesh-top.py: bucket b represents 0 (b==0) or the arithmetic
+/// midpoint 1.5 * 2^(b-1) of [2^(b-1), 2^b).
+double histQuantileNs(const uint64_t Buckets[telemetry::kHistBuckets],
+                      double Q) {
+  uint64_t Total = 0;
+  for (uint32_t B = 0; B < telemetry::kHistBuckets; ++B)
+    Total += Buckets[B];
+  if (Total == 0)
+    return 0;
+  const double Target = Q * static_cast<double>(Total);
+  uint64_t Cum = 0;
+  for (uint32_t B = 0; B < telemetry::kHistBuckets; ++B) {
+    Cum += Buckets[B];
+    if (static_cast<double>(Cum) >= Target)
+      return static_cast<double>(telemetry::bucketLowerBound(B)) * 1.5;
+  }
+  return static_cast<double>(
+             telemetry::bucketLowerBound(telemetry::kHistBuckets - 1)) *
+         1.5;
+}
+
 void emitRun(const char *Workload, const char *Profile,
              const StatsReader &Reader, const AllocatorSnapshot &Before,
              SoakResult &R, const MemoryMeter &Meter) {
@@ -649,6 +686,22 @@ void emitRun(const char *Workload, const char *Profile,
   W.number("max_pause_bg_ns", After.MaxPauseBgNs);
   W.number("mesh_passes_fg", After.PassesFg - Before.PassesFg);
   W.number("mesh_passes_bg", After.PassesBg - Before.PassesBg);
+  // Mesh-pause *distribution* for this run, from the telemetry layer's
+  // mesh_pass latency histogram (bucket deltas across the run; the
+  // preload runtime's rings outlive a single soak). All zeros for
+  // glibc, which the comparator's "up" checks skip.
+  uint64_t PauseDelta[telemetry::kHistBuckets] = {};
+  uint64_t PauseSamples = 0;
+  for (uint32_t B = 0; B < telemetry::kHistBuckets; ++B) {
+    PauseDelta[B] = After.MeshPassBuckets[B] >= Before.MeshPassBuckets[B]
+                        ? After.MeshPassBuckets[B] - Before.MeshPassBuckets[B]
+                        : 0;
+    PauseSamples += PauseDelta[B];
+  }
+  W.number("mesh_pause_samples", static_cast<double>(PauseSamples));
+  W.number("mesh_pause_p50_ns", histQuantileNs(PauseDelta, 0.50));
+  W.number("mesh_pause_p99_ns", histQuantileNs(PauseDelta, 0.99));
+  W.number("mesh_pause_p999_ns", histQuantileNs(PauseDelta, 0.999));
   W.number("rss_mean_mib", toMiB(Meter.meanCommittedBytes()));
   W.number("rss_peak_mib",
            toMiB(static_cast<double>(Meter.peakCommittedBytes())));
@@ -751,6 +804,18 @@ uint64_t runOne(const char *Workload, const SoakProfile &P) {
   } else {
     Backend = std::make_unique<SystemBackend>();
     Reader = std::make_unique<SystemStatsReader>();
+  }
+
+  // The pause-distribution keys in the JSON need the telemetry layer's
+  // mesh_pass histogram recording. Enable it in whichever copy of the
+  // allocator actually serves this run: this binary's for in-process
+  // heaps, the preloaded shim's (via its mallctl) for --backend=system
+  // under LD_PRELOAD. Glibc runs have neither and emit zeros.
+  if (GBackendMesh) {
+    telemetry::enable();
+  } else if (MallctlFn Ctl = preloadedMallctl()) {
+    bool On = true;
+    Ctl("telemetry.enabled", nullptr, nullptr, &On, sizeof(On));
   }
 
   // Cadence is irrelevant (the coordinator samples on wall time via

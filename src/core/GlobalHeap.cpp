@@ -7,6 +7,7 @@
 #include "support/InternalHeap.h"
 #include "support/LockRank.h"
 #include "support/Log.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 #include <cstring>
@@ -148,7 +149,13 @@ void GlobalHeap::destroyMiniHeapLocked(Shard &S, MiniHeap *MH) {
 
 void GlobalHeap::epochSynchronize() {
   std::lock_guard<SpinLock> Guard(EpochSyncLock);
+  telemetry::Timer T;
   MiniHeapEpoch.synchronize();
+  if (T.armed()) {
+    const uint64_t Ns = T.elapsedNs();
+    telemetry::event(telemetry::EventType::kEpochSync, 0, Ns);
+    telemetry::histRecord(telemetry::kHistEpochSync, Ns);
+  }
 }
 
 void GlobalHeap::deleteRetired(InternalVector<MiniHeap *> &Retired) {
@@ -272,8 +279,12 @@ MiniHeap *GlobalHeap::allocMiniHeapForClass(int SizeClass) {
     // committed-but-unowned span.
     const SizeClassInfo &Info = sizeClassInfo(SizeClass);
     bool IsClean = false;
+    telemetry::Timer SpanTimer;
     const uint32_t Off =
         Arena.allocSpanForClass(SizeClass, Info.SpanPages, &IsClean);
+    if (SpanTimer.armed())
+      telemetry::histRecord(telemetry::kHistSpanAcquire,
+                            SpanTimer.elapsedNs());
     if (Off != MeshableArena::kInvalidSpanOff) {
       MH = InternalHeap::global().makeNew<MiniHeap>(
           Off, Info.SpanPages, Info.ObjectSize, Info.ObjectCount,
@@ -327,8 +338,12 @@ void *GlobalHeap::largeAllocZeroed(size_t Bytes, bool *WasZeroed) {
   // walks owners and would otherwise inherit an orphaned extent).
   lockShard(kLargeShard);
   bool IsClean = false;
+  telemetry::Timer SpanTimer;
   const uint32_t Off =
       Arena.allocLargeSpan(static_cast<uint32_t>(Pages), &IsClean);
+  if (SpanTimer.armed())
+    telemetry::histRecord(telemetry::kHistSpanAcquire,
+                          SpanTimer.elapsedNs());
   if (Off == MeshableArena::kInvalidSpanOff) {
     unlockShard(kLargeShard);
     Stats.OomReturns.fetch_add(1, std::memory_order_relaxed);
@@ -706,6 +721,8 @@ size_t GlobalHeap::performMeshing(MeshPassOrigin Origin) {
   const uint64_t Start = monotonicNs();
   size_t PagesReleased = 0;
   uint32_t MeshedThisPass = 0;
+  uint64_t ScanNs = 0;
+  uint64_t PairsFound = 0;
 
   InternalVector<MiniHeap *> Candidates;
   InternalVector<MeshPair> Pairs;
@@ -732,6 +749,7 @@ size_t GlobalHeap::performMeshing(MeshPassOrigin Origin) {
         (Opts.MaxMeshesPerPass == 0 ||
          MeshedThisPass < Opts.MaxMeshesPerPass);
     if (MeshThisShard) {
+      telemetry::Timer ScanTimer;
       Candidates.clear();
       // Only spans at <= 50% occupancy can possibly mesh: two spans
       // each more than half full must collide on some offset
@@ -747,6 +765,8 @@ size_t GlobalHeap::performMeshing(MeshPassOrigin Origin) {
         splitMesher(Candidates, Opts.MeshProbes, MeshRandom, Pairs,
                     &Probes);
         Stats.MeshProbeCount.fetch_add(Probes, std::memory_order_relaxed);
+        ScanNs += ScanTimer.elapsedNs();
+        PairsFound += Pairs.size();
         for (auto &[A, B] : Pairs) {
           if (Opts.MaxMeshesPerPass != 0 &&
               MeshedThisPass >= Opts.MaxMeshesPerPass)
@@ -754,9 +774,18 @@ size_t GlobalHeap::performMeshing(MeshPassOrigin Origin) {
           // Keep the fuller span so fewer objects move.
           MiniHeap *Dst = A->inUseCount() >= B->inUseCount() ? A : B;
           MiniHeap *Src = Dst == A ? B : A;
+          telemetry::Timer RemapTimer;
           PagesReleased += meshPairLocked(S, Dst, Src);
           ++MeshedThisPass;
+          if (RemapTimer.armed()) {
+            const uint64_t Ns = RemapTimer.elapsedNs();
+            telemetry::event(telemetry::EventType::kMeshRemap,
+                             static_cast<uint16_t>(ShardIdx), Ns);
+            telemetry::histRecord(telemetry::kHistMeshRemap, Ns);
+          }
         }
+      } else {
+        ScanNs += ScanTimer.elapsedNs();
       }
     }
     // Take this shard's retirees (from the drain and from meshing)
@@ -780,10 +809,30 @@ size_t GlobalHeap::performMeshing(MeshPassOrigin Origin) {
   // Section 4.4.1: pages return to the OS after the dirty budget fills
   // *or whenever meshing is invoked* — a pass is already paying for
   // page-table work, so piggyback the dirty-page flush.
-  Arena.flushDirty();
+  telemetry::Timer FlushTimer;
+  const size_t FlushedPages = Arena.flushDirty();
+  if (FlushTimer.armed()) {
+    const uint64_t FlushNs = FlushTimer.elapsedNs();
+    telemetry::event(telemetry::EventType::kMeshRelease,
+                     static_cast<uint16_t>(
+                         FlushedPages < UINT16_MAX ? FlushedPages
+                                                   : UINT16_MAX),
+                     FlushNs);
+    telemetry::histRecord(telemetry::kHistMeshRelease, FlushNs);
+  }
 
   const uint64_t Elapsed = monotonicNs() - Start;
   Stats.recordPass(Elapsed, Origin);
+  if (telemetry::enabled()) {
+    telemetry::event(telemetry::EventType::kMeshScan,
+                     static_cast<uint16_t>(
+                         PairsFound < UINT16_MAX ? PairsFound : UINT16_MAX),
+                     ScanNs);
+    telemetry::histRecord(telemetry::kHistMeshScan, ScanNs);
+    telemetry::event(telemetry::EventType::kMeshPass,
+                     Origin == MeshPassOrigin::Background ? 1 : 0, Elapsed);
+    telemetry::histRecord(telemetry::kHistMeshPass, Elapsed);
+  }
   LastMeshMs.store(monotonicMs(), std::memory_order_relaxed);
   LastMeshReleased = pagesToBytes(PagesReleased);
   FreedSinceLastMesh.store(false, std::memory_order_relaxed);
@@ -849,6 +898,8 @@ size_t GlobalHeap::meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src) {
           unprotectSpan(SrcSpans[J]);
         Barrier.endEpoch();
         Stats.MeshRollbacks.fetch_add(1, std::memory_order_relaxed);
+        telemetry::event(telemetry::EventType::kFaultDegrade,
+                         telemetry::kDegradeMeshRollback, 0);
         return 0;
       }
     }
@@ -882,9 +933,15 @@ size_t GlobalHeap::meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src) {
     const uint32_t SrcPhys = Src->physicalSpanOffset();
     const uint32_t DstPhys = Dst->physicalSpanOffset();
     uint32_t Swung = 0;
-    for (; Swung < SrcSpans.size(); ++Swung)
-      if (!Arena.vm().alias(SrcSpans[Swung], DstPhys, Pages))
+    for (; Swung < SrcSpans.size(); ++Swung) {
+      telemetry::Timer AliasTimer;
+      const bool Ok = Arena.vm().alias(SrcSpans[Swung], DstPhys, Pages);
+      if (AliasTimer.armed())
+        telemetry::histRecord(telemetry::kHistRemapSyscall,
+                              AliasTimer.elapsedNs());
+      if (!Ok)
         break;
+    }
     if (Swung < SrcSpans.size()) {
       for (uint32_t J = 0; J < Swung; ++J) {
         const uint32_t Off = SrcSpans[J];
@@ -918,6 +975,8 @@ size_t GlobalHeap::meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src) {
       Barrier.endEpoch();
     }
     Stats.MeshRollbacks.fetch_add(1, std::memory_order_relaxed);
+    telemetry::event(telemetry::EventType::kFaultDegrade,
+                     telemetry::kDegradeMeshRollback, 0);
     return 0;
   }
 

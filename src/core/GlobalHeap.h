@@ -270,6 +270,14 @@ public:
   size_t kernelFilePages() const { return Arena.kernelFilePages(); }
   /// Degraded punch/remap operations (faults.punch_fallbacks).
   uint64_t punchFallbackCount() const { return Arena.punchFallbackCount(); }
+  /// faults.reset: zeroes the heap-side degradation counters (the
+  /// syscall-seam counters reset separately via
+  /// sys::resetFaultCounters()).
+  void resetFaultCounters() {
+    Stats.OomReturns.store(0, std::memory_order_relaxed);
+    Stats.MeshRollbacks.store(0, std::memory_order_relaxed);
+    Arena.resetPunchFallbacks();
+  }
 
   MeshStats &stats() { return Stats; }
   const MeshStats &stats() const { return Stats; }

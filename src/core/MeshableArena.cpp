@@ -5,6 +5,7 @@
 #include "support/LockRank.h"
 #include "support/Log.h"
 #include "support/MathUtils.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 #include <cerrno>
@@ -176,6 +177,20 @@ uint32_t MeshableArena::allocCleanSpan(uint32_t Pages, bool *IsClean) {
   return Off;
 }
 
+bool MeshableArena::timedRelease(uint32_t PageOff, uint32_t Pages) {
+  telemetry::Timer T;
+  const bool Ok = Arena.release(PageOff, Pages);
+  if (T.armed())
+    telemetry::histRecord(telemetry::kHistPunchSyscall, T.elapsedNs());
+  return Ok;
+}
+
+void MeshableArena::notePunchFallback() {
+  PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+  telemetry::event(telemetry::EventType::kFaultDegrade,
+                   telemetry::kDegradePunchFallback, 0);
+}
+
 void MeshableArena::freeDirtySpanForClass(int Class, uint32_t PageOff,
                                           uint32_t Pages) {
   assert(Class >= 0 && Class < kNumSizeClasses && "size class out of range");
@@ -186,6 +201,8 @@ void MeshableArena::freeDirtySpanForClass(int Class, uint32_t PageOff,
     // always part of the sweep, so every over-budget push releases
     // pages — the total stays bounded without a cross-shard sweep
     // (the mesh pass's global flush covers idle shards).
+    telemetry::event(telemetry::EventType::kDirtyTrip,
+                     static_cast<uint16_t>(Class), pagesToBytes(Total));
     flushShardLocked(Shards[Class], /*DeferFailures=*/false,
                      /*ArenaLocked=*/false);
   }
@@ -196,22 +213,26 @@ void MeshableArena::freeDirtyLargeSpan(uint32_t PageOff, uint32_t Pages) {
   lockShard(kLargeArenaShard);
   const size_t Total =
       pushDirtyLocked(Shards[kLargeArenaShard], PageOff, Pages);
-  if (pagesToBytes(Total) > MaxDirtyBytes)
+  if (pagesToBytes(Total) > MaxDirtyBytes) {
+    telemetry::event(telemetry::EventType::kDirtyTrip,
+                     static_cast<uint16_t>(kLargeArenaShard),
+                     pagesToBytes(Total));
     flushShardLocked(Shards[kLargeArenaShard], /*DeferFailures=*/false,
                      /*ArenaLocked=*/false);
+  }
   unlockShard(kLargeArenaShard);
 }
 
 void MeshableArena::freeReleasedSpanForClass(int Class, uint32_t PageOff,
                                              uint32_t Pages) {
   assert(Class >= 0 && Class < kNumSizeClasses && "size class out of range");
-  if (Arena.release(PageOff, Pages)) {
+  if (timedRelease(PageOff, Pages)) {
     lockArena();
     binCleanLocked(PageOff, Pages);
     unlockArena();
     return;
   }
-  PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+  notePunchFallback();
   // A failed punch leaves the contents intact, so the span is dirty,
   // never clean (clean spans must read back as zero — calloc skips
   // its memset on them). No flush trigger here: it would retry the
@@ -222,13 +243,13 @@ void MeshableArena::freeReleasedSpanForClass(int Class, uint32_t PageOff,
 }
 
 void MeshableArena::freeReleasedLargeSpan(uint32_t PageOff, uint32_t Pages) {
-  if (Arena.release(PageOff, Pages)) {
+  if (timedRelease(PageOff, Pages)) {
     lockArena();
     binCleanLocked(PageOff, Pages);
     unlockArena();
     return;
   }
-  PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+  notePunchFallback();
   lockShard(kLargeArenaShard);
   pushDirtyLocked(Shards[kLargeArenaShard], PageOff, Pages);
   unlockShard(kLargeArenaShard);
@@ -236,9 +257,9 @@ void MeshableArena::freeReleasedLargeSpan(uint32_t PageOff, uint32_t Pages) {
 
 void MeshableArena::releaseForMesh(int Class, uint32_t PageOff,
                                    uint32_t Pages) {
-  if (Arena.release(PageOff, Pages))
+  if (timedRelease(PageOff, Pages))
     return;
-  PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+  notePunchFallback();
   // The virtual span at PageOff now aliases the keeper, so there is no
   // identity mapping to MADV_DONTNEED through, and the span cannot be
   // reused (it is still owned by the retired source MiniHeap). Park
@@ -264,7 +285,7 @@ void MeshableArena::freeAliasSpan(int Class, uint32_t PageOff,
   }
   if (!Arena.resetMapping(PageOff, Pages)) {
     // Still aliased to the keeper — unusable until the remap lands.
-    PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+    notePunchFallback();
     if (DI < Deferred.size()) {
       Deferred[DI].NeedsReset = true;
       Deferred[DI].Reusable = true;
@@ -315,7 +336,7 @@ size_t MeshableArena::flushShardLocked(ArenaShard &S, bool DeferFailures,
     DeferredSpan &D = S.Deferred[I];
     if (D.NeedsReset && Arena.resetMapping(D.PageOff, D.Pages))
       D.NeedsReset = false;
-    if (D.NeedsPunch && Arena.release(D.PageOff, D.Pages)) {
+    if (D.NeedsPunch && timedRelease(D.PageOff, D.Pages)) {
       D.NeedsPunch = false;
       Released += D.Pages;
     }
@@ -332,14 +353,14 @@ size_t MeshableArena::flushShardLocked(ArenaShard &S, bool DeferFailures,
   size_t Keep = 0;
   for (size_t I = 0; I < S.DirtySpans.size(); ++I) {
     const Span Sp = S.DirtySpans[I];
-    if (Arena.release(Sp.PageOff, Sp.Pages)) {
+    if (timedRelease(Sp.PageOff, Sp.Pages)) {
       RebinClean(Sp.PageOff, Sp.Pages);
       Released += Sp.Pages;
       S.DirtyPages -= Sp.Pages;
       TotalDirtyPages.fetch_sub(Sp.Pages, std::memory_order_relaxed);
       continue;
     }
-    PunchFallbacks.fetch_add(1, std::memory_order_relaxed);
+    notePunchFallback();
     if (DeferFailures) {
       // Pre-fork flush: the dirty set must reach zero (the child's
       // rebuild replays only owned spans), so park the failure on

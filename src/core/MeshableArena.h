@@ -173,6 +173,11 @@ public:
     return PunchFallbacks.load(std::memory_order_relaxed);
   }
 
+  /// Zeroes the fallback counter (the faults.reset mallctl leaf).
+  void resetPunchFallbacks() {
+    PunchFallbacks.store(0, std::memory_order_relaxed);
+  }
+
   /// Page-table maintenance: records \p Owner for all \p Pages pages
   /// starting at \p PageOff (nullptr clears). Takes no arena lock —
   /// the span's structural owner (heap shard lock, or the fresh-span
@@ -292,6 +297,14 @@ private:
   /// rebin.
   size_t flushShardLocked(ArenaShard &S, bool DeferFailures,
                           bool ArenaLocked);
+
+  /// Arena.release with the hole-punch syscall timed into the
+  /// telemetry punch_syscall histogram.
+  bool timedRelease(uint32_t PageOff, uint32_t Pages);
+
+  /// Counts one punch/remap degradation (PunchFallbacks + the
+  /// kFaultDegrade flight-recorder event).
+  void notePunchFallback();
 
   MemfdArena Arena;
   std::atomic<MiniHeap *> *PageTable = nullptr;

@@ -9,6 +9,7 @@
 #include "support/Log.h"
 #include "support/MathUtils.h"
 #include "support/Sys.h"
+#include "support/Telemetry.h"
 
 #include <atomic>
 #include <cassert>
@@ -107,6 +108,7 @@ public:
 
 private:
   static void prepare() {
+    telemetry::forkQuiesceBegin();
     RegistryLock.lock();
     for (Runtime *R = Head; R != nullptr; R = R->NextRuntime) {
       if (R->BgMesher != nullptr)
@@ -154,6 +156,7 @@ private:
         R->BgMesher->resumeAfterForkParent();
     }
     RegistryLock.unlock();
+    telemetry::forkQuiesceEnd(/*InChild=*/false);
   }
 
   static void child() {
@@ -190,6 +193,7 @@ private:
         R->BgMesher->resumeAfterForkChild();
     }
     RegistryLock.unlock();
+    telemetry::forkQuiesceEnd(/*InChild=*/true);
   }
 
   static void installHandlers() { pthread_atfork(prepare, parent, child); }
@@ -220,6 +224,68 @@ __thread ThreadLocalHeap *CachedHeap
 /// Id 0 is reserved as "no cache".
 std::atomic<uint64_t> NextRuntimeId{1};
 
+/// Every mallctl leaf this dispatcher resolves, one name per entry.
+/// This is the authority behind the version.leaves enumeration leaf
+/// and is pinned against the doc comment in src/api/mesh/mesh.h by
+/// tests/core/MallctlLeavesTest.cpp — extend BOTH when adding a leaf.
+const char *const kMallctlLeaves[] = {
+    "mesh.enabled",
+    "mesh.period_ms",
+    "mesh.probes",
+    "mesh.max_per_pass",
+    "mesh.now",
+    "background.enabled",
+    "background.wakeups",
+    "background.requests",
+    "background.passes",
+    "background.poke_passes",
+    "background.pressure_passes",
+    "pressure.frag_ppm",
+    "pressure.rss_bytes",
+    "pressure.committed_bytes",
+    "pressure.in_use_bytes",
+    "pressure.span_bytes",
+    "heap.num_shards",
+    "heap.flush_dirty",
+    "epoch.fence_mode",
+    "stats.dirty_bytes",
+    "stats.bytes_copied",
+    "stats.mesh_passes",
+    "stats.mesh_passes_foreground",
+    "stats.mesh_passes_background",
+    "stats.max_pause_foreground_ns",
+    "stats.max_pause_background_ns",
+    "stats.committed_bytes",
+    "stats.peak_committed_bytes",
+    "stats.kernel_file_bytes",
+    "stats.mesh_count",
+    "stats.pages_meshed",
+    "stats.mesh_ns",
+    "stats.max_pause_ns",
+    "faults.injected",
+    "faults.retried",
+    "faults.oom_returns",
+    "faults.mesh_rollbacks",
+    "faults.punch_fallbacks",
+    "faults.reset",
+    "telemetry.enabled",
+    "telemetry.ring_size",
+    "telemetry.events",
+    "telemetry.overflow_events",
+    "telemetry.rings_in_use",
+    "telemetry.reset",
+    "telemetry.dump",
+    "telemetry.hist.mesh_pass",
+    "telemetry.hist.mesh_scan",
+    "telemetry.hist.mesh_remap",
+    "telemetry.hist.mesh_release",
+    "telemetry.hist.epoch_sync",
+    "telemetry.hist.span_acquire",
+    "telemetry.hist.punch_syscall",
+    "telemetry.hist.remap_syscall",
+    "version.leaves",
+};
+
 } // namespace
 
 Runtime::Runtime(const MeshOptions &Opts)
@@ -229,6 +295,10 @@ Runtime::Runtime(const MeshOptions &Opts)
   // expedited membarrier): the lazy path would otherwise take the
   // first registration syscall inside a hot free.
   Epoch::decideFenceMode();
+  // MESH_TRACE honors every runtime in the process (the interposed
+  // default and in-process instance heaps alike); the probe is
+  // one-shot and the dump registers once.
+  telemetry::maybeArmFromEnvironment();
   if (pthread_key_create(&HeapKey, destroyThreadHeap) != 0)
     fatalError("pthread_key_create failed");
   RuntimeForkSupport::registerRuntime(this);
@@ -576,7 +646,106 @@ int Runtime::mallctl(const char *Name, void *OldP, size_t *OldLenP,
           Global.stats().MeshRollbacks.load(std::memory_order_relaxed));
     if (strcmp(Leaf, "punch_fallbacks") == 0)
       return ReadU64(Global.punchFallbackCount());
+    if (strcmp(Leaf, "reset") == 0) {
+      // Write leaf: zero the seam counters and the degradation
+      // counters so storm tests can assert per-phase deltas.
+      sys::resetFaultCounters();
+      Global.resetFaultCounters();
+      return 0;
+    }
     return ENOENT;
+  }
+  if (strncmp(Name, "telemetry.", 10) == 0) {
+    const char *Leaf = Name + 10;
+    if (strcmp(Leaf, "enabled") == 0) {
+      if (NewP != nullptr) {
+        bool Value = telemetry::enabled();
+        const int Rc = WriteBool(&Value);
+        if (Rc != 0)
+          return Rc;
+        if (Value)
+          telemetry::enable();
+        else
+          telemetry::disable();
+        return 0;
+      }
+      return ReadU64(telemetry::enabled() ? 1 : 0);
+    }
+    if (strcmp(Leaf, "ring_size") == 0) {
+      if (NewP != nullptr) {
+        if (NewLen != sizeof(uint64_t))
+          return EINVAL;
+        uint64_t Events;
+        memcpy(&Events, NewP, sizeof(uint64_t));
+        return telemetry::setRingEvents(Events) ? 0 : EINVAL;
+      }
+      return ReadU64(telemetry::ringEvents());
+    }
+    if (strcmp(Leaf, "events") == 0)
+      return ReadU64(telemetry::eventsRecorded());
+    if (strcmp(Leaf, "overflow_events") == 0)
+      return ReadU64(telemetry::overflowEvents());
+    if (strcmp(Leaf, "rings_in_use") == 0)
+      return ReadU64(telemetry::ringsInUse());
+    if (strcmp(Leaf, "reset") == 0) {
+      telemetry::reset();
+      return 0;
+    }
+    if (strcmp(Leaf, "dump") == 0) {
+      // Write leaf: NewP carries the output path (with or without a
+      // trailing NUL).
+      if (NewP == nullptr || NewLen == 0)
+        return EINVAL;
+      char Path[512];
+      size_t N = NewLen;
+      if (static_cast<const char *>(NewP)[N - 1] == '\0')
+        --N;
+      if (N == 0 || N >= sizeof(Path))
+        return EINVAL;
+      memcpy(Path, NewP, N);
+      Path[N] = '\0';
+      return telemetry::dumpTrace(Path);
+    }
+    if (strncmp(Leaf, "hist.", 5) == 0) {
+      const int H = telemetry::histIdByName(Leaf + 5);
+      if (H < 0)
+        return ENOENT;
+      // Packed read-out: 64 u64 bucket counters.
+      constexpr size_t Bytes =
+          telemetry::kHistBuckets * sizeof(uint64_t);
+      if (OldP == nullptr || OldLenP == nullptr || *OldLenP < Bytes)
+        return EINVAL;
+      telemetry::readHistogram(static_cast<telemetry::HistId>(H),
+                               static_cast<uint64_t *>(OldP));
+      *OldLenP = Bytes;
+      return 0;
+    }
+    return ENOENT;
+  }
+  if (strcmp(Name, "version.leaves") == 0) {
+    // Newline-joined enumeration of every leaf above. A null OldP
+    // reports the required buffer size (including the trailing NUL).
+    size_t Needed = 1;
+    for (const char *Leaf : kMallctlLeaves)
+      Needed += strlen(Leaf) + 1;
+    if (OldLenP == nullptr)
+      return EINVAL;
+    if (OldP == nullptr) {
+      *OldLenP = Needed;
+      return 0;
+    }
+    if (*OldLenP < Needed)
+      return EINVAL;
+    char *Out = static_cast<char *>(OldP);
+    for (const char *Leaf : kMallctlLeaves) {
+      const size_t N = strlen(Leaf);
+      memcpy(Out, Leaf, N);
+      Out += N;
+      *Out++ = '\n';
+    }
+    *Out = '\0';
+    *OldLenP = Needed;
+    return 0;
   }
   return ENOENT;
 }

@@ -3,6 +3,7 @@
 #include "runtime/BackgroundMesher.h"
 
 #include "support/Log.h"
+#include "support/Telemetry.h"
 
 #include <cerrno>
 #include <ctime>
@@ -218,7 +219,10 @@ void BackgroundMesher::run() {
       Requested.store(false, std::memory_order_release);
       pthread_mutex_unlock(&M);
     }
-    Wakeups.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t WakeCount =
+        Wakeups.fetch_add(1, std::memory_order_relaxed) + 1;
+    telemetry::event(telemetry::EventType::kBgWake, Poked ? 1 : 0,
+                     WakeCount);
     if (Poked) {
       if (Heap.backgroundMaybeMesh())
         PokePasses.fetch_add(1, std::memory_order_relaxed);

@@ -15,6 +15,7 @@
 #include "support/Env.h"
 #include "support/Log.h"
 #include "support/Sys.h"
+#include "support/Telemetry.h"
 
 #include <cerrno>
 #include <sched.h>
@@ -93,6 +94,9 @@ void degradeToSeqCst(int Err) {
   logWarning("epoch: membarrier(PRIVATE_EXPEDITED) failed (errno %d); "
              "degrading to the seq-cst fence protocol",
              Err);
+  telemetry::event(telemetry::EventType::kFaultDegrade,
+                   telemetry::kDegradeEpochSeqCst,
+                   static_cast<uint64_t>(Err));
   CompensateAfterDegrade.store(true, std::memory_order_relaxed);
   storeMode(EpochFenceMode::kSeqCst);
   compensationBarrier();

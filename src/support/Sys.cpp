@@ -3,6 +3,7 @@
 #include "support/Sys.h"
 
 #include "support/Log.h"
+#include "support/Telemetry.h"
 
 #include <cerrno>
 #include <cstdlib>
@@ -259,6 +260,15 @@ bool shouldInjectSlow(Op O, int *Err) {
 
 namespace {
 
+/// Counts a transient-errno retry and records it in the flight
+/// recorder (Arg = the op, Payload = the errno being retried).
+void noteRetry(Op O, int Err) {
+  RetriedCount.fetch_add(1, std::memory_order_relaxed);
+  telemetry::event(telemetry::EventType::kFaultRetry,
+                   static_cast<uint16_t>(O),
+                   static_cast<uint64_t>(Err));
+}
+
 /// Shared retry loop for the int-returning wrappers. \p Real performs
 /// the actual syscall and returns its raw result (>= 0 success, -1
 /// failure with errno set).
@@ -267,7 +277,7 @@ template <typename Fn> int wrapCall(Op O, Fn Real) {
     int Err = 0;
     if (injectedFault(O, &Err)) {
       if (transientErrno(Err) && Attempt < kMaxTransientRetries) {
-        RetriedCount.fetch_add(1, std::memory_order_relaxed);
+        noteRetry(O, Err);
         continue;
       }
       errno = Err;
@@ -277,7 +287,7 @@ template <typename Fn> int wrapCall(Op O, Fn Real) {
     if (Rc >= 0)
       return Rc;
     if (transientErrno(errno) && Attempt < kMaxTransientRetries) {
-      RetriedCount.fetch_add(1, std::memory_order_relaxed);
+      noteRetry(O, errno);
       continue;
     }
     return -1;
@@ -301,7 +311,7 @@ void *mmapPtr(void *Addr, size_t Length, int Prot, int Flags, int Fd,
     int Err = 0;
     if (injectedFault(kMmap, &Err)) {
       if (transientErrno(Err) && Attempt < kMaxTransientRetries) {
-        RetriedCount.fetch_add(1, std::memory_order_relaxed);
+        noteRetry(kMmap, Err);
         continue;
       }
       errno = Err;
@@ -313,7 +323,7 @@ void *mmapPtr(void *Addr, size_t Length, int Prot, int Flags, int Fd,
     // The kernel reports transient resource pressure on mmap as EAGAIN
     // (locked-memory limits) — worth the same bounded retry.
     if (transientErrno(errno) && Attempt < kMaxTransientRetries) {
-      RetriedCount.fetch_add(1, std::memory_order_relaxed);
+      noteRetry(kMmap, errno);
       continue;
     }
     return MAP_FAILED;
@@ -349,7 +359,7 @@ bool commitGate() {
     if (!injectedFault(kCommit, &Err))
       return true;
     if (transientErrno(Err) && Attempt < kMaxTransientRetries) {
-      RetriedCount.fetch_add(1, std::memory_order_relaxed);
+      noteRetry(kCommit, Err);
       continue;
     }
     errno = Err;
@@ -383,6 +393,11 @@ uint64_t faultsInjected() {
 
 uint64_t faultsRetried() {
   return RetriedCount.load(std::memory_order_relaxed);
+}
+
+void resetFaultCounters() {
+  InjectedCount.store(0, std::memory_order_relaxed);
+  RetriedCount.store(0, std::memory_order_relaxed);
 }
 
 } // namespace sys

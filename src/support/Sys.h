@@ -122,6 +122,10 @@ void clearFaults();
 uint64_t faultsInjected();
 uint64_t faultsRetried();
 
+/// Zeroes both counters (the faults.reset mallctl leaf) so tests can
+/// assert per-phase deltas instead of process-lifetime totals.
+void resetFaultCounters();
+
 } // namespace sys
 } // namespace mesh
 

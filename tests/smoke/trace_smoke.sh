@@ -1,0 +1,59 @@
+#!/bin/sh
+#===------------------------------------------------------------------------===#
+# MESH_TRACE smoke: the telemetry layer's end-to-end dump pipeline must
+# work on a real interposed process, not just in-process harnesses.
+#
+# Runs a bash fork/pipeline chain (the hardest preload shape: subshell
+# children inherit the armed recorder and dump on their own exits; the
+# parent exits last, so its complete dump wins the file) under
+# LD_PRELOAD=libmesh.so with MESH_TRACE set, then validates the dump
+# twice: python3 -m json.tool for well-formedness, tools/mesh-top.py
+# --check for the schema (event taxonomy, histogram shapes, sidecar
+# counters).
+#
+# Usage: trace_smoke.sh <path-to-libmesh.so> <repo-source-dir>
+#===------------------------------------------------------------------------===#
+set -u
+
+LIB="$1"
+SRCDIR="$2"
+
+if [ ! -r "$LIB" ]; then
+  echo "FAIL: libmesh.so not found at $LIB"
+  exit 1
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "SKIP: python3 not installed; cannot validate the dump"
+  exit 0
+fi
+
+TRACE="$(mktemp /tmp/mesh-trace-smoke.XXXXXX.json)"
+trap 'rm -f "$TRACE"' EXIT
+
+# Enough churn to exercise malloc, fork-without-exec, and exec paths;
+# meshing itself is not required for a valid (possibly event-light)
+# trace — the schema check is about the dump contract.
+if ! timeout 60 env LD_PRELOAD="$LIB" MESH_TRACE="$TRACE" \
+    bash -c 'for i in 1 2 3 4; do
+               x=$( (echo hi | { read y; echo "$y"; }) ) || exit 1
+               test "$x" = hi || exit 1
+             done
+             ls / >/dev/null'; then
+  echo "FAIL: traced bash chain did not run clean under LD_PRELOAD"
+  exit 1
+fi
+
+if [ ! -s "$TRACE" ]; then
+  echo "FAIL: MESH_TRACE produced no dump at $TRACE"
+  exit 1
+fi
+if ! python3 -m json.tool "$TRACE" >/dev/null; then
+  echo "FAIL: dump is not well-formed JSON"
+  exit 1
+fi
+if ! python3 "$SRCDIR/tools/mesh-top.py" --check "$TRACE"; then
+  echo "FAIL: dump violates the mesh-top schema"
+  exit 1
+fi
+echo "trace smoke green"
+exit 0

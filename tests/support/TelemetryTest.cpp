@@ -1,0 +1,307 @@
+//===- TelemetryTest.cpp - Flight recorder + histogram battery -------------===//
+///
+/// Pins the telemetry layer's contracts:
+///
+///   - bucket math (bucketForValue / bucketLowerBound are inverses,
+///     zeros and saturation handled);
+///   - the enable gate (nothing records while disabled; reset zeroes
+///     everything);
+///   - ring geometry (setRingEvents validation, wraparound keeps the
+///     newest ring-size events and never loses the totals);
+///   - concurrent record/dump/reset (the per-slot seqlock makes the
+///     dump safe against live writers — the TSan job runs this file);
+///   - overflow-ring assignment once kNumRings threads exist;
+///   - a fork child can dump a valid trace after the atfork quiesce
+///     (the paper-motivated redis-style fork persistence scenario).
+///
+/// Telemetry state is process-global, so every test runs under a guard
+/// that disables + resets on entry and exit; this battery is its own
+/// binary (mesh_telemetry_tests) so it never interleaves with other
+/// suites.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "TestConfig.h"
+#include "core/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+namespace mesh {
+namespace telemetry {
+namespace {
+
+/// Disabled + zeroed + default geometry on entry and exit, so a
+/// failing test cannot leak recorder state into its neighbors.
+struct TelemetryGuard {
+  TelemetryGuard() { scrub(); }
+  ~TelemetryGuard() { scrub(); }
+  static void scrub() {
+    disable();
+    setRingEvents(kDefaultRingEvents);
+    reset();
+  }
+};
+
+std::string slurp(const std::string &Path) {
+  FILE *F = fopen(Path.c_str(), "r");
+  if (F == nullptr)
+    return "";
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  fclose(F);
+  return Out;
+}
+
+size_t countOccurrences(const std::string &Hay, const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Hay.find(Needle); Pos != std::string::npos;
+       Pos = Hay.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
+
+std::string tempTracePath(const char *Tag) {
+  return "/tmp/mesh-telemetry-test-" + std::to_string(getpid()) + "-" +
+         Tag + ".json";
+}
+
+TEST(TelemetryBuckets, ValueToBucketAndBack) {
+  EXPECT_EQ(bucketForValue(0), 0u);
+  EXPECT_EQ(bucketForValue(1), 1u);
+  EXPECT_EQ(bucketForValue(2), 2u);
+  EXPECT_EQ(bucketForValue(3), 2u);
+  EXPECT_EQ(bucketForValue(4), 3u);
+  // Every power of two opens its own bucket; the value one below it
+  // closes the previous one.
+  for (uint32_t K = 1; K < 62; ++K) {
+    const uint64_t V = UINT64_C(1) << K;
+    EXPECT_EQ(bucketForValue(V), K + 1) << "v=2^" << K;
+    EXPECT_EQ(bucketForValue(V - 1), K) << "v=2^" << K << "-1";
+  }
+  // The top bucket saturates.
+  EXPECT_EQ(bucketForValue(~UINT64_C(0)), kHistBuckets - 1);
+  EXPECT_EQ(bucketForValue(UINT64_C(1) << 63), kHistBuckets - 1);
+  // Lower bounds invert bucketForValue: every bucket's lower bound
+  // maps back into that bucket, and one less maps below it.
+  EXPECT_EQ(bucketLowerBound(0), 0u);
+  for (uint32_t B = 1; B < kHistBuckets - 1; ++B) {
+    EXPECT_EQ(bucketForValue(bucketLowerBound(B)), B);
+    EXPECT_LT(bucketForValue(bucketLowerBound(B) - 1), B);
+  }
+}
+
+TEST(TelemetryGate, DisabledRecordsNothing) {
+  TelemetryGuard Guard;
+  ASSERT_FALSE(enabled());
+  event(EventType::kBgWake, 0, 1);
+  histRecord(kHistMeshPass, 12345);
+  EXPECT_EQ(eventsRecorded(), 0u);
+  uint64_t Buckets[kHistBuckets];
+  readHistogram(kHistMeshPass, Buckets);
+  for (uint32_t B = 0; B < kHistBuckets; ++B)
+    EXPECT_EQ(Buckets[B], 0u) << "bucket " << B;
+  // An unarmed Timer never reads the clock and reports zero.
+  Timer T;
+  EXPECT_FALSE(T.armed());
+  EXPECT_EQ(T.elapsedNs(), 0u);
+}
+
+TEST(TelemetryGate, EnableRecordResetRoundTrip) {
+  TelemetryGuard Guard;
+  enable();
+  ASSERT_TRUE(enabled());
+  event(EventType::kDirtyTrip, 3, 4096);
+  histRecord(kHistSpanAcquire, 1000); // bucket 10: [512, 1024)
+  EXPECT_GE(eventsRecorded(), 1u);
+  EXPECT_GE(ringsInUse(), 1u);
+  uint64_t Buckets[kHistBuckets];
+  readHistogram(kHistSpanAcquire, Buckets);
+  EXPECT_EQ(Buckets[bucketForValue(1000)], 1u);
+  Timer T;
+  EXPECT_TRUE(T.armed());
+  reset();
+  EXPECT_EQ(eventsRecorded(), 0u);
+  EXPECT_EQ(overflowEvents(), 0u);
+  readHistogram(kHistSpanAcquire, Buckets);
+  EXPECT_EQ(Buckets[bucketForValue(1000)], 0u);
+}
+
+TEST(TelemetryRing, SetRingEventsValidation) {
+  TelemetryGuard Guard;
+  // Not a power of two, below the floor, above the ceiling: rejected.
+  EXPECT_FALSE(setRingEvents(kDefaultRingEvents - 1));
+  EXPECT_FALSE(setRingEvents(kMinRingEvents / 2));
+  EXPECT_FALSE(setRingEvents(kMaxRingEvents * 2));
+  EXPECT_EQ(ringEvents(), kDefaultRingEvents);
+  // Valid while disabled.
+  EXPECT_TRUE(setRingEvents(kMinRingEvents));
+  EXPECT_EQ(ringEvents(), kMinRingEvents);
+  // Rejected while recording is live.
+  enable();
+  EXPECT_FALSE(setRingEvents(kDefaultRingEvents));
+  EXPECT_EQ(ringEvents(), kMinRingEvents);
+  disable();
+  EXPECT_TRUE(setRingEvents(kDefaultRingEvents));
+}
+
+TEST(TelemetryRing, WraparoundKeepsNewestAndCountsAll) {
+  TelemetryGuard Guard;
+  ASSERT_TRUE(setRingEvents(kMinRingEvents));
+  enable();
+  const uint64_t Total = kMinRingEvents * 4;
+  for (uint64_t I = 0; I < Total; ++I)
+    event(EventType::kBgWake, 0, I);
+  EXPECT_EQ(eventsRecorded(), Total);
+
+  const std::string Path = tempTracePath("wrap");
+  ASSERT_EQ(dumpTrace(Path.c_str()), 0);
+  const std::string Trace = slurp(Path);
+  unlink(Path.c_str());
+  ASSERT_FALSE(Trace.empty());
+  // The ring kept exactly the newest kMinRingEvents events: one
+  // trace-event line each, plus the one sidecar per-type counter key.
+  EXPECT_EQ(countOccurrences(Trace, "\"bg_wake\""), kMinRingEvents + 1);
+  // The newest payload survived the wrap; the oldest was overwritten.
+  EXPECT_NE(Trace.find("\"payload\":" + std::to_string(Total - 1) + "}"),
+            std::string::npos);
+  EXPECT_EQ(Trace.find("\"payload\":0}"), std::string::npos);
+}
+
+TEST(TelemetryRing, OverflowRingBeyondExclusiveCapacity) {
+  TelemetryGuard Guard;
+  enable();
+  // More threads than exclusive rings: the surplus shares the overflow
+  // ring and is counted separately. Each thread records exactly once.
+  // Ring assignment is sticky for the life of a thread, so rings
+  // already handed out to this test binary's earlier threads reduce
+  // the exclusive pool available here.
+  const uint64_t RingsBefore = ringsInUse();
+  const uint32_t Threads = kNumRings + 8;
+  std::vector<std::thread> Pool;
+  for (uint32_t I = 0; I < Threads; ++I)
+    Pool.emplace_back(
+        [I] { event(EventType::kEpochSync, 0, 1000 + I); });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(eventsRecorded(), Threads);
+  EXPECT_EQ(ringsInUse(), kNumRings);
+  EXPECT_EQ(overflowEvents(), Threads - (kNumRings - RingsBefore));
+}
+
+TEST(TelemetryConcurrency, RecordDumpResetRace) {
+  TelemetryGuard Guard;
+  enable();
+  const std::string Path = tempTracePath("race");
+  std::atomic<bool> Stop{false};
+  const size_t Iters = stressScaled(20000);
+
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < 4; ++W)
+    Writers.emplace_back([W, Iters] {
+      for (size_t I = 0; I < Iters; ++I) {
+        event(EventType::kMeshRemap, static_cast<uint16_t>(W), I);
+        histRecord(kHistMeshRemap, I % 4096);
+      }
+    });
+  // The dumper snapshots while writers are live; every dump must
+  // succeed and the seqlock must keep torn slots out (TSan enforces
+  // the memory-order side of this).
+  std::thread Dumper([&] {
+    int Round = 0;
+    while (!Stop.load(std::memory_order_acquire)) {
+      ASSERT_EQ(dumpTrace(Path.c_str()), 0);
+      if (++Round % 8 == 0)
+        reset();
+    }
+  });
+  for (std::thread &W : Writers)
+    W.join();
+  Stop.store(true, std::memory_order_release);
+  Dumper.join();
+
+  ASSERT_EQ(dumpTrace(Path.c_str()), 0);
+  const std::string Trace = slurp(Path);
+  unlink(Path.c_str());
+  ASSERT_FALSE(Trace.empty());
+  EXPECT_EQ(Trace.front(), '{');
+  EXPECT_EQ(Trace.back(), '\n');
+  EXPECT_NE(Trace.find("\"meshTelemetry\""), std::string::npos);
+}
+
+TEST(TelemetryFork, ChildDumpsValidTraceAfterQuiesce) {
+  TelemetryGuard Guard;
+  const std::string Path = tempTracePath("fork-child");
+  unlink(Path.c_str());
+  {
+    // A real Runtime wires the atfork protocol (quiesce + resume),
+    // which is what stamps the kForkQuiesce events around the window.
+    Runtime R(testOptions());
+    enable();
+    void *P = R.malloc(64);
+    ASSERT_NE(P, nullptr);
+    R.meshNow();
+
+    const pid_t Pid = fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      // Child: single-threaded by construction; the dump must work
+      // here (lock-free recorder) and must carry the child-resume
+      // event the atfork hook just recorded.
+      const int Rc = dumpTrace(Path.c_str());
+      _exit(Rc == 0 ? 0 : 42);
+    }
+    int Status = 0;
+    ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(Status));
+    ASSERT_EQ(WEXITSTATUS(Status), 0);
+    R.free(P);
+  }
+  const std::string Trace = slurp(Path);
+  unlink(Path.c_str());
+  ASSERT_FALSE(Trace.empty());
+  EXPECT_EQ(Trace.front(), '{');
+  EXPECT_NE(Trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"meshTelemetry\""), std::string::npos);
+  // Quiesce window: prepare in the parent pre-fork, child resume in
+  // the child — both visible in the child's inherited rings.
+  EXPECT_NE(Trace.find("\"fork_quiesce\""), std::string::npos);
+  EXPECT_GE(countOccurrences(Trace, "\"fork_quiesce\""), 2u + 1u);
+}
+
+TEST(TelemetryDump, NamesTablesMatchToolExpectations) {
+  // tools/mesh-top.py hard-codes these taxonomies; a drift here is a
+  // schema break even if the JSON stays well-formed.
+  const char *Events[] = {"mesh_pass",   "mesh_scan",  "mesh_remap",
+                          "mesh_release", "bg_wake",    "epoch_sync",
+                          "dirty_trip",  "fault_retry", "fault_degrade",
+                          "fork_quiesce"};
+  for (uint16_t T = 0;
+       T < static_cast<uint16_t>(EventType::kNumEventTypes); ++T)
+    EXPECT_STREQ(eventTypeName(static_cast<EventType>(T)), Events[T]);
+  const char *Hists[] = {"mesh_pass",  "mesh_scan",     "mesh_remap",
+                         "mesh_release", "epoch_sync", "span_acquire",
+                         "punch_syscall", "remap_syscall"};
+  for (uint16_t H = 0; H < kNumHists; ++H) {
+    EXPECT_STREQ(histName(static_cast<HistId>(H)), Hists[H]);
+    EXPECT_EQ(histIdByName(Hists[H]), H);
+  }
+  EXPECT_EQ(histIdByName("not_a_histogram"), -1);
+}
+
+} // namespace
+} // namespace telemetry
+} // namespace mesh

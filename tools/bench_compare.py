@@ -45,6 +45,10 @@ RATIO_CHECKS = [
     ("p999_op_ns", 3.0, "up"),
     ("ops_per_sec", 2.5, "down"),
     ("max_pause_fg_ns", 3.0, "up"),
+    # Mesh-pause tail from the telemetry histogram (log2 buckets, so a
+    # one-bucket wobble is a 2x swing; the 3x band tolerates one bucket
+    # of noise but catches a pause-distribution blowup).
+    ("mesh_pause_p999_ns", 3.0, "up"),
 ]
 
 # Absolute-drop checks: fail when fresh < baseline - slack.
@@ -71,6 +75,7 @@ RATIO_MIN_ABS = {
     "p999_op_ns": 20000.0,
     "ops_per_sec": 0.0,
     "max_pause_fg_ns": 2_000_000.0,
+    "mesh_pause_p999_ns": 2_000_000.0,
 }
 
 

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Pretty-print (and schema-check) a Mesh telemetry trace dump.
+
+A dump is the Chrome trace_event JSON written by MESH_TRACE=<path> or
+mallctl("telemetry.dump"): a "traceEvents" array (loadable in
+chrome://tracing / Perfetto) plus a "meshTelemetry" sidecar object
+carrying the flight-recorder counters and the packed latency-histogram
+buckets.  This tool renders the sidecar as a terminal snapshot:
+
+    tools/mesh-top.py trace.json            # counters + p50/p99/p99.9
+    tools/mesh-top.py --check trace.json    # schema validation only
+    tools/mesh-top.py --check --require-events trace.json
+                                            # + every event type present
+
+--check exits nonzero on any schema violation (missing keys, wrong
+bucket count, unknown event names), which is how CI validates dumps
+beyond mere JSON well-formedness.
+
+stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+HIST_BUCKETS = 64
+
+EVENT_TYPES = [
+    "mesh_pass",
+    "mesh_scan",
+    "mesh_remap",
+    "mesh_release",
+    "bg_wake",
+    "epoch_sync",
+    "dirty_trip",
+    "fault_retry",
+    "fault_degrade",
+    "fork_quiesce",
+]
+
+HIST_NAMES = [
+    "mesh_pass",
+    "mesh_scan",
+    "mesh_remap",
+    "mesh_release",
+    "epoch_sync",
+    "span_acquire",
+    "punch_syscall",
+    "remap_syscall",
+]
+
+COUNTER_KEYS = [
+    "pid",
+    "enabled",
+    "ring_events",
+    "rings_in_use",
+    "events_recorded",
+    "overflow_events",
+]
+
+
+def fail(msg):
+    print("mesh-top: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check_schema(doc, require_events):
+    if not isinstance(doc.get("traceEvents"), list):
+        fail("missing or non-array traceEvents")
+    for ev in doc["traceEvents"]:
+        name = ev.get("name")
+        if name not in EVENT_TYPES:
+            fail("unknown trace event name %r" % name)
+        for key in ("ph", "pid", "tid", "ts"):
+            if key not in ev:
+                fail("trace event %r missing key %r" % (name, key))
+    mt = doc.get("meshTelemetry")
+    if not isinstance(mt, dict):
+        fail("missing meshTelemetry sidecar object")
+    if mt.get("schemaVersion") != SCHEMA_VERSION:
+        fail("meshTelemetry.schemaVersion %r != %d"
+             % (mt.get("schemaVersion"), SCHEMA_VERSION))
+    for key in COUNTER_KEYS:
+        if not isinstance(mt.get(key), int):
+            fail("meshTelemetry.%s missing or non-integer" % key)
+    events = mt.get("events")
+    if not isinstance(events, dict):
+        fail("meshTelemetry.events missing")
+    for name in EVENT_TYPES:
+        if not isinstance(events.get(name), int):
+            fail("meshTelemetry.events.%s missing" % name)
+    hists = mt.get("histograms")
+    if not isinstance(hists, dict):
+        fail("meshTelemetry.histograms missing")
+    for name in HIST_NAMES:
+        h = hists.get(name)
+        if not isinstance(h, dict):
+            fail("histogram %r missing" % name)
+        buckets = h.get("buckets")
+        if not isinstance(buckets, list) or len(buckets) != HIST_BUCKETS:
+            fail("histogram %r: expected %d buckets" % (name, HIST_BUCKETS))
+        if sum(buckets) != h.get("count"):
+            fail("histogram %r: count %r != bucket sum %d"
+                 % (name, h.get("count"), sum(buckets)))
+    if require_events:
+        missing = [n for n in EVENT_TYPES if events.get(n, 0) == 0]
+        if missing:
+            fail("required event types absent from trace: %s"
+                 % ", ".join(missing))
+
+
+def bucket_estimate(b):
+    """Representative value for log2 bucket b: 0, or 1.5 * 2^(b-1)
+    (the arithmetic midpoint of [2^(b-1), 2^b))."""
+    if b == 0:
+        return 0.0
+    return 1.5 * (1 << (b - 1))
+
+
+def quantile(buckets, q):
+    total = sum(buckets)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cum = 0
+    for b, n in enumerate(buckets):
+        cum += n
+        if cum >= target:
+            return bucket_estimate(b)
+    return bucket_estimate(HIST_BUCKETS - 1)
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return "%.2fs" % (ns / 1e9)
+    if ns >= 1e6:
+        return "%.2fms" % (ns / 1e6)
+    if ns >= 1e3:
+        return "%.2fus" % (ns / 1e3)
+    return "%.0fns" % ns
+
+
+def render(doc):
+    mt = doc["meshTelemetry"]
+    print("mesh telemetry snapshot (pid %d)" % mt["pid"])
+    print("  recording: %s   ring: %d events x %d rings in use"
+          "   recorded: %d (overflow %d)"
+          % ("on" if mt["enabled"] else "off", mt["ring_events"],
+             mt["rings_in_use"], mt["events_recorded"],
+             mt["overflow_events"]))
+    print()
+    print("  %-14s %10s" % ("event", "count"))
+    for name in EVENT_TYPES:
+        print("  %-14s %10d" % (name, mt["events"].get(name, 0)))
+    print()
+    print("  %-14s %10s %10s %10s %10s" % ("histogram", "count", "p50",
+                                           "p99", "p99.9"))
+    for name in HIST_NAMES:
+        h = mt["histograms"][name]
+        buckets = h["buckets"]
+        print("  %-14s %10d %10s %10s %10s"
+              % (name, h["count"],
+                 fmt_ns(quantile(buckets, 0.50)),
+                 fmt_ns(quantile(buckets, 0.99)),
+                 fmt_ns(quantile(buckets, 0.999))))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="telemetry dump (Chrome trace JSON)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the dump schema and exit")
+    ap.add_argument("--require-events", action="store_true",
+                    help="with --check: fail unless every event type "
+                         "appears at least once")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail("cannot load %s: %s" % (args.trace, e))
+
+    check_schema(doc, args.require_events)
+    if args.check:
+        print("mesh-top: %s: schema OK (%d trace events)"
+              % (args.trace, len(doc["traceEvents"])))
+        return
+    render(doc)
+
+
+if __name__ == "__main__":
+    main()
