@@ -12,7 +12,6 @@
 #include <cassert>
 #include <cstring>
 #include <ctime>
-#include <mutex>
 
 namespace mesh {
 
@@ -148,7 +147,7 @@ void GlobalHeap::destroyMiniHeapLocked(Shard &S, MiniHeap *MH) {
 }
 
 void GlobalHeap::epochSynchronize() {
-  std::lock_guard<SpinLock> Guard(EpochSyncLock);
+  SpinLockGuard Guard(EpochSyncLock);
   telemetry::Timer T;
   MiniHeapEpoch.synchronize();
   if (T.armed()) {
@@ -507,7 +506,7 @@ size_t GlobalHeap::meshNow() {
   // meshing)" heap must never compact (Section 6.3).
   if (!meshingEnabled())
     return 0;
-  std::lock_guard<SpinLock> Guard(MeshLock);
+  SpinLockGuard Guard(MeshLock);
   return performMeshing(MeshPassOrigin::Foreground);
 }
 
@@ -530,7 +529,7 @@ void GlobalHeap::maybeMesh() {
   // our trigger is redundant.
   if (!MeshLock.try_lock())
     return;
-  std::lock_guard<SpinLock> Guard(MeshLock, std::adopt_lock);
+  SpinLockGuard Guard(MeshLock, AdoptLock);
   // Re-sample the clock for the locked recheck: another thread may have
   // finished a pass (advancing LastMeshMs past the pre-lock Now) in
   // between, and the stale Now would wrap the unsigned delta and let a
@@ -553,7 +552,7 @@ bool GlobalHeap::backgroundMaybeMesh() {
   // Blocking lock is fine: this is the dedicated thread, and the only
   // contenders are explicit meshNow() calls and other fork/teardown
   // rarities.
-  std::lock_guard<SpinLock> Guard(MeshLock);
+  SpinLockGuard Guard(MeshLock);
   if (monotonicMs() - LastMeshMs.load(std::memory_order_relaxed) <
       meshPeriodMs())
     return false;
@@ -573,7 +572,7 @@ bool GlobalHeap::backgroundMaybeMesh() {
 bool GlobalHeap::backgroundPressureMesh() {
   if (!meshingEnabled())
     return false;
-  std::lock_guard<SpinLock> Guard(MeshLock);
+  SpinLockGuard Guard(MeshLock);
   // No MeshPeriodMs gate: pressure wakes are already paced by the
   // monitor's wake interval, and an idle heap never pokes — this path
   // is exactly how it gets compacted. The effectiveness hysteresis

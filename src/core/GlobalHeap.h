@@ -45,6 +45,7 @@
 #include "core/MiniHeap.h"
 #include "core/Options.h"
 #include "core/SizeClass.h"
+#include "support/Annotations.h"
 #include "support/Epoch.h"
 #include "support/InternalVector.h"
 #include "support/Rng.h"
@@ -52,7 +53,6 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 
 namespace mesh {
 
@@ -126,15 +126,32 @@ public:
   /// Owning MiniHeap, or nullptr (lock-free page-table read). Callers
   /// that dereference the result without holding the owning shard's
   /// lock must be inside a miniheapEpoch() section, which holds off
-  /// destruction.
-  MiniHeap *miniheapFor(const void *Ptr) const { return Arena.ownerOf(Ptr); }
+  /// destruction — enforced at compile time: an epoch-free page-table
+  /// peek through this accessor does not build under -Wthread-safety.
+  MiniHeap *miniheapFor(const void *Ptr) const
+      MESH_REQUIRES_SHARED(MiniHeapEpoch) {
+    return Arena.ownerOf(Ptr);
+  }
+
+  /// Identity-only page-table read: the returned pointer may be
+  /// compared against a known-live MiniHeap but must NEVER be
+  /// dereferenced — without an epoch section the metadata may already
+  /// be retired. Used by the thread-local free dispatch, whose
+  /// attached-MiniHeap equality check needs no lifetime guarantee.
+  MiniHeap *miniheapIdentityFor(const void *Ptr) const {
+    return Arena.ownerOf(Ptr);
+  }
 
   /// The epoch guarding MiniHeap metadata lifetime (see free()).
-  Epoch &miniheapEpoch() const { return MiniHeapEpoch; }
+  Epoch &miniheapEpoch() const MESH_RETURN_CAPABILITY(MiniHeapEpoch) {
+    return MiniHeapEpoch;
+  }
 
   /// Runs a meshing pass immediately, ignoring the rate limiter.
-  /// \returns bytes of physical memory released.
-  size_t meshNow();
+  /// \returns bytes of physical memory released. MESH_EXCLUDES encodes
+  /// the top of the lock rank: a pass acquires MeshLock first, so no
+  /// caller may already hold it (or any lower-rank lock).
+  size_t meshNow() MESH_EXCLUDES(MeshLock);
 
   /// Rate-limited meshing trigger (Section 4.5), called after refills
   /// and empty-span transitions. Must not be called while holding any
@@ -142,7 +159,7 @@ public:
   /// sink registered the slow half is delegated: after the cheap
   /// rate-limit precheck this degenerates to one atomic flag write that
   /// wakes the background mesher.
-  void maybeMesh();
+  void maybeMesh() MESH_EXCLUDES(MeshLock);
 
   /// Registers (or, with nullptr, removes) the background mesher as the
   /// receiver of maybeMesh() triggers. Clearing the pointer does not by
@@ -166,8 +183,9 @@ public:
   /// can still be executing on the old sink, so it may be deleted.
   /// Callers must hold no heap locks and not be inside a sink
   /// dispatch.
-  void synchronizeMeshRequestSink() {
-    std::lock_guard<SpinLock> Guard(SinkSyncLock);
+  void synchronizeMeshRequestSink()
+      MESH_EXCLUDES(SinkSyncLock, RequestSinkEpoch) {
+    SpinLockGuard Guard(SinkSyncLock);
     RequestSinkEpoch.synchronize();
   }
 
@@ -196,14 +214,14 @@ public:
   /// The background thread's poke service: the same rate-limited,
   /// hysteresis-gated pass maybeMesh() used to run synchronously, but
   /// attributed to the background origin. \returns true iff a pass ran.
-  bool backgroundMaybeMesh();
+  bool backgroundMaybeMesh() MESH_EXCLUDES(MeshLock);
 
   /// The background thread's pressure service: bypasses the MeshPeriodMs
   /// gate (the wake interval is the rate limit on this path) but keeps
   /// the effectiveness hysteresis, so an idle heap that stopped
   /// yielding pages stops being compacted until something is freed.
   /// \returns true iff a pass ran.
-  bool backgroundPressureMesh();
+  bool backgroundPressureMesh() MESH_EXCLUDES(MeshLock);
 
   /// Samples the heap's physical footprint: one lock-free page-table
   /// walk inside an epoch reader section (which holds off MiniHeap
@@ -227,8 +245,12 @@ public:
   /// sync lock — so the child inherits them free (no parent thread can
   /// be mid-critical-section at the fork instant). Paired with
   /// unlockForFork in both parent and child handlers.
-  void lockForFork();
-  void unlockForFork();
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS: TSA cannot express a loop over a
+  /// lock array, nor a lock()/unlock() pair split across functions (the
+  /// atfork prepare/parent/child trio). Runtime coverage:
+  /// LockRank death tests + the fork soak (ForkStressTest).
+  void lockForFork() MESH_NO_THREAD_SAFETY_ANALYSIS;
+  void unlockForFork() MESH_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Fork-prepare companion to reinitializeArenaAfterFork: flushes the
   /// dirty span bins while the process is still intact, so the child
@@ -239,7 +261,9 @@ public:
   /// self-deadlock in the child, where that lock is inherited held.
   /// Caller must hold every heap lock (lockForFork) and not yet hold
   /// the InternalHeap lock.
-  void flushDirtyForFork();
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS: runs under the fork-time
+  /// hold-everything state, which TSA cannot track across functions.
+  void flushDirtyForFork() MESH_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Fork-child arena recovery (the copy-to-fresh-memfd protocol):
   /// rebuilds the arena on a private memfd so the child stops sharing
@@ -323,8 +347,16 @@ public:
   /// Test hooks pinning the shard lock-ordering discipline: Debug
   /// builds abort on out-of-order acquisition (death tests only; never
   /// use in production paths).
-  void lockShardForTest(int ShardIdx) { lockShard(ShardIdx); }
-  void unlockShardForTest(int ShardIdx) { unlockShard(ShardIdx); }
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS: the death tests acquire locks
+  /// out of rank and abandon them inside EXPECT_DEATH statements on
+  /// purpose — exactly what the static analysis exists to reject.
+  /// These hooks are the runtime checker's domain (LockRank).
+  void lockShardForTest(int ShardIdx) MESH_NO_THREAD_SAFETY_ANALYSIS {
+    lockShard(ShardIdx);
+  }
+  void unlockShardForTest(int ShardIdx) MESH_NO_THREAD_SAFETY_ANALYSIS {
+    unlockShard(ShardIdx);
+  }
 
   /// Test access to the arena (shard-lock counters, accounting
   /// invariants, the arena-rank lock-order hooks).
@@ -350,14 +382,17 @@ private:
     mutable SpinLock Lock;
     /// Detached, partially-full MiniHeaps keyed by occupancy quartile
     /// (empty and unused for the large-object shard).
-    InternalVector<MiniHeap *> Bins[kOccupancyBins];
+    InternalVector<MiniHeap *> Bins[kOccupancyBins] MESH_GUARDED_BY(Lock);
     /// Intrusive MPSC stack of MiniHeaps with un-drained remote frees.
+    /// Deliberately NOT guarded: pushes are lock-free atomic CAS from
+    /// remote frees; only the exchange-out in drainStashLocked needs
+    /// the lock (for what it does with the popped list, not the pop).
     std::atomic<MiniHeap *> PendingStash{nullptr};
     /// Destroyed MiniHeaps whose metadata awaits the batched epoch
     /// advance before deletion.
-    InternalVector<MiniHeap *> RetiredList;
-    /// Bin selection randomness (Section 3.1), guarded by Lock.
-    Rng Random{0};
+    InternalVector<MiniHeap *> RetiredList MESH_GUARDED_BY(Lock);
+    /// Bin selection randomness (Section 3.1).
+    Rng Random MESH_GUARDED_BY(Lock){0};
   };
 
   /// Shard owning \p MH's structural state.
@@ -365,14 +400,15 @@ private:
     return MH->isLargeAlloc() ? kLargeShard : MH->sizeClass();
   }
 
-  void lockShard(int ShardIdx);
-  void unlockShard(int ShardIdx);
+  void lockShard(int ShardIdx) MESH_ACQUIRE(Shards[ShardIdx].Lock);
+  void unlockShard(int ShardIdx) MESH_RELEASE(Shards[ShardIdx].Lock);
 
-  void insertIntoBinLocked(Shard &S, MiniHeap *MH, uint32_t InUse);
-  void removeFromBinLocked(Shard &S, MiniHeap *MH);
-  void rebinOrDestroyLocked(Shard &S, MiniHeap *MH);
-  void destroyMiniHeapLocked(Shard &S, MiniHeap *MH);
-  void freeLocked(Shard &S, MiniHeap *MH, void *Ptr);
+  void insertIntoBinLocked(Shard &S, MiniHeap *MH, uint32_t InUse)
+      MESH_REQUIRES(S.Lock);
+  void removeFromBinLocked(Shard &S, MiniHeap *MH) MESH_REQUIRES(S.Lock);
+  void rebinOrDestroyLocked(Shard &S, MiniHeap *MH) MESH_REQUIRES(S.Lock);
+  void destroyMiniHeapLocked(Shard &S, MiniHeap *MH) MESH_REQUIRES(S.Lock);
+  void freeLocked(Shard &S, MiniHeap *MH, void *Ptr) MESH_REQUIRES(S.Lock);
   /// The lock-free small-object free. Returns true when \p Ptr was
   /// fully handled (freed, or diagnosed and discarded); false when the
   /// caller must retry under the owning shard's lock (large object, or
@@ -391,16 +427,19 @@ private:
   /// Drains every shard's pending stash in turn (ascending, one lock
   /// at a time): the full-reclamation sweep used by teardown and
   /// dirty-page flushes.
-  void drainAllShards();
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS: acquires a *variable-indexed* lock
+  /// inside a loop, which TSA cannot model; the ascending-index rank is
+  /// enforced at runtime by LockRank (ShardLockOrderTest pins it).
+  void drainAllShards() MESH_NO_THREAD_SAFETY_ANALYSIS;
   /// Pops the shard's whole pending stash and re-bins / destroys /
   /// deletes each entry according to its current state. Leaves the
   /// retired list alone — every caller must follow up with a reap
   /// (drainPendingLocked bundles the two; the mesh pass batches the
   /// reap across shards instead).
-  void drainStashLocked(Shard &S);
+  void drainStashLocked(Shard &S) MESH_REQUIRES(S.Lock);
   /// drainStashLocked plus the retired-metadata reap: the maintenance
   /// unit every non-pass lock holder runs.
-  void drainPendingLocked(Shard &S);
+  void drainPendingLocked(Shard &S) MESH_REQUIRES(S.Lock);
   /// Deletes (or, for entries a stale stash push still references,
   /// marks dead) every MiniHeap in \p Retired and clears the list.
   /// Callers must have run epochSynchronize() after the last entry was
@@ -411,11 +450,19 @@ private:
   void deleteRetired(InternalVector<MiniHeap *> &Retired);
   /// Deletes the shard's retired MiniHeap metadata after one batched
   /// epoch advance (see destroyMiniHeapLocked).
-  void reapRetiredLocked(Shard &S);
+  void reapRetiredLocked(Shard &S) MESH_REQUIRES(S.Lock);
   /// Epoch::synchronize with its callers serialized (EpochSyncLock).
-  void epochSynchronize();
-  size_t performMeshing(MeshPassOrigin Origin);
-  size_t meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src);
+  /// A caller inside a MiniHeapEpoch reader section would deadlock
+  /// waiting for itself — hence the epoch exclusion.
+  void epochSynchronize() MESH_EXCLUDES(EpochSyncLock, MiniHeapEpoch);
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS (in addition to the REQUIRES): the
+  /// pass visits shard locks through a variable loop index, which TSA
+  /// cannot model. MeshLock itself is checked; the in-pass shard-lock
+  /// order is LockRank's job.
+  size_t performMeshing(MeshPassOrigin Origin)
+      MESH_REQUIRES(MeshLock) MESH_NO_THREAD_SAFETY_ANALYSIS;
+  size_t meshPairLocked(Shard &S, MiniHeap *Dst, MiniHeap *Src)
+      MESH_REQUIRES(S.Lock) MESH_REQUIRES(MeshLock);
   /// The write-barrier-serialized object copy of a mesh, isolated so
   /// the TSan suppression covers it and nothing else (see tsan.supp).
   static size_t meshCopyBarrierProtected(MiniHeap *Dst, MiniHeap *Src,
@@ -442,8 +489,8 @@ private:
   /// while spinning on sink readers would deadlock against them.
   mutable SpinLock SinkSyncLock;
 
-  /// SplitMesher randomness, guarded by MeshLock.
-  Rng MeshRandom;
+  /// SplitMesher randomness.
+  Rng MeshRandom MESH_GUARDED_BY(MeshLock);
 
   /// True while a mesh pass is consolidating spans; lock-free frees
   /// divert to the shard-locked path so bitmap merges see a quiesced
@@ -459,10 +506,11 @@ private:
   std::atomic<uint64_t> MeshPeriodMsAtomic{kDefaultMeshPeriodMs};
 
   /// Rate-limiter state. LastMeshMs is written under MeshLock but read
-  /// by maybeMesh()'s lock-free precheck (the poke gate); the rest is
-  /// guarded by MeshLock.
+  /// by maybeMesh()'s lock-free precheck (the poke gate), so it is an
+  /// atomic rather than a guarded field; the rest is guarded by
+  /// MeshLock.
   std::atomic<uint64_t> LastMeshMs{0};
-  size_t LastMeshReleased = 0;
+  size_t LastMeshReleased MESH_GUARDED_BY(MeshLock) = 0;
   std::atomic<bool> FreedSinceLastMesh{false};
 };
 

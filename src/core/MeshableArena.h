@@ -49,6 +49,7 @@
 
 #include "arena/MemfdArena.h"
 #include "core/SizeClass.h"
+#include "support/Annotations.h"
 #include "support/Common.h"
 #include "support/InternalVector.h"
 #include "support/SpinLock.h"
@@ -150,7 +151,11 @@ public:
   /// holds every arena shard lock plus ArenaLock (lockAllShards):
   /// re-acquiring them here would self-deadlock on the non-recursive
   /// spin locks.
-  size_t flushDirtyAssumeLocked(bool DeferFailures = false);
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS: runs under locks acquired by a
+  /// different function (lockAllShards), a cross-function hold TSA
+  /// cannot track.
+  size_t flushDirtyAssumeLocked(bool DeferFailures = false)
+      MESH_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Fork-child fixup for the deferred lists: the fresh-file rebuild
   /// restored every identity mapping (pass 2), so pending remaps are
@@ -159,14 +164,20 @@ public:
   /// the retried punch trivially succeeds and re-syncs the inherited
   /// committed-page overcount. Runs in the atfork child handler —
   /// allocates nothing, takes no locks.
-  void resetDeferredAfterFork();
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS: touches Lock-guarded fields with
+  /// the locks inherited held from the parent's lockAllShards — a
+  /// cross-process hold no analysis can see.
+  void resetDeferredAfterFork() MESH_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Fork quiesce: every arena shard lock in ascending order, then
   /// ArenaLock. Called by GlobalHeap::lockForFork between the heap
   /// shards and the leaf locks, so the child inherits all arena state
   /// mid-critical-section-free.
-  void lockAllShards();
-  void unlockAllShards();
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS: loops over the shard lock array
+  /// and leaves every lock held for the caller — both inexpressible in
+  /// TSA. LockRank enforces the ascending order at runtime.
+  void lockAllShards() MESH_NO_THREAD_SAFETY_ANALYSIS;
+  void unlockAllShards() MESH_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Punch/remap operations that failed and degraded (faults.punch_fallbacks).
   uint64_t punchFallbackCount() const {
@@ -225,10 +236,19 @@ public:
 
   /// Test hooks pinning the arena lock-ordering discipline (death
   /// tests only; never use in production paths).
-  void lockShardForTest(int Shard) { lockShard(Shard); }
-  void unlockShardForTest(int Shard) { unlockShard(Shard); }
-  void lockArenaForTest() { lockArena(); }
-  void unlockArenaForTest() { unlockArena(); }
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS: the death tests violate the rank
+  /// and abandon held locks inside EXPECT_DEATH on purpose; these
+  /// hooks belong to the runtime checker (LockRank), not TSA.
+  void lockShardForTest(int Shard) MESH_NO_THREAD_SAFETY_ANALYSIS {
+    lockShard(Shard);
+  }
+  void unlockShardForTest(int Shard) MESH_NO_THREAD_SAFETY_ANALYSIS {
+    unlockShard(Shard);
+  }
+  void lockArenaForTest() MESH_NO_THREAD_SAFETY_ANALYSIS { lockArena(); }
+  void unlockArenaForTest() MESH_NO_THREAD_SAFETY_ANALYSIS {
+    unlockArena();
+  }
 
 private:
   static constexpr uint32_t kNumLenBins = 6; // lengths 1,2,4,8,16,32
@@ -262,41 +282,47 @@ private:
     /// Class shards hold a single span length, so any entry serves; a
     /// failed punch can park an off-length span here too, hence the
     /// explicit length per entry.
-    InternalVector<Span> DirtySpans;
+    InternalVector<Span> DirtySpans MESH_GUARDED_BY(Lock);
     /// Spans with punches/remaps still owed (see DeferredSpan).
-    InternalVector<DeferredSpan> Deferred;
+    InternalVector<DeferredSpan> Deferred MESH_GUARDED_BY(Lock);
     /// Pages across DirtySpans (this shard's share of the budget).
-    size_t DirtyPages = 0;
+    size_t DirtyPages MESH_GUARDED_BY(Lock) = 0;
     mutable std::atomic<uint64_t> LockAcquisitions{0};
   };
 
-  void lockShard(int Shard) const;
-  void unlockShard(int Shard) const;
-  void lockArena() const;
-  void unlockArena() const;
+  void lockShard(int Shard) const MESH_ACQUIRE(Shards[Shard].Lock);
+  void unlockShard(int Shard) const MESH_RELEASE(Shards[Shard].Lock);
+  void lockArena() const MESH_ACQUIRE(ArenaLock);
+  void unlockArena() const MESH_RELEASE(ArenaLock);
 
   /// Clean-reserve / frontier allocation (the recycling-miss path).
-  /// Takes ArenaLock.
-  uint32_t allocCleanSpan(uint32_t Pages, bool *IsClean);
+  /// Takes ArenaLock, so callers must not already hold it.
+  uint32_t allocCleanSpan(uint32_t Pages, bool *IsClean)
+      MESH_EXCLUDES(ArenaLock);
 
   /// Files \p PageOff into the clean bins (pow2) or odd-span list.
-  /// Caller holds ArenaLock.
-  void binCleanLocked(uint32_t PageOff, uint32_t Pages);
+  void binCleanLocked(uint32_t PageOff, uint32_t Pages)
+      MESH_REQUIRES(ArenaLock);
 
   /// Pops a dirty span of exactly \p Pages pages, or returns
-  /// kInvalidSpanOff. Caller holds \p S.Lock.
-  uint32_t popDirtyLocked(ArenaShard &S, uint32_t Pages);
+  /// kInvalidSpanOff.
+  uint32_t popDirtyLocked(ArenaShard &S, uint32_t Pages)
+      MESH_REQUIRES(S.Lock);
 
-  /// Parks \p PageOff on \p S's dirty list. Caller holds \p S.Lock;
-  /// returns the new process-wide dirty total (budget check).
-  size_t pushDirtyLocked(ArenaShard &S, uint32_t PageOff, uint32_t Pages);
+  /// Parks \p PageOff on \p S's dirty list; returns the new
+  /// process-wide dirty total (budget check).
+  size_t pushDirtyLocked(ArenaShard &S, uint32_t PageOff, uint32_t Pages)
+      MESH_REQUIRES(S.Lock);
 
   /// The per-shard flush: deferred retries, then the dirty sweep.
   /// Caller holds \p S.Lock; \p ArenaLocked says whether the caller
   /// already holds ArenaLock (fork path) or this must take it per
-  /// rebin.
+  /// rebin — conditional locking the analysis cannot model, hence
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS on top of the REQUIRES contract
+  /// (which call sites still check).
   size_t flushShardLocked(ArenaShard &S, bool DeferFailures,
-                          bool ArenaLocked);
+                          bool ArenaLocked)
+      MESH_REQUIRES(S.Lock) MESH_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Arena.release with the hole-punch syscall timed into the
   /// telemetry punch_syscall histogram.
@@ -313,10 +339,12 @@ private:
   ArenaShard Shards[kNumArenaShards];
 
   /// The shared tail of the span hierarchy: clean reserve + frontier.
-  /// Guarded by ArenaLock.
+  /// (The frontier high-water itself is the atomic below — sampled
+  /// lock-free by the footprint walk — but it only advances under
+  /// ArenaLock.)
   mutable SpinLock ArenaLock;
-  InternalVector<uint32_t> CleanBins[kNumLenBins];
-  InternalVector<Span> OddCleanSpans;
+  InternalVector<uint32_t> CleanBins[kNumLenBins] MESH_GUARDED_BY(ArenaLock);
+  InternalVector<Span> OddCleanSpans MESH_GUARDED_BY(ArenaLock);
 
   size_t MaxDirtyBytes;
   std::atomic<size_t> TotalDirtyPages{0};

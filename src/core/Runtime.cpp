@@ -16,10 +16,13 @@
 #include <cerrno>
 #include <cstring>
 #include <fcntl.h>
-#include <mutex>
 #include <unistd.h>
 
 namespace mesh {
+
+namespace detail {
+SpinLock ForkRegistryLock;
+} // namespace detail
 
 /// Process-wide fork protocol. pthread_atfork handlers can never be
 /// removed, so one static set is installed at first Runtime creation
@@ -66,7 +69,7 @@ class RuntimeForkSupport {
 public:
   static void registerRuntime(Runtime *R) {
     pthread_once(&Once, installHandlers);
-    std::lock_guard<SpinLock> Guard(RegistryLock);
+    SpinLockGuard Guard(detail::ForkRegistryLock);
     R->NextRuntime = Head;
     R->PrevRuntime = nullptr;
     if (Head != nullptr)
@@ -75,7 +78,7 @@ public:
   }
 
   static void unregisterRuntime(Runtime *R) {
-    std::lock_guard<SpinLock> Guard(RegistryLock);
+    SpinLockGuard Guard(detail::ForkRegistryLock);
     if (R->PrevRuntime != nullptr)
       R->PrevRuntime->NextRuntime = R->NextRuntime;
     else
@@ -97,19 +100,26 @@ public:
   /// a join of a nonexistent thread at teardown.
   static void createMesher(Runtime *R, uint64_t WakeMs,
                            const PressureConfig &Cfg) {
-    std::lock_guard<SpinLock> Guard(RegistryLock);
-    // The mesher gets RegistryLock as its lifecycle lock so its
+    SpinLockGuard Guard(detail::ForkRegistryLock);
+    // The mesher gets the registry lock as its lifecycle lock so its
     // deferred post-fork restart serializes against prepare() the same
     // way this initial bring-up does.
     R->BgMesher = InternalHeap::global().makeNew<BackgroundMesher>(
-        R->Global, WakeMs, Cfg, &RegistryLock);
+        R->Global, WakeMs, Cfg, &detail::ForkRegistryLock);
     R->BgMesher->start();
   }
 
 private:
-  static void prepare() {
+  // prepare/parent/child: MESH_NO_THREAD_SAFETY_ANALYSIS. The fork
+  // window is the canonical cross-function hold the analysis cannot
+  // express — prepare() acquires the registry lock (plus every heap
+  // lock, via lockForFork) and returns with them held; the matching
+  // releases happen in parent() or child(), in a different function on
+  // the other side of fork(). Runtime enforcement still applies: the
+  // Debug lock-rank checker validates the acquisition order here.
+  static void prepare() MESH_NO_THREAD_SAFETY_ANALYSIS {
     telemetry::forkQuiesceBegin();
-    RegistryLock.lock();
+    detail::ForkRegistryLock.lock();
     for (Runtime *R = Head; R != nullptr; R = R->NextRuntime) {
       if (R->BgMesher != nullptr)
         R->BgMesher->quiesceForFork();
@@ -134,7 +144,7 @@ private:
     }
   }
 
-  static void parent() {
+  static void parent() MESH_NO_THREAD_SAFETY_ANALYSIS {
     // Fence before any unlock: no parent mutator may touch the shared
     // file while the child is copying out of it. EOF covers both the
     // failed-fork case (no child ever held the write end) and a child
@@ -155,11 +165,11 @@ private:
       if (R->BgMesher != nullptr)
         R->BgMesher->resumeAfterForkParent();
     }
-    RegistryLock.unlock();
+    detail::ForkRegistryLock.unlock();
     telemetry::forkQuiesceEnd(/*InChild=*/false);
   }
 
-  static void child() {
+  static void child() MESH_NO_THREAD_SAFETY_ANALYSIS {
     // Re-arm the expedited membarrier first: registration is per-mm
     // and must not be trusted to survive fork. Falls back to the
     // seq-cst protocol if the re-registration fails, so the epoch
@@ -192,19 +202,17 @@ private:
       if (R->BgMesher != nullptr)
         R->BgMesher->resumeAfterForkChild();
     }
-    RegistryLock.unlock();
+    detail::ForkRegistryLock.unlock();
     telemetry::forkQuiesceEnd(/*InChild=*/true);
   }
 
   static void installHandlers() { pthread_atfork(prepare, parent, child); }
 
-  static SpinLock RegistryLock;
-  static Runtime *Head;
+  static Runtime *Head MESH_GUARDED_BY(detail::ForkRegistryLock);
   static pthread_once_t Once;
   static int ForkFence[2];
 };
 
-SpinLock RuntimeForkSupport::RegistryLock;
 Runtime *RuntimeForkSupport::Head = nullptr;
 pthread_once_t RuntimeForkSupport::Once = PTHREAD_ONCE_INIT;
 int RuntimeForkSupport::ForkFence[2] = {-1, -1};

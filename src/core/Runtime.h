@@ -22,6 +22,8 @@
 #include "core/GlobalHeap.h"
 #include "core/Options.h"
 #include "core/ThreadLocalHeap.h"
+#include "support/Annotations.h"
+#include "support/SpinLock.h"
 
 #include <cstddef>
 #include <pthread.h>
@@ -30,6 +32,17 @@ namespace mesh {
 
 class BackgroundMesher;
 class RuntimeForkSupport;
+
+namespace detail {
+/// The process-wide fork-registry lock (defined in Runtime.cpp; owned
+/// by RuntimeForkSupport). Declared at namespace scope — rather than as
+/// a private static of RuntimeForkSupport — so the registry-protected
+/// fields below can name it in MESH_GUARDED_BY: the thread-safety
+/// analysis needs the capability to be spellable at the field's
+/// declaration site. It doubles as the background mesher's lifecycle
+/// lock (see RuntimeForkSupport::createMesher).
+extern SpinLock ForkRegistryLock;
+} // namespace detail
 
 class Runtime {
 public:
@@ -94,9 +107,9 @@ private:
   /// is joined before any heap state dies.
   BackgroundMesher *BgMesher = nullptr;
   /// Intrusive linkage for the process-wide fork registry (see
-  /// RuntimeForkSupport in Runtime.cpp), guarded by its lock.
-  Runtime *PrevRuntime = nullptr;
-  Runtime *NextRuntime = nullptr;
+  /// RuntimeForkSupport in Runtime.cpp).
+  Runtime *PrevRuntime MESH_GUARDED_BY(detail::ForkRegistryLock) = nullptr;
+  Runtime *NextRuntime MESH_GUARDED_BY(detail::ForkRegistryLock) = nullptr;
 };
 
 } // namespace mesh

@@ -72,10 +72,11 @@ void ThreadLocalHeap::free(void *Ptr) {
   // O(1) dispatch: one page-table read resolves the owning MiniHeap,
   // then the is-it-mine check compares that pointer against this
   // thread's attached set (the dense mirror of each vector's
-  // attachedOwner tag). Pointer equality never dereferences MH, so a
-  // MiniHeap concurrently retired by a mesh pass cannot be touched —
-  // the remote path below re-resolves under the epoch.
-  if (MiniHeap *MH = AttachedCount > 0 ? Global->miniheapFor(Ptr)
+  // attachedOwner tag). The identity accessor is the epoch-free
+  // variant: pointer equality never dereferences MH, so a MiniHeap
+  // concurrently retired by a mesh pass cannot be touched — the remote
+  // path below re-resolves under the epoch.
+  if (MiniHeap *MH = AttachedCount > 0 ? Global->miniheapIdentityFor(Ptr)
                                        : nullptr) {
     for (int Class = 0; Class < kNumSizeClasses; ++Class) {
       if (AttachedMH[Class] != MH)

@@ -7,7 +7,6 @@
 
 #include <cerrno>
 #include <ctime>
-#include <mutex>
 
 namespace mesh {
 
@@ -62,9 +61,9 @@ void BackgroundMesher::start() {
   if (Running.load(std::memory_order_acquire))
     return;
   {
-    pthread_mutex_lock(&M);
+    M.lock();
     StopFlag = false;
-    pthread_mutex_unlock(&M);
+    M.unlock();
   }
   const int Rc = pthread_create(&Thread, nullptr, threadEntry, this);
   if (Rc != 0) {
@@ -103,10 +102,10 @@ void BackgroundMesher::stop() {
   }
   if (!Running.load(std::memory_order_acquire))
     return;
-  pthread_mutex_lock(&M);
+  M.lock();
   StopFlag = true;
   pthread_cond_signal(&CV);
-  pthread_mutex_unlock(&M);
+  M.unlock();
   pthread_join(Thread, nullptr);
   Running.store(false, std::memory_order_release);
 }
@@ -121,10 +120,10 @@ void BackgroundMesher::quiesceForFork() {
   // instant — harmless in the parent (that thread lives on and
   // releases), handled in the child by re-initializing M and CV in
   // resumeAfterForkChild() before anything there can touch them.
-  pthread_mutex_lock(&M);
+  M.lock();
   StopFlag = true;
   pthread_cond_signal(&CV);
-  pthread_mutex_unlock(&M);
+  M.unlock();
   pthread_join(Thread, nullptr);
   Running.store(false, std::memory_order_release);
 }
@@ -145,7 +144,7 @@ void BackgroundMesher::resumeAfterForkChild() {
   // deadlock on its first use of M. Exactly one thread exists in the
   // child, so re-initializing both primitives over the inherited state
   // is safe — the standard atfork recovery for pthread objects.
-  pthread_mutex_init(&M, nullptr);
+  M.reinitAfterFork();
   initMonotonicCondVar();
   WasRunningBeforeFork = false;
   // pthread_create is not async-signal-safe, and POSIX guarantees only
@@ -179,7 +178,7 @@ void BackgroundMesher::requestMeshPass() {
   if (RestartPending.load(std::memory_order_relaxed) &&
       RestartPending.exchange(false, std::memory_order_acq_rel)) {
     if (LifecycleLock != nullptr) {
-      std::lock_guard<SpinLock> Guard(*LifecycleLock);
+      SpinLockGuard Guard(*LifecycleLock);
       start();
     } else {
       start();
@@ -192,32 +191,32 @@ void BackgroundMesher::requestMeshPass() {
   if (Requested.exchange(true, std::memory_order_acq_rel))
     return;
   Requests.fetch_add(1, std::memory_order_relaxed);
-  pthread_mutex_lock(&M);
+  M.lock();
   RequestFlag = true;
   pthread_cond_signal(&CV);
-  pthread_mutex_unlock(&M);
+  M.unlock();
 }
 
 void BackgroundMesher::run() {
   for (;;) {
     bool Poked = false;
     {
-      pthread_mutex_lock(&M);
+      M.lock();
       if (!StopFlag && !RequestFlag) {
         timespec Deadline = deadlineIn(WakeMs);
         // A spurious wake is indistinguishable from (and as harmless
         // as) an early timer wake: the loop body re-derives everything
         // from flags and fresh samples.
-        pthread_cond_timedwait(&CV, &M, &Deadline);
+        pthread_cond_timedwait(&CV, M.native(), &Deadline);
       }
       if (StopFlag) {
-        pthread_mutex_unlock(&M);
+        M.unlock();
         return;
       }
       Poked = RequestFlag;
       RequestFlag = false;
       Requested.store(false, std::memory_order_release);
-      pthread_mutex_unlock(&M);
+      M.unlock();
     }
     const uint64_t WakeCount =
         Wakeups.fetch_add(1, std::memory_order_relaxed) + 1;

@@ -43,6 +43,8 @@
 
 #include "core/GlobalHeap.h"
 #include "runtime/PressureMonitor.h"
+#include "support/Annotations.h"
+#include "support/PthreadMutex.h"
 #include "support/SpinLock.h"
 
 #include <atomic>
@@ -133,10 +135,11 @@ private:
   SpinLock *const LifecycleLock; ///< See the ctor; may be null.
 
   pthread_t Thread{};
-  pthread_mutex_t M = PTHREAD_MUTEX_INITIALIZER;
+  PthreadMutex M;
   pthread_cond_t CV; ///< Initialized in the ctor (CLOCK_MONOTONIC waits).
-  bool StopFlag = false;        ///< Guarded by M.
-  bool RequestFlag = false;     ///< Guarded by M (mirror of Requested).
+  bool StopFlag MESH_GUARDED_BY(M) = false;
+  /// Mirror of Requested, consumed under M by the wake loop.
+  bool RequestFlag MESH_GUARDED_BY(M) = false;
   std::atomic<bool> Requested{false}; ///< Lock-free poke fast path.
   std::atomic<bool> Running{false};
   /// Set by the atfork child handler (where spawning a thread is not

@@ -1,0 +1,116 @@
+//===- Annotations.h - Clang Thread Safety Analysis shims -------*- C++ -*-===//
+///
+/// \file
+/// Macro shims for Clang's Thread Safety Analysis (TSA) attributes.
+///
+/// Under Clang the macros expand to `__attribute__((...))` and the
+/// `-Wthread-safety` family of warnings turns the lock/epoch discipline
+/// documented in DESIGN.md ("Static concurrency contracts") into
+/// compile-time errors: every `SpinLock`-guarded field carries
+/// MESH_GUARDED_BY, helpers that assume a held lock carry MESH_REQUIRES,
+/// and the Epoch reader sections are modeled as a shared capability.
+///
+/// Under GCC/MSVC every macro expands to nothing, so the annotated tree
+/// builds identically to the unannotated one (tier-1 stays gcc-clean).
+/// The annotations are asserted to be attribute-only — they must never
+/// change codegen, only diagnostics.
+///
+/// Conventions used across the tree:
+///  - Low-level lock primitives (SpinLock::lock et al.) carry
+///    MESH_ACQUIRE/MESH_RELEASE; TSA trusts the declaration and does not
+///    second-guess the atomic bodies.
+///  - RAII guards are MESH_SCOPED_CAPABILITY classes; prefer them over
+///    manual lock()/unlock() pairs.
+///  - Patterns TSA cannot express (loops over lock arrays, cross-function
+///    fork-time holds, conditional locking) use
+///    MESH_NO_THREAD_SAFETY_ANALYSIS with a rationale comment at the use
+///    site; runtime enforcement for those stays with support/LockRank.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_ANNOTATIONS_H
+#define MESH_SUPPORT_ANNOTATIONS_H
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MESH_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef MESH_THREAD_ANNOTATION
+#define MESH_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a capability (a lock, or a lock-like resource such as
+/// an epoch reader section). The string names the capability kind in
+/// diagnostics ("mutex", "epoch").
+#define MESH_CAPABILITY(x) MESH_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define MESH_SCOPED_CAPABILITY MESH_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while the named capability is held.
+#define MESH_GUARDED_BY(x) MESH_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the named capability
+/// (the pointer itself may be read freely).
+#define MESH_PT_GUARDED_BY(x) MESH_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability exclusively and returns holding it.
+#define MESH_ACQUIRE(...) \
+  MESH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared (reader) and returns holding it.
+#define MESH_ACQUIRE_SHARED(...) \
+  MESH_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a held capability (exclusive hold).
+#define MESH_RELEASE(...) \
+  MESH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function releases a held capability (shared hold).
+#define MESH_RELEASE_SHARED(...) \
+  MESH_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability held in either mode (used on scoped
+/// guard destructors, which release whatever the constructor acquired).
+#define MESH_RELEASE_GENERIC(...) \
+  MESH_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return
+/// value that means "acquired".
+#define MESH_TRY_ACQUIRE(...) \
+  MESH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively; the function neither
+/// acquires nor releases it.
+#define MESH_REQUIRES(...) \
+  MESH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared.
+#define MESH_REQUIRES_SHARED(...) \
+  MESH_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself,
+/// or would deadlock/violate the lock rank if it were held). This is how
+/// the MeshLock → shards → arena rank is encoded as a call-graph property.
+#define MESH_EXCLUDES(...) MESH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (e.g. after a fork-time
+/// lock-all); informs the analysis without an acquire edge.
+#define MESH_ASSERT_CAPABILITY(x) \
+  MESH_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the named capability (accessor
+/// functions for private locks/epochs).
+#define MESH_RETURN_CAPABILITY(x) MESH_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use site
+/// must carry a comment naming the inexpressible pattern (lock-array
+/// loops, cross-function fork holds, conditional locking) and the
+/// runtime check that covers it instead.
+#define MESH_NO_THREAD_SAFETY_ANALYSIS \
+  MESH_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // MESH_SUPPORT_ANNOTATIONS_H

@@ -59,6 +59,7 @@
 #ifndef MESH_SUPPORT_EPOCH_H
 #define MESH_SUPPORT_EPOCH_H
 
+#include "support/Annotations.h"
 #include "support/SpinLock.h" // cpuRelax
 
 #include <atomic>
@@ -81,7 +82,15 @@ namespace detail {
 extern std::atomic<uint8_t> EpochFenceModeAtomic;
 } // namespace detail
 
-class Epoch {
+/// Modeled for the thread-safety analysis as a *shared* capability:
+/// Epoch::Section acquires it shared (many concurrent readers), and
+/// functions that may only run inside a reader section (page-table
+/// resolution that dereferences the result, e.g.
+/// GlobalHeap::miniheapFor) carry MESH_REQUIRES_SHARED on it. The raw
+/// enter()/exit() primitives are deliberately unannotated — they are
+/// the mechanism Section wraps, and their unit tests drive them
+/// directly; production code must use Section.
+class MESH_CAPABILITY("epoch") Epoch {
 public:
   /// Exclusive reader slots. Threads are assigned one for life (they
   /// are never recycled — a thread-exit hook inside malloc is not
@@ -152,7 +161,9 @@ public:
   /// Advances the era and waits until every reader that entered under
   /// the previous era has exited. On return, memory published before
   /// the call is safe to reclaim. Callers must be serialized.
-  void synchronize();
+  /// MESH_EXCLUDES(this): a thread inside its own reader section would
+  /// wait on itself forever (the self-deadlock LockRank also traps).
+  void synchronize() MESH_EXCLUDES(this);
 
   /// Fork-child recovery: zeroes every reader counter. A thread that
   /// was inside a reader section in the parent at fork() does not exist
@@ -169,11 +180,14 @@ public:
     }
   }
 
-  /// RAII wrapper for reader sections.
-  class Section {
+  /// RAII wrapper for reader sections. Scoped shared acquisition of the
+  /// epoch capability: while a Section is live, MESH_REQUIRES_SHARED
+  /// functions on the same Epoch may be called.
+  class MESH_SCOPED_CAPABILITY Section {
   public:
-    explicit Section(Epoch &E) : Parent(E), G(E.enter()) {}
-    ~Section() { Parent.exit(G); }
+    explicit Section(Epoch &E) MESH_ACQUIRE_SHARED(E)
+        : Parent(E), G(E.enter()) {}
+    ~Section() MESH_RELEASE_GENERIC() { Parent.exit(G); }
     Section(const Section &) = delete;
     Section &operator=(const Section &) = delete;
 

@@ -8,7 +8,6 @@
 
 #include <cassert>
 #include <cstring>
-#include <mutex>
 #include <sys/mman.h>
 
 namespace mesh {
@@ -54,13 +53,13 @@ void InternalHeap::refill(unsigned Class) {
 void *InternalHeap::alloc(size_t Size) {
   if (Size > kMaxBlock) {
     const size_t Bytes = roundUpPow2Multiple(Size, kPageSize);
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     LiveBytes += Bytes;
     MappedBytes += Bytes;
     return mapAnonymous(Bytes);
   }
   const unsigned Class = classForSize(Size);
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   if (FreeLists[Class] == nullptr)
     refill(Class);
   FreeNode *Node = FreeLists[Class];
@@ -76,13 +75,13 @@ void InternalHeap::free(void *Ptr, size_t Size) {
   if (Size > kMaxBlock) {
     const size_t Bytes = roundUpPow2Multiple(Size, kPageSize);
     munmap(Ptr, Bytes);
-    std::lock_guard<SpinLock> Guard(Lock);
+    SpinLockGuard Guard(Lock);
     LiveBytes -= Bytes;
     MappedBytes -= Bytes;
     return;
   }
   const unsigned Class = classForSize(Size);
-  std::lock_guard<SpinLock> Guard(Lock);
+  SpinLockGuard Guard(Lock);
   auto *Node = static_cast<FreeNode *>(Ptr);
   Node->Next = FreeLists[Class];
   FreeLists[Class] = Node;

@@ -15,6 +15,7 @@
 #ifndef MESH_SUPPORT_INTERNALHEAP_H
 #define MESH_SUPPORT_INTERNALHEAP_H
 
+#include "support/Annotations.h"
 #include "support/SpinLock.h"
 
 #include <cstddef>
@@ -55,11 +56,21 @@ public:
     free(Obj, sizeof(T));
   }
 
-  /// Bytes currently handed out to live metadata objects.
-  size_t liveBytes() const { return LiveBytes; }
+  /// Bytes currently handed out to live metadata objects. Takes the
+  /// heap lock: the counters are plain size_t fields updated under it,
+  /// and an unlocked read would be a data race (a gap the thread-safety
+  /// annotations surfaced — the pre-annotation accessors read the
+  /// guarded fields lockless).
+  size_t liveBytes() const {
+    SpinLockGuard Guard(Lock);
+    return LiveBytes;
+  }
 
   /// Bytes of address space this heap has mapped for metadata.
-  size_t mappedBytes() const { return MappedBytes; }
+  size_t mappedBytes() const {
+    SpinLockGuard Guard(Lock);
+    return MappedBytes;
+  }
 
   /// The process-wide metadata heap used by default runtimes and the
   /// interposition shim.
@@ -68,8 +79,8 @@ public:
   /// Fork quiesce (see Runtime's pthread_atfork handlers): holds the
   /// heap lock across fork() so the child never inherits it mid-
   /// critical-section from a parent thread that no longer exists.
-  void lockForFork() { Lock.lock(); }
-  void unlockForFork() { Lock.unlock(); }
+  void lockForFork() MESH_ACQUIRE(Lock) { Lock.lock(); }
+  void unlockForFork() MESH_RELEASE(Lock) { Lock.unlock(); }
 
 private:
   struct FreeNode {
@@ -82,14 +93,15 @@ private:
   static constexpr unsigned kNumClasses = 9; // 16,32,...,4096
 
   static unsigned classForSize(size_t Size);
-  void refill(unsigned Class);
+  void refill(unsigned Class) MESH_REQUIRES(Lock);
 
-  SpinLock Lock;
-  FreeNode *FreeLists[kNumClasses] = {};
-  char *ChunkCursor = nullptr;
-  size_t ChunkRemaining = 0;
-  size_t LiveBytes = 0;
-  size_t MappedBytes = 0;
+  /// mutable so the const byte-count accessors can lock.
+  mutable SpinLock Lock;
+  FreeNode *FreeLists[kNumClasses] MESH_GUARDED_BY(Lock) = {};
+  char *ChunkCursor MESH_GUARDED_BY(Lock) = nullptr;
+  size_t ChunkRemaining MESH_GUARDED_BY(Lock) = 0;
+  size_t LiveBytes MESH_GUARDED_BY(Lock) = 0;
+  size_t MappedBytes MESH_GUARDED_BY(Lock) = 0;
 };
 
 } // namespace mesh

@@ -1,0 +1,60 @@
+//===- PthreadMutex.h - Annotated pthread_mutex_t wrapper -------*- C++ -*-===//
+///
+/// \file
+/// A minimal capability-annotated wrapper around pthread_mutex_t for
+/// the places Mesh genuinely needs a kernel-sleeping mutex (the
+/// background mesher's wake mutex, which pairs with a condvar —
+/// SpinLock cannot park a thread). Exists so fields protected by such a
+/// mutex can carry MESH_GUARDED_BY like every SpinLock-guarded field;
+/// a raw pthread_mutex_t is invisible to the thread-safety analysis.
+///
+/// Deliberately tiny: static initialization only (no allocating
+/// constructor — this is used in paths reachable from the malloc
+/// shim), no try-lock, no timed lock. native() exposes the underlying
+/// handle for pthread_cond_(timed)wait, which atomically releases and
+/// re-acquires the mutex around the sleep — from the analysis's (and
+/// every caller's) perspective the capability is held throughout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MESH_SUPPORT_PTHREADMUTEX_H
+#define MESH_SUPPORT_PTHREADMUTEX_H
+
+#include "support/Annotations.h"
+
+#include <pthread.h>
+
+namespace mesh {
+
+class MESH_CAPABILITY("mutex") PthreadMutex {
+public:
+  PthreadMutex() = default;
+  PthreadMutex(const PthreadMutex &) = delete;
+  PthreadMutex &operator=(const PthreadMutex &) = delete;
+
+  void lock() MESH_ACQUIRE() { pthread_mutex_lock(&M); }
+  void unlock() MESH_RELEASE() { pthread_mutex_unlock(&M); }
+
+  /// Underlying handle for pthread_cond_(timed)wait. Callers must hold
+  /// the mutex (the condvar contract); the wait's internal
+  /// release/re-acquire is invisible here, matching the capability
+  /// model (held before, held after).
+  pthread_mutex_t *native() MESH_REQUIRES(this) { return &M; }
+
+  /// Fork-child recovery: re-initializes the inherited mutex state (a
+  /// parent thread that no longer exists may have owned it at the fork
+  /// instant). Only callable where exactly one thread exists — the
+  /// pthread_atfork child handler.
+  /// MESH_NO_THREAD_SAFETY_ANALYSIS: clobbers the lock without
+  /// acquiring it, by design.
+  void reinitAfterFork() MESH_NO_THREAD_SAFETY_ANALYSIS {
+    pthread_mutex_init(&M, nullptr);
+  }
+
+private:
+  pthread_mutex_t M = PTHREAD_MUTEX_INITIALIZER;
+};
+
+} // namespace mesh
+
+#endif // MESH_SUPPORT_PTHREADMUTEX_H

@@ -6,6 +6,13 @@
 /// shim: pthread mutex initialization may itself allocate on some libcs,
 /// and the global-heap critical sections are short.
 ///
+/// SpinLock is a Thread Safety Analysis capability: under Clang with
+/// -Wthread-safety, fields marked MESH_GUARDED_BY(Lock) can only be
+/// touched while the lock is held, and MESH_REQUIRES contracts on
+/// helpers are checked at every call site. Prefer SpinLockGuard over
+/// manual lock()/unlock() pairs — it is annotation-aware, unlike
+/// std::lock_guard.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MESH_SUPPORT_SPINLOCK_H
@@ -13,6 +20,8 @@
 
 #include <atomic>
 #include <sched.h>
+
+#include "support/Annotations.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -29,13 +38,13 @@ inline void cpuRelax() {
 #endif
 }
 
-class SpinLock {
+class MESH_CAPABILITY("mutex") SpinLock {
 public:
   SpinLock() = default;
   SpinLock(const SpinLock &) = delete;
   SpinLock &operator=(const SpinLock &) = delete;
 
-  void lock() {
+  void lock() MESH_ACQUIRE() {
     for (;;) {
       if (!Locked.exchange(true, std::memory_order_acquire))
         return;
@@ -55,15 +64,43 @@ public:
     }
   }
 
-  bool try_lock() {
+  bool try_lock() MESH_TRY_ACQUIRE(true) {
     return !Locked.load(std::memory_order_relaxed) &&
            !Locked.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { Locked.store(false, std::memory_order_release); }
+  void unlock() MESH_RELEASE() {
+    Locked.store(false, std::memory_order_release);
+  }
 
 private:
   std::atomic<bool> Locked{false};
+};
+
+/// Tag type selecting the adopting SpinLockGuard constructor.
+struct AdoptLockTag {};
+inline constexpr AdoptLockTag AdoptLock{};
+
+/// RAII lock holder for SpinLock, visible to the thread-safety analysis
+/// (std::lock_guard is not annotation-aware). Use the AdoptLock overload
+/// after a successful try_lock().
+class MESH_SCOPED_CAPABILITY SpinLockGuard {
+public:
+  explicit SpinLockGuard(SpinLock &L) MESH_ACQUIRE(L) : Lock(L) {
+    Lock.lock();
+  }
+
+  /// Adopts a lock the caller already holds (e.g. via try_lock); the
+  /// guard releases it on scope exit.
+  SpinLockGuard(SpinLock &L, AdoptLockTag) MESH_REQUIRES(L) : Lock(L) {}
+
+  SpinLockGuard(const SpinLockGuard &) = delete;
+  SpinLockGuard &operator=(const SpinLockGuard &) = delete;
+
+  ~SpinLockGuard() MESH_RELEASE() { Lock.unlock(); }
+
+private:
+  SpinLock &Lock;
 };
 
 } // namespace mesh

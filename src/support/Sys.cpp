@@ -219,7 +219,11 @@ void parseEnvOnce() {
       detail::kEnvUnparsed) {
     const char *Env = std::getenv("MESH_FAULT_INJECT");
     if (!applySpec(Env)) {
-      logWarning(
+      // Reachable from the atfork child handler only on paper: the
+      // parse runs exactly once, at the first wrapped syscall — arena
+      // construction — so by the time any fork happens this branch is
+      // already burned (kEnvUnparsed cleared by applySpec below).
+      logWarning( // mesh-lint: allow(atfork-unsafe-call)
           "ignoring invalid MESH_FAULT_INJECT=\"%s\" (expected "
           "<op>:<errno>:every=<N> or <op>:<errno>:rate=<N>[,seed=<S>], "
           "';'-separated); fault injection stays off",

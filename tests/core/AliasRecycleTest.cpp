@@ -12,6 +12,7 @@
 #include "core/Runtime.h"
 
 #include "TestConfig.h"
+#include "support/Epoch.h"
 
 #include <gtest/gtest.h>
 
@@ -108,10 +109,16 @@ TEST(AliasRecycleTest, WritesThroughDifferentAliasesStayCoherent) {
   // different virtual spans.
   for (size_t A = 0; A < Kept.size(); ++A) {
     for (size_t B = A + 1; B < Kept.size(); ++B) {
-      MiniHeap *MA = R.global().miniheapFor(Kept[A]);
-      MiniHeap *MB = R.global().miniheapFor(Kept[B]);
-      if (MA != MB || MA == nullptr || MA->spans().size() < 2)
-        continue;
+      {
+        // Scoped narrowly: frees below may trigger an inline mesh pass,
+        // which synchronizes this epoch — never hold a reader section
+        // across them.
+        Epoch::Section Guard(R.global().miniheapEpoch());
+        MiniHeap *MA = R.global().miniheapFor(Kept[A]);
+        MiniHeap *MB = R.global().miniheapFor(Kept[B]);
+        if (MA != MB || MA == nullptr || MA->spans().size() < 2)
+          continue;
+      }
       const size_t PageA = (Kept[A] - R.global().arenaBase()) / kPageSize;
       const size_t PageB = (Kept[B] - R.global().arenaBase()) / kPageSize;
       if (PageA == PageB)

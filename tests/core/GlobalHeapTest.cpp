@@ -4,6 +4,7 @@
 
 #include "TestConfig.h"
 #include "core/ShuffleVector.h"
+#include "support/Epoch.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -22,9 +23,12 @@ TEST(GlobalHeapTest, FreshMiniHeapHasClassGeometry) {
   EXPECT_TRUE(MH->isAttached());
   EXPECT_EQ(MH->objectSize(), 16u);
   EXPECT_EQ(MH->objectCount(), 256u);
-  EXPECT_EQ(G.miniheapFor(G.arenaBase() +
-                          pagesToBytes(MH->physicalSpanOffset())),
-            MH);
+  {
+    Epoch::Section Guard(G.miniheapEpoch());
+    EXPECT_EQ(G.miniheapFor(G.arenaBase() +
+                            pagesToBytes(MH->physicalSpanOffset())),
+              MH);
+  }
   G.releaseMiniHeap(MH);
 }
 
@@ -215,7 +219,10 @@ TEST(GlobalHeapTest, MeshNowConsolidatesComplementarySpans) {
     ASSERT_EQ(BSpan[(128 + I) * 16], 'b');
   }
   // Both virtual spans now resolve to the same (merged) MiniHeap.
-  EXPECT_EQ(G.miniheapFor(ASpan), G.miniheapFor(BSpan));
+  {
+    Epoch::Section Guard(G.miniheapEpoch());
+    EXPECT_EQ(G.miniheapFor(ASpan), G.miniheapFor(BSpan));
+  }
 }
 
 TEST(GlobalHeapTest, MeshRateLimitRespected) {

@@ -3,6 +3,7 @@
 #include "core/ThreadLocalHeap.h"
 
 #include "TestConfig.h"
+#include "support/Epoch.h"
 
 #include <gtest/gtest.h>
 
@@ -82,10 +83,13 @@ TEST(ThreadLocalHeapTest, AttachedOwnerTagTracksAttachment) {
   ThreadLocalHeap Alice(&G, 1);
   ThreadLocalHeap Bob(&G, 2);
   void *P = Alice.malloc(64);
-  MiniHeap *MH = G.miniheapFor(P);
-  ASSERT_NE(MH, nullptr);
-  EXPECT_EQ(MH->attachedOwner(), &Alice);
-  EXPECT_NE(MH->attachedOwner(), &Bob);
+  {
+    Epoch::Section Guard(G.miniheapEpoch());
+    MiniHeap *MH = G.miniheapFor(P);
+    ASSERT_NE(MH, nullptr);
+    EXPECT_EQ(MH->attachedOwner(), &Alice);
+    EXPECT_NE(MH->attachedOwner(), &Bob);
+  }
   Alice.free(P);
   Alice.releaseAll();
   EXPECT_EQ(G.committedBytes(), 0u);
@@ -119,9 +123,12 @@ TEST(ThreadLocalHeapTest, NonLocalFreeFallsThroughToGlobal) {
   // Bob frees Alice's pointer: remote free via the global heap, which
   // clears the bitmap bit but leaves Alice's shuffle vector alone.
   Bob.free(P);
-  MiniHeap *MH = G.miniheapFor(P);
-  ASSERT_NE(MH, nullptr);
-  EXPECT_TRUE(MH->isAttached()) << "span remains attached to Alice";
+  {
+    Epoch::Section Guard(G.miniheapEpoch());
+    MiniHeap *MH = G.miniheapFor(P);
+    ASSERT_NE(MH, nullptr);
+    EXPECT_TRUE(MH->isAttached()) << "span remains attached to Alice";
+  }
   Alice.releaseAll();
   Bob.releaseAll();
   EXPECT_EQ(G.committedBytes(), 0u);

@@ -28,6 +28,7 @@
 #include "TestConfig.h"
 #include "core/MiniHeap.h"
 #include "core/ThreadLocalHeap.h"
+#include "support/Epoch.h"
 
 #include <gtest/gtest.h>
 
@@ -188,20 +189,26 @@ TEST(ForkCorruptionTest, ForkAfterMeshingPreservesAliasedSpans) {
   // Find an object whose MiniHeap holds meshed aliases and precompute
   // its twin address through another virtual span.
   char *AliasA = nullptr, *AliasB = nullptr;
-  for (void *P : Kept) {
-    MiniHeap *MH = R.global().miniheapFor(P);
-    ASSERT_NE(MH, nullptr);
-    if (MH->spans().size() < 2)
-      continue;
-    const char *Base = R.global().arenaBase();
-    const uintptr_t Span0 =
-        reinterpret_cast<uintptr_t>(Base + pagesToBytes(MH->spans()[0]));
-    const uintptr_t Span1 =
-        reinterpret_cast<uintptr_t>(Base + pagesToBytes(MH->spans()[1]));
-    const uint32_t Off = MH->offsetOf(P, Base);
-    AliasA = reinterpret_cast<char *>(Span0 + Off * MH->objectSize());
-    AliasB = reinterpret_cast<char *>(Span1 + Off * MH->objectSize());
-    break;
+  {
+    // Scoped: the section must NOT be held across the fork() below — a
+    // reader count inherited by the child (or held by the parent while
+    // it allocates post-fork) could stall a later epoch synchronize.
+    Epoch::Section PeekGuard(R.global().miniheapEpoch());
+    for (void *P : Kept) {
+      MiniHeap *MH = R.global().miniheapFor(P);
+      ASSERT_NE(MH, nullptr);
+      if (MH->spans().size() < 2)
+        continue;
+      const char *Base = R.global().arenaBase();
+      const uintptr_t Span0 =
+          reinterpret_cast<uintptr_t>(Base + pagesToBytes(MH->spans()[0]));
+      const uintptr_t Span1 =
+          reinterpret_cast<uintptr_t>(Base + pagesToBytes(MH->spans()[1]));
+      const uint32_t Off = MH->offsetOf(P, Base);
+      AliasA = reinterpret_cast<char *>(Span0 + Off * MH->objectSize());
+      AliasB = reinterpret_cast<char *>(Span1 + Off * MH->objectSize());
+      break;
+    }
   }
   ASSERT_NE(AliasA, nullptr) << "test precondition: no meshed span found";
 

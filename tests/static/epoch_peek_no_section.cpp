@@ -1,0 +1,26 @@
+//===- epoch_peek_no_section.cpp - MUST NOT COMPILE ------------------------===//
+///
+/// Contract under test: GlobalHeap::miniheapFor() is the dereferencable
+/// page-table lookup and carries MESH_REQUIRES_SHARED(MiniHeapEpoch) —
+/// an epoch-free peek is exactly the use-after-retire window the epoch
+/// exists to close, and must not build. Expected diagnostic:
+///   calling function 'miniheapFor' requires holding epoch ...
+///
+/// (The epoch-free form that only compares identities is
+/// miniheapIdentityFor(), which positive_control.cpp exercises.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/GlobalHeap.h"
+
+namespace {
+
+// VIOLATION: page-table peek with no Epoch::Section on the miniheap
+// epoch; the returned metadata could be retired mid-use.
+mesh::MiniHeap *peekLockless(mesh::GlobalHeap &Heap, const void *Ptr) {
+  return Heap.miniheapFor(Ptr);
+}
+
+void *Use = reinterpret_cast<void *>(&peekLockless);
+
+} // namespace

@@ -1,0 +1,27 @@
+//===- excludes_self_deadlock.cpp - MUST NOT COMPILE -----------------------===//
+///
+/// Contract under test: Epoch::synchronize() carries MESH_EXCLUDES on
+/// its own epoch — a thread that synchronizes while inside one of its
+/// reader sections waits for itself forever. Expected diagnostic:
+///   cannot call function 'synchronize' while epoch ... is held
+///
+/// This is the annotated form of the lock-order discipline: EXCLUDES
+/// on the entry points (meshNow, epochSynchronize, synchronize) turns
+/// "never re-enter the hierarchy from inside it" into a compile error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Epoch.h"
+
+namespace {
+
+// VIOLATION: synchronize() from inside a reader section of the same
+// epoch — the writer waits for a reader count this thread holds.
+void drainWhileReading(mesh::Epoch &E) {
+  mesh::Epoch::Section Guard(E);
+  E.synchronize();
+}
+
+void *Use = reinterpret_cast<void *>(&drainWhileReading);
+
+} // namespace

@@ -1,0 +1,24 @@
+//===- guarded_field_no_lock.cpp - MUST NOT COMPILE ------------------------===//
+///
+/// Contract under test: a MESH_GUARDED_BY field cannot be touched
+/// without its SpinLock held. Expected diagnostic:
+///   writing variable 'Counter' requires holding mutex 'Lock'
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/SpinLock.h"
+
+namespace {
+
+struct Counters {
+  mesh::SpinLock Lock;
+  unsigned long Counter MESH_GUARDED_BY(Lock) = 0;
+};
+
+// VIOLATION: bumps the guarded field with the lock not held.
+void bumpLockless(Counters &C) { ++C.Counter; }
+
+// Silence -Wunused-function without main()/linking.
+void *Use = reinterpret_cast<void *>(&bumpLockless);
+
+} // namespace

@@ -1,0 +1,57 @@
+//===- positive_control.cpp - MUST COMPILE CLEAN ---------------------------===//
+///
+/// The same surfaces the negative cases abuse, used correctly: scoped
+/// guards, an epoch section around the dereferencable page-table peek,
+/// the identity-only accessor outside any section, and try-lock with
+/// the adopt guard. If this TU ever warns under -Werror=thread-safety,
+/// the annotation plumbing itself broke (e.g. a macro expanding to
+/// nothing under Clang) — and every negative case would be passing for
+/// the wrong reason, which is why this control exists.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/GlobalHeap.h"
+#include "support/Epoch.h"
+#include "support/SpinLock.h"
+
+namespace {
+
+struct Counters {
+  mesh::SpinLock Lock;
+  unsigned long Counter MESH_GUARDED_BY(Lock) = 0;
+};
+
+void bumpGuarded(Counters &C) {
+  mesh::SpinLockGuard Guard(C.Lock);
+  ++C.Counter;
+}
+
+bool bumpIfUncontended(Counters &C) {
+  if (!C.Lock.try_lock())
+    return false;
+  mesh::SpinLockGuard Guard(C.Lock, mesh::AdoptLock);
+  ++C.Counter;
+  return true;
+}
+
+mesh::MiniHeap *peekUnderEpoch(mesh::GlobalHeap &Heap, const void *Ptr) {
+  mesh::Epoch::Section Guard(Heap.miniheapEpoch());
+  return Heap.miniheapFor(Ptr);
+}
+
+bool sameOwner(mesh::GlobalHeap &Heap, const void *A, const void *B) {
+  // Identity-only comparison: no epoch needed, nothing dereferenced.
+  return Heap.miniheapIdentityFor(A) == Heap.miniheapIdentityFor(B);
+}
+
+void drainOutsideSection(mesh::Epoch &E) { E.synchronize(); }
+
+void *Uses[] = {
+    reinterpret_cast<void *>(&bumpGuarded),
+    reinterpret_cast<void *>(&bumpIfUncontended),
+    reinterpret_cast<void *>(&peekUnderEpoch),
+    reinterpret_cast<void *>(&sameOwner),
+    reinterpret_cast<void *>(&drainOutsideSection),
+};
+
+} // namespace

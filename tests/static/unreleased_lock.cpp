@@ -1,0 +1,25 @@
+//===- unreleased_lock.cpp - MUST NOT COMPILE ------------------------------===//
+///
+/// Contract under test: a bare lock() with an early return that skips
+/// the unlock leaks the capability — the classic bug SpinLockGuard
+/// exists to make unwritable. Expected diagnostic:
+///   mutex 'L' is still held at the end of function
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/SpinLock.h"
+
+namespace {
+
+// VIOLATION: the Value==0 path returns with L held.
+int takeAndMaybeLeak(mesh::SpinLock &L, int Value) {
+  L.lock();
+  if (Value == 0)
+    return -1;
+  L.unlock();
+  return Value;
+}
+
+void *Use = reinterpret_cast<void *>(&takeAndMaybeLeak);
+
+} // namespace
